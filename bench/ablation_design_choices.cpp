@@ -1,0 +1,107 @@
+// Ablation study of QuickDrop's design choices (beyond the paper's tables):
+//   1. gradient matching on vs off (off = plain random-real-sample coreset),
+//   2. synthetic initialization from real samples vs Gaussian noise (§4.1),
+//   3. recovery augmentation on vs off (§3.3.1),
+//   4. post-hoc distribution matching (Zhao & Bilen '23) instead of in-situ
+//      gradient matching — the cheaper first-order alternative from §6.2.
+// Each variant trains its own federation (matching is in-situ) and serves the
+// same class-level unlearning request.
+#include <cstdio>
+
+#include "common/world.h"
+#include "core/distribution_matching.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  bool distill;
+  bool init_noise;
+  bool augment;
+  bool distribution_matching = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  auto base = qd::bench::WorldConfig::from_flags(flags);
+  const int target_class = flags.get_int("class", 9);
+  flags.check_unused();
+
+  base.fl_rounds = std::min(base.fl_rounds, 20);
+  qd::bench::print_banner("Ablation: QuickDrop design choices", base);
+
+  // Augmentation mixes real samples into recovery and can mask the synthetic
+  // data's own quality, so the distillation variants are compared with
+  // augmentation OFF; the first pair isolates augmentation itself.
+  const std::vector<Variant> variants = {
+      {"full QuickDrop (augmented)", true, false, true},
+      {"full QuickDrop, no augmentation", true, false, false},
+      {"coreset (no matching), no augment", false, false, false},
+      {"noise init + matching, no augment", true, true, false},
+      {"noise init, no matching, no augment", false, true, false},
+      {"distribution matching post-hoc, no augment", false, false, false, true},
+  };
+
+  qd::TextTable table;
+  table.set_header({"variant", "F-Set after U+R", "R-Set after U+R",
+                    "synthetic-only test acc"});
+  const auto request = qd::core::UnlearningRequest::for_class(target_class);
+
+  // Classical DD evaluation: train a fresh model on the union of the
+  // synthetic datasets only and measure its test accuracy — the direct probe
+  // of the synthetic data's information content.
+  auto synthetic_only_accuracy = [&](qd::bench::World& world) {
+    qd::data::Dataset pool = world.fed.quickdrop->stores()[0].to_dataset();
+    for (std::size_t i = 1; i < world.fed.quickdrop->stores().size(); ++i) {
+      pool = qd::data::Dataset::concat(pool,
+                                       world.fed.quickdrop->stores()[i].to_dataset());
+    }
+    auto probe = world.fed.factory();
+    std::vector<int> rows(static_cast<std::size_t>(pool.size()));
+    for (int i = 0; i < pool.size(); ++i) rows[static_cast<std::size_t>(i)] = i;
+    qd::Rng rng(base.seed ^ 0x50);
+    qd::fl::CostMeter cost;
+    for (int step = 0; step < 120; ++step) {
+      const auto batch_rows = qd::data::Dataset::sample_batch_indices(rows, 32, rng);
+      auto [images, labels] = pool.batch(batch_rows);
+      qd::fl::sgd_step_on_batch(*probe, images, labels, 0.05f,
+                                qd::nn::UpdateDirection::kDescent, cost);
+    }
+    return qd::metrics::accuracy(*probe, world.fed.test);
+  };
+  for (const auto& v : variants) {
+    auto config = base;
+    config.distill_steps = v.distill ? 1 : 0;
+    config.init_noise = v.init_noise;
+    config.augment_recovery = v.augment;
+    auto world = qd::bench::build_world(config);
+    if (v.distribution_matching) {
+      qd::core::DmConfig dm;
+      dm.iterations = 15;
+      auto& quickdrop = *world.fed.quickdrop;
+      for (int i = 0; i < quickdrop.num_clients(); ++i) {
+        qd::Rng rng(base.seed ^ (0xD3 + static_cast<std::uint64_t>(i)));
+        qd::fl::CostMeter cost;
+        qd::core::distill_distribution_matching(
+            world.fed.factory, quickdrop.stores()[static_cast<std::size_t>(i)],
+            quickdrop.client_train()[static_cast<std::size_t>(i)], dm, rng, cost);
+      }
+    }
+    const auto out = world.fed.quickdrop->unlearn(world.fed.global, request);
+    table.add_row({v.name, qd::fmt_percent(world.fset_accuracy(out, request)),
+                   qd::fmt_percent(world.rset_accuracy(out, request)),
+                   qd::fmt_percent(synthetic_only_accuracy(world))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: unlearning+recovery succeeds in every variant at this scale (recovery\n"
+              "mainly re-anchors the classifier), while the synthetic-only column — a model\n"
+              "trained from scratch on nothing but the synthetic data — exposes the quality\n"
+              "differences: matched/real-initialized sets carry far more information than\n"
+              "unmatched noise.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "common/world.h"
+
+#include <cstdio>
+
+#include "data/partition.h"
+#include "nn/convnet.h"
+#include "util/table.h"
+
+namespace quickdrop::bench {
+
+WorldConfig WorldConfig::from_flags(CliFlags& flags) {
+  WorldConfig cfg;
+  cfg.dataset = flags.get_string("dataset", cfg.dataset);
+  cfg.clients = flags.get_int("clients", cfg.clients);
+  cfg.alpha = flags.get_double("alpha", cfg.alpha);
+  cfg.iid = flags.get_bool("iid", cfg.iid);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", static_cast<int>(cfg.seed)));
+  cfg.fl_rounds = flags.get_int("rounds", cfg.fl_rounds);
+  cfg.local_steps = flags.get_int("local-steps", cfg.local_steps);
+  cfg.batch_size = flags.get_int("batch", cfg.batch_size);
+  cfg.train_lr = flags.get_double("train-lr", cfg.train_lr);
+  cfg.participation = flags.get_double("participation", cfg.participation);
+  cfg.scale = flags.get_int("scale", cfg.scale);
+  cfg.finetune_steps = flags.get_int("finetune", cfg.finetune_steps);
+  cfg.distill_steps = flags.get_int("distill-steps", cfg.distill_steps);
+  cfg.init_noise = flags.get_bool("init-noise", cfg.init_noise);
+  cfg.augment_recovery = flags.get_bool("augment", cfg.augment_recovery);
+  cfg.unlearn_lr = flags.get_double("unlearn-lr", cfg.unlearn_lr);
+  cfg.recover_lr = flags.get_double("recover-lr", cfg.recover_lr);
+  cfg.unlearn_batch = flags.get_int("unlearn-batch", cfg.unlearn_batch);
+  cfg.unlearn_rounds = flags.get_int("unlearn-rounds", cfg.unlearn_rounds);
+  cfg.max_unlearn_rounds = flags.get_int("max-unlearn-rounds", cfg.max_unlearn_rounds);
+  cfg.recovery_rounds = flags.get_int("recovery-rounds", cfg.recovery_rounds);
+  cfg.net_width = flags.get_int("width", cfg.net_width);
+  cfg.net_depth = flags.get_int("depth", cfg.net_depth);
+  cfg.eraser_interval = flags.get_int("eraser-interval", cfg.eraser_interval);
+  return cfg;
+}
+
+double World::accuracy(const nn::ModelState& state) {
+  nn::load_state(*eval_model, state);
+  return metrics::accuracy(*eval_model, fed.test);
+}
+
+std::vector<double> World::per_class(const nn::ModelState& state) {
+  nn::load_state(*eval_model, state);
+  return metrics::per_class_accuracy(*eval_model, fed.test);
+}
+
+double World::fset_accuracy(const nn::ModelState& state, const core::UnlearningRequest& request) {
+  nn::load_state(*eval_model, state);
+  if (request.kind == core::UnlearningRequest::Kind::kClass) {
+    return metrics::accuracy_on_classes(*eval_model, fed.test, {request.target});
+  }
+  return metrics::accuracy(*eval_model,
+                           fed.client_train().at(static_cast<std::size_t>(request.target)));
+}
+
+double World::rset_accuracy(const nn::ModelState& state, const core::UnlearningRequest& request) {
+  nn::load_state(*eval_model, state);
+  if (request.kind == core::UnlearningRequest::Kind::kClass) {
+    return metrics::accuracy_excluding_classes(*eval_model, fed.test, {request.target});
+  }
+  double weighted = 0.0;
+  std::int64_t total = 0;
+  const auto& clients = fed.client_train();
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    if (static_cast<int>(i) == request.target || clients[i].empty()) continue;
+    weighted += metrics::accuracy(*eval_model, clients[i]) * clients[i].size();
+    total += clients[i].size();
+  }
+  return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+World build_world(const WorldConfig& config) {
+  auto spec = data::spec_by_name(config.dataset);
+  auto tt = data::make_synthetic(spec);
+
+  Rng partition_rng(config.seed ^ 0x9A97);
+  const auto partition =
+      config.iid
+          ? data::iid_partition(tt.train, config.clients, partition_rng)
+          : data::dirichlet_partition(tt.train, config.clients,
+                                      static_cast<float>(config.alpha), partition_rng);
+  auto clients = data::materialize(tt.train, partition);
+
+  nn::ConvNetConfig net;
+  net.in_channels = static_cast<int>(tt.train.image_shape()[0]);
+  net.image_size = static_cast<int>(tt.train.image_shape()[1]);
+  net.num_classes = tt.train.num_classes();
+  net.width = config.net_width;
+  net.depth = config.net_depth;
+  net.validate();
+  auto model_rng = std::make_shared<Rng>(config.seed ^ 0xDEED);
+  fl::ModelFactory factory = [model_rng, net] { return nn::make_convnet(net, *model_rng); };
+
+  baselines::HarnessConfig harness;
+  harness.seed = config.seed;
+  harness.eraser_interval = config.eraser_interval;
+  auto& qd = harness.quickdrop;
+  qd.fl_rounds = config.fl_rounds;
+  qd.local_steps = config.local_steps;
+  qd.batch_size = config.batch_size;
+  qd.train_lr = static_cast<float>(config.train_lr);
+  qd.participation = static_cast<float>(config.participation);
+  qd.scale = config.scale;
+  qd.synthetic_init = config.init_noise ? core::SyntheticInit::kGaussianNoise
+                                        : core::SyntheticInit::kRealSamples;
+  qd.distill.opt_steps = config.distill_steps;
+  qd.augment_recovery = config.augment_recovery;
+  qd.finetune.outer_steps = config.finetune_steps;
+  qd.unlearn_lr = static_cast<float>(config.unlearn_lr);
+  qd.recover_lr = static_cast<float>(config.recover_lr);
+  qd.unlearn_rounds = config.unlearn_rounds;
+  qd.max_unlearn_rounds = config.max_unlearn_rounds;
+  qd.recovery_rounds = config.recovery_rounds;
+  qd.unlearn_local_steps = config.local_steps;
+  qd.unlearn_batch_size = config.unlearn_batch > 0 ? config.unlearn_batch : config.batch_size;
+
+  World world{.config = config,
+              .train = tt.train,
+              .fed = baselines::train_federation(factory, std::move(clients), std::move(tt.test),
+                                                 harness),
+              .eval_model = nullptr};
+  world.eval_model = world.fed.factory();
+  return world;
+}
+
+baselines::BaselineConfig baseline_config(const WorldConfig& config) {
+  baselines::BaselineConfig cfg;
+  cfg.train_lr = static_cast<float>(config.train_lr);
+  cfg.unlearn_lr = static_cast<float>(config.unlearn_lr);
+  cfg.recover_lr = static_cast<float>(config.recover_lr);
+  cfg.local_steps = config.local_steps;
+  cfg.batch_size = config.batch_size;
+  cfg.participation = static_cast<float>(config.participation);
+  cfg.retrain_rounds = config.fl_rounds;
+  return cfg;
+}
+
+void print_banner(const std::string& title, const WorldConfig& config) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("dataset=%s clients=%d %s rounds=%d local-steps=%d batch=%d scale=%d seed=%llu\n\n",
+              config.dataset.c_str(), config.clients,
+              config.iid ? "IID" : ("alpha=" + fmt_double(config.alpha, 2)).c_str(),
+              config.fl_rounds, config.local_steps, config.batch_size, config.scale,
+              static_cast<unsigned long long>(config.seed));
+}
+
+}  // namespace quickdrop::bench

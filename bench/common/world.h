@@ -1,0 +1,87 @@
+// Shared experiment scaffolding for the bench binaries.
+//
+// Every table/figure bench builds a World: a synthetic stand-in dataset,
+// a Dirichlet (or IID) client partition, and one shared FL training run with
+// in-situ distillation + FedEraser history (see baselines/harness.h). CLI
+// flags override the scaled-down defaults so larger machines can approach
+// paper scale.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/registry.h"
+#include "data/synthetic.h"
+#include "metrics/evaluate.h"
+#include "util/cli.h"
+
+namespace quickdrop::bench {
+
+/// Scaled-down counterparts of the paper's experimental setup (§4.1).
+struct WorldConfig {
+  std::string dataset = "cifar10";  ///< "mnist" | "cifar10" | "svhn"
+  int clients = 10;
+  double alpha = 0.1;  ///< Dirichlet non-IIDness; ignored when iid
+  bool iid = false;
+  std::uint64_t seed = 42;
+
+  // FL training (paper: K=200, T=50, batch 256, lr 0.01).
+  int fl_rounds = 30;
+  int local_steps = 5;
+  int batch_size = 32;
+  double train_lr = 0.05;
+  double participation = 1.0;
+
+  // QuickDrop (paper: s=100 on 5000-per-class data; our per-class volumes
+  // are 50x smaller, so s=10 yields the same one-to-few synthetic samples
+  // per class per client).
+  int scale = 10;
+  int finetune_steps = 0;
+  int distill_steps = 1;        ///< varsigma_S; 0 disables gradient matching
+  bool init_noise = false;      ///< initialize synthetic samples from noise
+  bool augment_recovery = true;
+  double unlearn_lr = 0.05;
+  double recover_lr = 0.03;
+  int unlearn_batch = 0;  ///< batch for unlearn/recover phases; 0 = batch_size
+  int unlearn_rounds = 1;
+  int max_unlearn_rounds = 0;  ///< >0 enables verified unlearning (cap)
+  int recovery_rounds = 2;
+
+  // Model (paper: width 128, depth 3 on 32x32).
+  int net_width = 16;
+  int net_depth = 2;
+
+  int eraser_interval = 3;
+
+  /// Reads overrides from --dataset, --clients, --alpha, --rounds, ... .
+  static WorldConfig from_flags(CliFlags& flags);
+};
+
+/// A trained federation plus evaluation helpers.
+struct World {
+  WorldConfig config;
+  data::Dataset train;  ///< full training pool (union of clients)
+  baselines::TrainedFederation fed;
+  std::unique_ptr<nn::Module> eval_model;
+
+  /// Test-set accuracy of a model state.
+  double accuracy(const nn::ModelState& state);
+  /// Per-class test accuracy.
+  std::vector<double> per_class(const nn::ModelState& state);
+  /// F-Set accuracy for a request: class-level -> test accuracy of the
+  /// target class; client-level -> accuracy on the client's training data.
+  double fset_accuracy(const nn::ModelState& state, const core::UnlearningRequest& request);
+  /// R-Set accuracy: the complement (per the paper's metrics, §4.1).
+  double rset_accuracy(const nn::ModelState& state, const core::UnlearningRequest& request);
+};
+
+/// Builds the dataset, partitions it and runs the shared training phase.
+World build_world(const WorldConfig& config);
+
+/// Baseline hyperparameters consistent with the world's training setup.
+baselines::BaselineConfig baseline_config(const WorldConfig& config);
+
+/// Prints "=== <title> ===" plus the world's setup line.
+void print_banner(const std::string& title, const WorldConfig& config);
+
+}  // namespace quickdrop::bench

@@ -1,0 +1,86 @@
+// Extension experiment: erasing a malicious client's backdoor.
+//
+// The paper's introduction motivates FU with the need to remove manipulated
+// data. Here one client stamps a trigger patch onto all of its samples and
+// relabels them to a target class; after FL training any stamped image is
+// misclassified to that class. Client-level unlearning with QuickDrop's
+// verified mode must collapse the attack success rate while keeping the
+// model accurate on clean data — at synthetic-data cost.
+#include <cstdio>
+
+#include "attack/backdoor.h"
+#include "core/quickdrop.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  const int clients = flags.get_int("clients", 10);
+  const int rounds = flags.get_int("rounds", 30);
+  const int target = flags.get_int("target-class", 0);
+  const int malicious = flags.get_int("malicious-client", 0);
+  flags.check_unused();
+
+  std::printf("=== Extension: backdoor removal via client-level unlearning ===\n\n");
+  const auto dataset = qd::data::make_synthetic(qd::data::cifar10_like_spec());
+  qd::Rng prng(61);
+  auto client_data = qd::data::materialize(
+      dataset.train, qd::data::iid_partition(dataset.train, clients, prng));
+
+  const qd::attack::TriggerPattern trigger{.size = 3, .intensity = 4.0f, .corner = 3};
+  client_data[static_cast<std::size_t>(malicious)] = qd::attack::poison_dataset(
+      client_data[static_cast<std::size_t>(malicious)], trigger, target);
+  std::printf("client %d is malicious: %d stamped samples relabeled to class %d\n\n", malicious,
+              client_data[static_cast<std::size_t>(malicious)].size(), target);
+
+  qd::nn::ConvNetConfig net;
+  net.in_channels = 3;
+  net.image_size = 12;
+  net.width = 16;
+  net.depth = 2;
+  auto mrng = std::make_shared<qd::Rng>(62);
+  qd::fl::ModelFactory factory = [mrng, net] { return qd::nn::make_convnet(net, *mrng); };
+
+  qd::core::QuickDropConfig config;
+  config.fl_rounds = rounds;
+  config.local_steps = 5;
+  config.train_lr = 0.05f;
+  config.scale = 10;
+  config.unlearn_lr = 0.04f;
+  config.recover_lr = 0.05f;
+  config.recovery_rounds = 3;
+  config.max_unlearn_rounds = 8;  // verified unlearning
+  qd::core::QuickDrop quickdrop(factory, client_data, config, 63);
+
+  std::printf("training the poisoned federation...\n");
+  const auto trained = quickdrop.train();
+  auto model = factory();
+
+  auto report = [&](const char* label, const qd::nn::ModelState& state) {
+    qd::nn::load_state(*model, state);
+    std::printf("%-18s attack success rate %s, clean test accuracy %s\n", label,
+                qd::fmt_percent(
+                    qd::attack::backdoor_success_rate(*model, dataset.test, trigger, target))
+                    .c_str(),
+                qd::fmt_percent(qd::metrics::accuracy(*model, dataset.test)).c_str());
+  };
+  report("after training:", trained);
+
+  qd::core::PhaseStats us, rs;
+  const auto cleaned =
+      quickdrop.unlearn(trained, qd::core::UnlearningRequest::for_client(malicious), &us, &rs);
+  report("after unlearning:", cleaned);
+  std::printf("\nverified unlearning used %d SGA round(s) on %lld synthetic samples (%.2fs);\n"
+              "recovery used %lld samples (%.2fs).\n",
+              us.rounds, static_cast<long long>(us.data_size), us.seconds,
+              static_cast<long long>(rs.data_size), rs.seconds);
+  std::printf("expected: the attack success rate collapses toward the class base rate while\n"
+              "clean accuracy is preserved — the manipulated client's influence is gone.\n");
+  return 0;
+}

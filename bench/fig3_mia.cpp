@@ -1,0 +1,52 @@
+// Reproduces Figure 3: membership-inference attack accuracy on the F-Set and
+// R-Set after each method unlearns a class (CIFAR-10 stand-in, 10 clients,
+// non-IID). Retrain-Or is the optimum: its model never saw the forget data.
+#include <cstdio>
+
+#include "attack/mia.h"
+#include "common/world.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  auto config = qd::bench::WorldConfig::from_flags(flags);
+  const int target_class = flags.get_int("class", 9);
+  flags.check_unused();
+
+  qd::bench::print_banner("Figure 3: MIA accuracy after unlearning", config);
+  auto world = qd::bench::build_world(config);
+  const auto request = qd::core::UnlearningRequest::for_class(target_class);
+  const auto baseline_cfg = qd::bench::baseline_config(config);
+
+  // F-Set: training rows of the target class. R-Set: the rest of the
+  // training data. Non-members for attack training: the test set.
+  const auto fset = world.train.subset(world.train.indices_of_class(target_class));
+  std::vector<int> retain_rows;
+  for (int i = 0; i < world.train.size(); ++i) {
+    if (world.train.label(i) != target_class) retain_rows.push_back(i);
+  }
+  const auto rset = world.train.subset(retain_rows);
+
+  qd::TextTable table;
+  table.set_header({"FU approach", "MIA F-Set", "MIA R-Set", "attack acc"});
+  for (const auto& name : {"Retrain-Or", "FedEraser", "SGA-Or", "FU-MP", "QuickDrop"}) {
+    auto method = qd::baselines::make_method(name, baseline_cfg);
+    const auto out = method->unlearn(world.fed, request);
+    qd::nn::load_state(*world.eval_model, out.state);
+    qd::Rng rng(config.seed ^ 0x31A);
+    // The attack model is trained on the *retained* training data versus test
+    // data, then asked whether forget/retain samples look like members.
+    const auto report =
+        qd::attack::run_mia(*world.eval_model, rset, world.fed.test, fset, rset, rng);
+    table.add_row({name, qd::fmt_percent(report.forget_member_rate),
+                   qd::fmt_percent(report.retain_member_rate),
+                   qd::fmt_percent(report.attack_accuracy)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper (Fig. 3): MIA accuracy on the F-Set is <1%% for every method; QuickDrop's\n"
+              "R-Set MIA accuracy (71.6%%) is competitive with the baselines (67.3-74.2%%),\n"
+              "oracle 77.3%%.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Figure 5: R-Set accuracy after recovery as a function of the
+// number of fine-tuning steps F, plus the gradient computations on original
+// data (FL training vs fine-tuning). Fine-tuning closes the gap to
+// Retrain-Or at an extra gradient cost no higher than FL training itself.
+#include <cstdio>
+
+#include "common/world.h"
+#include "core/finetune.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace qd = quickdrop;
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  auto config = qd::bench::WorldConfig::from_flags(flags);
+  const int target_class = flags.get_int("class", 9);
+  const int max_f = flags.get_int("max-finetune", 16);
+  flags.check_unused();
+
+  qd::bench::print_banner("Figure 5: impact of fine-tuning steps F", config);
+  auto world = qd::bench::build_world(config);
+  const auto request = qd::core::UnlearningRequest::for_class(target_class);
+  const std::int64_t fl_training_grads = world.fed.quickdrop->training_stats().cost.sample_grads;
+
+  // Oracle reference.
+  const auto baseline_cfg = qd::bench::baseline_config(config);
+  auto oracle = qd::baselines::make_method("Retrain-Or", baseline_cfg);
+  const auto oracle_out = oracle->unlearn(world.fed, request);
+  const double oracle_rset = world.rset_accuracy(oracle_out.state, request);
+
+  qd::TextTable table;
+  table.set_header({"F", "R-Set after recovery", "finetune grads (orig data)",
+                    "FL training grads", "finetune time(s)"});
+
+  // F=0 baseline, then cumulative fine-tuning: store the F-step totals by
+  // fine-tuning the same stores incrementally.
+  qd::fl::CostMeter finetune_cost;
+  double finetune_seconds = 0.0;
+  int applied_f = 0;
+  for (const int f : {0, 2, 4, 8, max_f}) {
+    if (f > applied_f) {
+      const qd::Timer timer;
+      qd::core::FinetuneConfig ft;
+      ft.outer_steps = f - applied_f;
+      ft.inner_steps = 8;  // paper fixes 50 inner steps; scaled down
+      ft.batch_size = config.batch_size;
+      auto& quickdrop = *world.fed.quickdrop;
+      for (int i = 0; i < quickdrop.num_clients(); ++i) {
+        qd::Rng rng(config.seed ^ (0xF17E + static_cast<std::uint64_t>(i) * 977 +
+                                   static_cast<std::uint64_t>(f)));
+        qd::core::finetune_store(world.fed.factory, quickdrop.stores()[static_cast<std::size_t>(i)],
+                                 quickdrop.client_train()[static_cast<std::size_t>(i)], ft, rng,
+                                 finetune_cost);
+      }
+      finetune_seconds += timer.seconds();
+      applied_f = f;
+    }
+    const auto out = world.fed.quickdrop->unlearn(world.fed.global, request);
+    // Each F value serves an independent request against the trained model.
+    world.fed.quickdrop->reset_forgotten();
+    table.add_row({std::to_string(f), qd::fmt_percent(world.rset_accuracy(out, request)),
+                   std::to_string(finetune_cost.sample_grads),
+                   std::to_string(fl_training_grads), qd::fmt_double(finetune_seconds, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Retrain-Or R-Set reference: %s\n", qd::fmt_percent(oracle_rset).c_str());
+  std::printf("paper (Fig. 5): R-Set accuracy rises from 70.5%% (F=0) to 74.6%% (F=200),\n"
+              "nearly matching Retrain-Or (74.95%%), while fine-tuning gradients grow to at\n"
+              "most the FL-training gradient count.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 6: R-Set accuracy after recovery (left) and total
+// unlearning + recovery compute time (right) as the scale parameter s varies.
+// Each s requires its own in-situ distillation, i.e. a fresh training run.
+// The paper sweeps s in 1..1000 on 5000-sample classes; our per-class volumes
+// are ~50x smaller, so the equivalent sweep is 1..20 (s=20 already leaves
+// most clients with a single synthetic sample per class).
+#include <cstdio>
+
+#include "common/world.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  auto base = qd::bench::WorldConfig::from_flags(flags);
+  const int target_class = flags.get_int("class", 9);
+  flags.check_unused();
+
+  base.fl_rounds = std::min(base.fl_rounds, 20);  // one training run per scale
+  // Batches must cover the whole local synthetic set so that compute time
+  // scales with data volume, as in the paper (batch 256 >= |S_f|).
+  if (base.unlearn_batch == 0) base.unlearn_batch = 256;
+  qd::bench::print_banner("Figure 6: impact of the scale parameter s", base);
+
+  qd::TextTable table;
+  table.set_header({"scale s", "synthetic samples", "R-Set after recovery", "unlearn time(s)",
+                    "recovery time(s)", "total(s)"});
+  const auto request = qd::core::UnlearningRequest::for_class(target_class);
+
+  for (const int s : {1, 5, 10, 50, 100}) {
+    auto config = base;
+    config.scale = s;
+    auto world = qd::bench::build_world(config);
+    int synthetic_total = 0;
+    for (const auto& store : world.fed.quickdrop->stores()) {
+      synthetic_total += store.total_samples();
+    }
+    qd::core::PhaseStats us, rs;
+    const auto out = world.fed.quickdrop->unlearn(world.fed.global, request, &us, &rs);
+    table.add_row({std::to_string(s), std::to_string(synthetic_total),
+                   qd::fmt_percent(world.rset_accuracy(out, request)),
+                   qd::fmt_double(us.seconds, 3), qd::fmt_double(rs.seconds, 3),
+                   qd::fmt_double(us.seconds + rs.seconds, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper (Fig. 6): accuracy degrades slowly until s~200 (72.7%% at s=1, 70.5%% at\n"
+              "s=100) then falls sharply (54.7%% at s=1000), while unlearn+recovery time drops\n"
+              "from ~26 min (s=1) to ~16 s (s=100) to ~1 s (s=1000).\n");
+  return 0;
+}

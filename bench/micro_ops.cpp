@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks of the substrate: tensor kernels, autograd
+// forward/backward, one distillation matching step and one SGA round — the
+// unit costs behind every table.
+#include <benchmark/benchmark.h>
+
+#include "core/distillation.h"
+#include "data/synthetic.h"
+#include "fl/client_update.h"
+#include "nn/convnet.h"
+#include "tensor/kernels.h"
+
+namespace qd = quickdrop;
+namespace k = quickdrop::kernels;
+
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = state.range(0);
+  qd::Rng rng(1);
+  const auto a = qd::Tensor::randn({n, n}, rng);
+  const auto b = qd::Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(k::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  qd::Rng rng(1);
+  const auto x = qd::Tensor::randn({8, 16, 12, 12}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(k::im2col(x, 3, 1, 1));
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_BroadcastAdd(benchmark::State& state) {
+  qd::Rng rng(1);
+  const auto a = qd::Tensor::randn({64, 16, 12, 12}, rng);
+  const auto b = qd::Tensor::randn({1, 16, 1, 1}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(k::add(a, b));
+}
+BENCHMARK(BM_BroadcastAdd);
+
+qd::nn::ConvNetConfig bench_net() {
+  qd::nn::ConvNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.image_size = 12;
+  cfg.width = 16;
+  cfg.depth = 2;
+  return cfg;
+}
+
+void BM_ConvNetForward(benchmark::State& state) {
+  qd::Rng rng(1);
+  auto net = qd::nn::make_convnet(bench_net(), rng);
+  const auto x = qd::Tensor::randn({32, 3, 12, 12}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(net->forward_tensor(x).value());
+}
+BENCHMARK(BM_ConvNetForward);
+
+void BM_SgdStep(benchmark::State& state) {
+  qd::Rng rng(1);
+  auto net = qd::nn::make_convnet(bench_net(), rng);
+  const auto x = qd::Tensor::randn({32, 3, 12, 12}, rng);
+  std::vector<int> labels(32);
+  for (int i = 0; i < 32; ++i) labels[static_cast<std::size_t>(i)] = i % 10;
+  qd::fl::CostMeter cost;
+  for (auto _ : state) {
+    qd::fl::sgd_step_on_batch(*net, x, labels, 0.01f, qd::nn::UpdateDirection::kDescent, cost);
+  }
+}
+BENCHMARK(BM_SgdStep);
+
+void BM_DistillMatchStep(benchmark::State& state) {
+  // One gradient-matching pixel update: the double-backprop inner loop of
+  // Algorithm 2 — the dominant cost of QuickDrop's training-time overhead.
+  qd::Rng rng(1);
+  auto net = qd::nn::make_convnet(bench_net(), rng);
+  const auto x = qd::Tensor::randn({16, 3, 12, 12}, rng);
+  std::vector<int> labels(16, 3);
+  const auto params = net->parameters();
+  const auto loss = qd::ag::cross_entropy(net->forward_tensor(x), labels);
+  const auto grads = qd::ag::grad(loss, std::span<const qd::ag::Var>(params));
+  std::vector<qd::Tensor> grad_real;
+  for (const auto& g : grads) grad_real.push_back(g.value());
+
+  qd::Tensor synthetic = qd::Tensor::randn({2, 3, 12, 12}, rng);
+  qd::core::DistillConfig cfg;
+  qd::fl::CostMeter cost;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qd::core::match_synthetic_to_gradient(*net, synthetic, 3, grad_real, cfg, cost));
+  }
+}
+BENCHMARK(BM_DistillMatchStep);
+
+void BM_SgaUnlearnStep(benchmark::State& state) {
+  // One SGA ascent step on a QuickDrop-sized synthetic forget batch.
+  qd::Rng rng(1);
+  auto net = qd::nn::make_convnet(bench_net(), rng);
+  const auto x = qd::Tensor::randn({10, 3, 12, 12}, rng);
+  std::vector<int> labels(10, 9);
+  qd::fl::CostMeter cost;
+  for (auto _ : state) {
+    qd::fl::sgd_step_on_batch(*net, x, labels, 0.02f, qd::nn::UpdateDirection::kAscent, cost);
+  }
+}
+BENCHMARK(BM_SgaUnlearnStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

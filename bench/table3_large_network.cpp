@@ -1,0 +1,51 @@
+// Reproduces Table 3: class-level unlearning in a large network (paper: 100
+// clients on SVHN, 10% participation during training/recovery, 100% during
+// unlearning). Reports F-Set / R-Set accuracy, total time and speedup over
+// Retrain-Or for every applicable method.
+#include <cstdio>
+
+#include "common/world.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  auto config = qd::bench::WorldConfig::from_flags(flags);
+  const int target_class = flags.get_int("class", 9);
+  flags.check_unused();
+
+  // Table 3 defaults: SVHN stand-in, many clients, partial participation —
+  // applied only where the user did not override the base default.
+  qd::bench::WorldConfig defaults;
+  if (config.dataset == defaults.dataset) config.dataset = "svhn";
+  if (config.clients == defaults.clients) config.clients = 40;
+  if (config.participation == defaults.participation) config.participation = 0.1;
+  if (config.fl_rounds == defaults.fl_rounds) config.fl_rounds = 100;
+
+  qd::bench::print_banner("Table 3: large network, partial participation", config);
+  auto world = qd::bench::build_world(config);
+  const auto request = qd::core::UnlearningRequest::for_class(target_class);
+  std::printf("trained model: test acc %s (train time %.1fs)\n\n",
+              qd::fmt_percent(world.accuracy(world.fed.global)).c_str(),
+              world.fed.train_seconds);
+
+  const auto baseline_cfg = qd::bench::baseline_config(config);
+  qd::TextTable table;
+  table.set_header({"FU approach", "F-Set", "R-Set", "Time(s)", "Speedup"});
+  double oracle_seconds = 0.0;
+  for (const auto& name : {"Retrain-Or", "FedEraser", "SGA-Or", "FU-MP", "QuickDrop"}) {
+    auto method = qd::baselines::make_method(name, baseline_cfg);
+    const auto out = method->unlearn(world.fed, request);
+    const double total = out.unlearn.seconds + out.recovery.seconds;
+    if (std::string(name) == "Retrain-Or") oracle_seconds = total;
+    table.add_row({name, qd::fmt_percent(world.fset_accuracy(out.state, request)),
+                   qd::fmt_percent(world.rset_accuracy(out.state, request)),
+                   qd::fmt_double(total, 2),
+                   qd::fmt_double(oracle_seconds / total, 1) + "x"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper (Table 3): QuickDrop reaches F-Set 0.81%% / R-Set 84.96%% vs oracle 0.34%% /\n"
+              "88.39%%, with a 326.7x speedup over Retrain-Or; baselines are 4.3-8.2x.\n");
+  return 0;
+}

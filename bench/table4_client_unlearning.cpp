@@ -1,0 +1,56 @@
+// Reproduces Table 4: client-level unlearning on the CIFAR-10 stand-in with
+// 20 clients, under non-IID (alpha=0.1) and IID partitions. FU-MP cannot
+// perform client-level unlearning and is excluded, matching the paper.
+#include <cstdio>
+
+#include "common/world.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+namespace {
+
+void run_distribution(qd::bench::WorldConfig config, bool iid, int target_client,
+                      qd::TextTable& table) {
+  config.iid = iid;
+  auto world = qd::bench::build_world(config);
+  const auto request = qd::core::UnlearningRequest::for_client(target_client);
+  const auto baseline_cfg = qd::bench::baseline_config(config);
+  for (const auto& name : {"Retrain-Or", "FedEraser", "S2U", "SGA-Or", "QuickDrop"}) {
+    auto method = qd::baselines::make_method(name, baseline_cfg);
+    const auto out = method->unlearn(world.fed, request);
+    table.add_row({iid ? "IID" : "non-IID", name,
+                   qd::fmt_percent(world.fset_accuracy(out.state, request)),
+                   qd::fmt_percent(world.rset_accuracy(out.state, request)),
+                   qd::fmt_double(out.unlearn.seconds + out.recovery.seconds, 2)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  auto config = qd::bench::WorldConfig::from_flags(flags);
+  const int target_client = flags.get_int("client", 3);
+  flags.check_unused();
+
+  qd::bench::WorldConfig defaults;
+  if (config.clients == defaults.clients) config.clients = 20;
+  // Client-level erasure needs a gentler ascent + an extra recovery round:
+  // the F-Set here is the client's own samples, which recovery must be able
+  // to partially restore through shared features (paper Table 4's regime).
+  if (config.unlearn_lr == defaults.unlearn_lr) config.unlearn_lr = 0.035;
+  if (config.recovery_rounds == defaults.recovery_rounds) config.recovery_rounds = 3;
+
+  qd::bench::print_banner("Table 4: client-level unlearning, non-IID vs IID", config);
+  qd::TextTable table;
+  table.set_header({"Distribution", "FU approach", "F-Set", "R-Set", "Time(s)"});
+  run_distribution(config, /*iid=*/false, target_client, table);
+  run_distribution(config, /*iid=*/true, target_client, table);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper (Table 4): non-IID F-Set accuracies stay low but above class-level\n"
+              "(9.6-19.7%%; features survive via other clients), QuickDrop 11.6%% vs oracle\n"
+              "10.5%%. Under IID the F-Set stays high for every method (65.3-70.8%%) because\n"
+              "the forgotten client's knowledge is shared by everyone.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Table 6: the compute overhead of in-situ dataset distillation
+// during FL training for all three datasets — total training time, the part
+// spent on DD and the overhead percentage.
+#include <cstdio>
+
+#include "common/world.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  auto config = qd::bench::WorldConfig::from_flags(flags);
+  flags.check_unused();
+
+  qd::bench::print_banner("Table 6: DD compute overhead during FL training", config);
+  qd::TextTable table;
+  table.set_header({"Dataset", "Total compute time (s)", "DD compute time (s)", "Overhead",
+                    "train grads", "DD grads"});
+  for (const auto& dataset : {"mnist", "cifar10", "svhn"}) {
+    auto cfg = config;
+    cfg.dataset = dataset;
+    auto world = qd::bench::build_world(cfg);
+    const double total = world.fed.train_seconds;
+    const double dd = world.fed.quickdrop->distill_seconds();
+    const auto& cost = world.fed.quickdrop->training_stats().cost;
+    table.add_row({dataset, qd::fmt_double(total, 1), qd::fmt_double(dd, 1),
+                   qd::fmt_percent(dd / total, 1), std::to_string(cost.sample_grads),
+                   std::to_string(cost.distill_sample_grads)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper (Table 6): DD overhead is 54%% (MNIST), 55%% (CIFAR-10) and 46.3%% (SVHN)\n"
+              "of total training time — roughly doubling FL training, the upfront cost that\n"
+              "unlocks the downstream unlearning speedups.\n");
+  return 0;
+}

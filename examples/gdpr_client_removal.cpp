@@ -1,0 +1,89 @@
+// GDPR scenario: a hospital consortium trains a shared diagnostic model; one
+// hospital exercises the right to be forgotten and must be erased from the
+// model (client-level unlearning). The example contrasts QuickDrop with
+// retraining from scratch and verifies the erasure with a membership
+// inference attack — the workflow the paper's introduction motivates.
+#include <cstdio>
+
+#include "attack/mia.h"
+#include "baselines/registry.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+
+namespace qd = quickdrop;
+
+int main() {
+  // A consortium of 8 "hospitals" with highly skewed local case mixes.
+  auto spec = qd::data::cifar10_like_spec();
+  const auto dataset = qd::data::make_synthetic(spec);
+  qd::Rng partition_rng(7);
+  auto clients = qd::data::materialize(
+      dataset.train, qd::data::dirichlet_partition(dataset.train, 8, 0.1f, partition_rng));
+
+  qd::nn::ConvNetConfig net;
+  net.in_channels = 3;
+  net.image_size = 12;
+  net.width = 16;
+  net.depth = 2;
+  auto model_rng = std::make_shared<qd::Rng>(11);
+  qd::fl::ModelFactory factory = [model_rng, net] { return qd::nn::make_convnet(net, *model_rng); };
+
+  qd::baselines::HarnessConfig harness;
+  harness.quickdrop.fl_rounds = 30;
+  harness.quickdrop.local_steps = 5;
+  harness.quickdrop.train_lr = 0.05f;
+  harness.quickdrop.scale = 10;
+  harness.quickdrop.unlearn_lr = 0.05f;
+  harness.quickdrop.recover_lr = 0.03f;
+  harness.seed = 13;
+
+  std::printf("training the consortium model (8 hospitals)...\n");
+  auto fed = qd::baselines::train_federation(factory, std::move(clients), dataset.test, harness);
+  auto model = factory();
+  qd::nn::load_state(*model, fed.global);
+  std::printf("consortium model test accuracy: %.1f%%\n\n",
+              100.0 * qd::metrics::accuracy(*model, fed.test));
+
+  // Hospital 2 invokes its right to be forgotten.
+  const int leaving = 2;
+  const auto request = qd::core::UnlearningRequest::for_client(leaving);
+  const auto& leaving_data = fed.client_train()[static_cast<std::size_t>(leaving)];
+  std::printf("hospital %d requests erasure (%d local records)\n\n", leaving,
+              leaving_data.size());
+
+  const auto baseline_cfg = qd::baselines::BaselineConfig{
+      .train_lr = 0.05f, .unlearn_lr = 0.05f, .recover_lr = 0.03f, .local_steps = 5,
+      .batch_size = 32, .participation = 1.0f, .retrain_rounds = 30};
+
+  for (const auto& name : {"Retrain-Or", "QuickDrop"}) {
+    auto method = qd::baselines::make_method(name, baseline_cfg);
+    const auto out = method->unlearn(fed, request);
+    qd::nn::load_state(*model, out.state);
+
+    // Verify: accuracy on the leaving hospital's data should drop toward
+    // what a model that never saw it would achieve, and a membership
+    // inference attack should no longer recognize its records.
+    std::vector<int> rows;
+    for (int i = 0; i < fed.test.size(); ++i) rows.push_back(i);
+    qd::Rng mia_rng(17);
+    qd::data::Dataset retained(leaving_data.image_shape(), leaving_data.num_classes());
+    for (std::size_t i = 0; i < fed.client_train().size(); ++i) {
+      if (static_cast<int>(i) == leaving) continue;
+      retained = retained.empty()
+                     ? fed.client_train()[i]
+                     : qd::data::Dataset::concat(retained, fed.client_train()[i]);
+    }
+    const auto mia = qd::attack::run_mia(*model, retained, fed.test, leaving_data, retained,
+                                         mia_rng);
+    std::printf("%-11s  acc on leaving hospital's data: %5.1f%%  test acc: %5.1f%%  "
+                "MIA member-rate on erased records: %5.1f%%  (%.1fs)\n",
+                name, 100.0 * qd::metrics::accuracy(*model, leaving_data),
+                100.0 * qd::metrics::accuracy(*model, fed.test),
+                100.0 * mia.forget_member_rate,
+                out.unlearn.seconds + out.recovery.seconds);
+  }
+  std::printf("\nQuickDrop erases the hospital's influence at a fraction of retraining cost.\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure plus the test report.
+# Usage: scripts/run_all.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "##### $(basename "$b") #####" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done

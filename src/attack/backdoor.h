@@ -1,0 +1,40 @@
+// Backdoor-based unlearning verification.
+//
+// The paper motivates FU with the need to "quickly eliminate outdated,
+// manipulated, or erroneously included data" (§1). The standard way to
+// demonstrate that a *malicious* client's influence was actually erased is a
+// trigger backdoor: the client stamps a pixel pattern onto its samples and
+// relabels them to a target class; a successfully poisoned model classifies
+// ANY stamped image as the target class. After client-level unlearning the
+// attack success rate must collapse to chance.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace quickdrop::attack {
+
+/// A square high-intensity patch stamped into a corner of the image.
+struct TriggerPattern {
+  int size = 3;          ///< patch side length in pixels
+  float intensity = 3.0f;  ///< pixel value written into the patch
+  /// Patch corner: 0 = top-left, 1 = top-right, 2 = bottom-left, 3 = bottom-right.
+  int corner = 3;
+};
+
+/// Stamps the trigger onto one image tensor [C,H,W] (in place).
+void stamp_trigger(Tensor& image, const TriggerPattern& trigger);
+
+/// Returns a copy of `dataset` where every row is stamped and relabeled to
+/// `target_label` — a fully poisoned client dataset.
+data::Dataset poison_dataset(const data::Dataset& dataset, const TriggerPattern& trigger,
+                             int target_label);
+
+/// Attack success rate: the fraction of non-target-class samples that the
+/// model classifies as `target_label` once stamped. Chance level is roughly
+/// the model's base rate for the target class.
+double backdoor_success_rate(nn::Module& model, const data::Dataset& clean_samples,
+                             const TriggerPattern& trigger, int target_label,
+                             int max_samples = 200);
+
+}  // namespace quickdrop::attack

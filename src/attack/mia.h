@@ -1,0 +1,45 @@
+// Membership inference attack (paper §4.2.3, following Golatkar et al.).
+//
+// A logistic-regression attack model is trained to distinguish members
+// (training samples) from non-members (held-out test samples) using three
+// features of the target model's output on a sample: cross-entropy loss,
+// top-softmax confidence and predictive entropy. MIA accuracy on the forget
+// and retain sets is an alternative unlearning metric to test accuracy: an
+// effectively unlearned model classifies forget-set samples as non-members.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace quickdrop::attack {
+
+struct MiaConfig {
+  int train_steps = 300;
+  int batch_size = 64;
+  float learning_rate = 0.2f;
+  int max_examples_per_side = 400;  ///< cap on member/non-member training rows
+};
+
+struct MiaReport {
+  /// Fraction of forget-set samples the attack classifies as members
+  /// (lower = better unlearning).
+  double forget_member_rate = 0.0;
+  /// Fraction of retain-set samples classified as members (higher = the
+  /// model still knows the retained data).
+  double retain_member_rate = 0.0;
+  /// Attack model's balanced accuracy on held-out member/non-member rows.
+  double attack_accuracy = 0.0;
+};
+
+/// Per-sample attack features: [loss, confidence, entropy], shape [N, 3].
+Tensor mia_features(nn::Module& target, const data::Dataset& dataset,
+                    const std::vector<int>& rows);
+
+/// Trains the attack model on `members` (rows of `member_data`) versus
+/// `non_members` and evaluates member-classification rates on the forget and
+/// retain sets.
+MiaReport run_mia(nn::Module& target, const data::Dataset& member_data,
+                  const data::Dataset& non_member_data, const data::Dataset& forget_set,
+                  const data::Dataset& retain_set, Rng& rng, const MiaConfig& config = {});
+
+}  // namespace quickdrop::attack

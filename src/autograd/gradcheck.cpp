@@ -1,0 +1,74 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+namespace quickdrop::ag {
+namespace {
+
+std::vector<Var> wrap_leaves(const std::vector<Tensor>& inputs) {
+  std::vector<Var> vars;
+  vars.reserve(inputs.size());
+  for (const auto& t : inputs) vars.push_back(Var::leaf(t.clone()));
+  return vars;
+}
+
+double eval_at(const ScalarFn& f, const std::vector<Tensor>& inputs) {
+  const auto vars = wrap_leaves(inputs);
+  return static_cast<double>(f(vars).value().item());
+}
+
+/// First-order probe value: g(x) = sum_j <df/dx_j, r_j> with create_graph.
+Var directional_grad(const ScalarFn& f, const std::vector<Var>& vars,
+                     const std::vector<Tensor>& probes) {
+  const Var out = f(vars);
+  const auto grads = grad(out, std::span<const Var>(vars), {.create_graph = true});
+  Var acc = scalar(0.0f);
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    acc = add(acc, sum_all(mul(grads[j], Var::constant(probes[j]))));
+  }
+  return acc;
+}
+
+}  // namespace
+
+double max_gradient_error(const ScalarFn& f, const std::vector<Tensor>& inputs, float epsilon) {
+  const auto vars = wrap_leaves(inputs);
+  const Var out = f(vars);
+  const auto grads = grad(out, std::span<const Var>(vars));
+
+  double max_err = 0.0;
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    for (std::int64_t i = 0; i < inputs[j].numel(); ++i) {
+      std::vector<Tensor> plus, minus;
+      for (const auto& t : inputs) {
+        plus.push_back(t.clone());
+        minus.push_back(t.clone());
+      }
+      plus[j].at(i) += epsilon;
+      minus[j].at(i) -= epsilon;
+      const double numeric = (eval_at(f, plus) - eval_at(f, minus)) / (2.0 * epsilon);
+      const double analytic = static_cast<double>(grads[j].value().at(i));
+      max_err = std::max(max_err, std::fabs(numeric - analytic));
+    }
+  }
+  return max_err;
+}
+
+double max_second_order_error(const ScalarFn& f, const std::vector<Tensor>& inputs,
+                              float epsilon) {
+  // Deterministic probe: r_j[i] alternates in sign with varying magnitude.
+  std::vector<Tensor> probes;
+  for (const auto& t : inputs) {
+    Tensor r(t.shape());
+    for (std::int64_t i = 0; i < r.numel(); ++i) {
+      r.at(i) = ((i % 2 == 0) ? 1.0f : -1.0f) * (0.5f + 0.1f * static_cast<float>(i % 7));
+    }
+    probes.push_back(r);
+  }
+
+  auto g = [&](const std::vector<Var>& vars) { return directional_grad(f, vars, probes); };
+
+  return max_gradient_error(g, inputs, epsilon);
+}
+
+}  // namespace quickdrop::ag

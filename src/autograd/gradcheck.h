@@ -1,0 +1,27 @@
+// Numeric gradient checking for tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/var.h"
+
+namespace quickdrop::ag {
+
+/// A differentiable scalar function of several tensor inputs. The function is
+/// called with leaf Vars wrapping the current input tensors and must return a
+/// single-element Var.
+using ScalarFn = std::function<Var(const std::vector<Var>&)>;
+
+/// Compares analytic gradients of `f` at `inputs` against central finite
+/// differences. Returns the maximum absolute error across all inputs.
+double max_gradient_error(const ScalarFn& f, const std::vector<Tensor>& inputs,
+                          float epsilon = 1e-2f);
+
+/// Same, but for second-order gradients: checks d/dx of sum_j(df/dx_j * r_j)
+/// for a fixed random-ish probe r, exercising grad() with create_graph=true.
+double max_second_order_error(const ScalarFn& f, const std::vector<Tensor>& inputs,
+                              float epsilon = 1e-2f);
+
+}  // namespace quickdrop::ag

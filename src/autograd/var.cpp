@@ -1,0 +1,158 @@
+#include "autograd/var.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "autograd/ops.h"
+
+namespace quickdrop::ag {
+
+Var Var::leaf(Tensor value) {
+  auto n = std::make_shared<detail::Node>();
+  n->value = std::move(value);
+  n->requires_grad = true;
+  n->op = "leaf";
+  return Var(std::move(n));
+}
+
+Var Var::constant(Tensor value) {
+  auto n = std::make_shared<detail::Node>();
+  n->value = std::move(value);
+  n->requires_grad = false;
+  n->op = "const";
+  return Var(std::move(n));
+}
+
+const Tensor& Var::value() const {
+  if (!node_) throw std::logic_error("Var::value: null Var");
+  return node_->value;
+}
+
+Tensor& Var::mutable_value() {
+  if (!node_) throw std::logic_error("Var::mutable_value: null Var");
+  return node_->value;
+}
+
+bool Var::requires_grad() const { return node_ && node_->requires_grad; }
+
+Var Var::detach() const { return constant(value()); }
+
+Var Var::make_op(const char* op, Tensor value, std::vector<Var> parents, VjpFn vjp) {
+  auto n = std::make_shared<detail::Node>();
+  n->value = std::move(value);
+  n->op = op;
+  bool any_grad = false;
+  n->parents.reserve(parents.size());
+  for (const auto& p : parents) {
+    if (!p.defined()) throw std::logic_error("Var::make_op: null parent");
+    any_grad = any_grad || p.requires_grad();
+    n->parents.push_back(p.node());
+  }
+  n->requires_grad = any_grad;
+  if (any_grad) n->vjp = std::move(vjp);  // constants need no backward closure
+  return Var(std::move(n));
+}
+
+namespace {
+
+using NodePtr = std::shared_ptr<detail::Node>;
+
+/// Topological order (parents before children) of the requires_grad subgraph
+/// reachable from `root`, computed iteratively to avoid deep recursion.
+std::vector<NodePtr> topo_order(const NodePtr& root) {
+  std::vector<NodePtr> order;
+  std::unordered_set<detail::Node*> visited;
+  struct Frame {
+    NodePtr node;
+    std::size_t next_parent = 0;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) stack.push_back({root});
+  while (!stack.empty()) {
+    auto& frame = stack.back();
+    if (frame.next_parent == 0) {
+      if (visited.count(frame.node.get())) {
+        stack.pop_back();
+        continue;
+      }
+    }
+    bool descended = false;
+    while (frame.next_parent < frame.node->parents.size()) {
+      const auto& parent = frame.node->parents[frame.next_parent++];
+      if (parent->requires_grad && !visited.count(parent.get())) {
+        stack.push_back({parent});
+        descended = true;
+        break;
+      }
+    }
+    if (!descended && frame.next_parent >= frame.node->parents.size()) {
+      if (visited.insert(frame.node.get()).second) order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<Var> grad(const Var& output, std::span<const Var> inputs, const GradOptions& options) {
+  if (!output.defined()) throw std::invalid_argument("grad: null output");
+  if (output.value().numel() != 1) {
+    throw std::invalid_argument("grad: output must be a single element, got shape " +
+                                shape_to_string(output.shape()));
+  }
+
+  std::unordered_map<detail::Node*, Var> grads;
+  if (output.requires_grad()) {
+    grads[output.node().get()] = Var::constant(Tensor::full(output.shape(), 1.0f));
+
+    const auto order = topo_order(output.node());
+    // Children appear after their parents; sweep in reverse.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const auto& node = *it;
+      const auto git = grads.find(node.get());
+      if (git == grads.end() || !node->vjp) continue;
+      Var gy = git->second;
+      if (!options.create_graph) gy = gy.detach();
+      const auto parent_grads = node->vjp(gy);
+      if (parent_grads.size() != node->parents.size()) {
+        throw std::logic_error(std::string("grad: vjp arity mismatch in op ") + node->op);
+      }
+      for (std::size_t i = 0; i < node->parents.size(); ++i) {
+        const auto& parent = node->parents[i];
+        const auto& pg = parent_grads[i];
+        if (!parent->requires_grad || !pg.defined()) continue;
+        check_same_shape(pg.shape(), parent->value.shape(),
+                         (std::string("grad: vjp shape for op ") + node->op).c_str());
+        auto existing = grads.find(parent.get());
+        if (existing == grads.end()) {
+          grads.emplace(parent.get(), pg);
+        } else {
+          existing->second = add(existing->second, pg);
+        }
+      }
+    }
+  }
+
+  std::vector<Var> result;
+  result.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    if (!input.defined()) throw std::invalid_argument("grad: null input");
+    const auto it = grads.find(input.node().get());
+    if (it == grads.end()) {
+      result.push_back(Var::constant(Tensor::zeros(input.shape())));
+    } else {
+      result.push_back(options.create_graph ? it->second : it->second.detach());
+    }
+  }
+  return result;
+}
+
+std::vector<Var> grad(const Var& output, std::initializer_list<Var> inputs,
+                      const GradOptions& options) {
+  const std::vector<Var> v(inputs);
+  return grad(output, std::span<const Var>(v), options);
+}
+
+}  // namespace quickdrop::ag

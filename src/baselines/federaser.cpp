@@ -1,0 +1,82 @@
+#include "baselines/federaser.h"
+
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace quickdrop::baselines {
+
+UnlearnOutcome FedEraser::unlearn(TrainedFederation& fed,
+                                  const core::UnlearningRequest& request) {
+  const auto& history = fed.history;
+  if (history.rounds.empty()) {
+    throw std::logic_error("FedEraser: no recorded history (harness must record it)");
+  }
+  const auto retain = original_retain(fed, request);
+
+  UnlearnOutcome out;
+  const Timer timer;
+  const auto model = fed.factory();
+  fl::SgdLocalUpdate calibration(config_.eraser_calibration_steps, config_.batch_size,
+                                 config_.train_lr, nn::UpdateDirection::kDescent);
+  Rng rng(0xBA5E0005ULL);
+  fl::CostMeter cost;
+
+  nn::ModelState state = fed.initial;
+  for (std::size_t r = 0; r < history.rounds.size(); ++r) {
+    // Remaining clients of this round: recorded participants with retain
+    // data. Calibrating only them keeps the cost proportional to the original
+    // round (important under partial participation) and matches the stored
+    // update being recalibrated.
+    std::vector<std::size_t> remaining;
+    std::int64_t remaining_samples = 0;
+    for (std::size_t i = 0; i < retain.size(); ++i) {
+      if (retain[i].empty() || history.updates[r][i].empty()) continue;
+      remaining.push_back(i);
+      remaining_samples += retain[i].size();
+    }
+    if (remaining.empty()) continue;  // the target was the round's only participant
+
+    // Stored aggregated update of the remaining clients in this round.
+    nn::ModelState stored = nn::zeros_like(state);
+    for (const auto i : remaining) {
+      const float w = static_cast<float>(retain[i].size()) /
+                      static_cast<float>(remaining_samples);
+      nn::axpy(stored, history.updates[r][i], w);
+    }
+    const double stored_norm = nn::l2_norm(stored);
+
+    // Calibrated direction: a few local steps of the remaining clients on
+    // their retain data at the *current* reconstructed state.
+    nn::ModelState calibrated = nn::zeros_like(state);
+    for (const auto i : remaining) {
+      nn::load_state(*model, state);
+      Rng client_rng = rng.split(r * 131 + i);
+      calibration.run(*model, retain[i], history.rounds[r], static_cast<int>(i), client_rng,
+                      cost);
+      const float w = static_cast<float>(retain[i].size()) /
+                      static_cast<float>(remaining_samples);
+      nn::axpy(calibrated, nn::subtract(nn::state_of(*model), state), w);
+    }
+    const double calib_norm = nn::l2_norm(calibrated);
+
+    // new_update = |stored| * calibrated / |calibrated|.
+    if (calib_norm > 1e-12) {
+      nn::scale(calibrated, static_cast<float>(stored_norm / calib_norm));
+      nn::axpy(state, calibrated, 1.0f);
+    }
+    ++cost.rounds;
+  }
+  out.after_unlearn = state;
+  out.unlearn.seconds = timer.seconds();
+  out.unlearn.rounds = static_cast<int>(history.rounds.size());
+  out.unlearn.data_size = fl::total_samples(retain);
+  out.unlearn.cost = cost;
+
+  // Short recovery fine-tuning on the retain data.
+  out.state = run_rounds(fed, state, retain, config_.eraser_recovery_rounds, config_.recover_lr,
+                         nn::UpdateDirection::kDescent, &out.recovery, 0x06);
+  return out;
+}
+
+}  // namespace quickdrop::baselines

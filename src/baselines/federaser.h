@@ -1,0 +1,25 @@
+// FedEraser (Liu et al., IWQoS'21): gradient calibration from stored history.
+//
+// During training the harness records, every `interval` rounds, the global
+// state and each client's local update. Unlearning replays training: starting
+// from the initial model, for each recorded round the remaining clients run a
+// few *calibration* local steps on their retain data; the stored aggregated
+// update of the remaining clients supplies the step *magnitude* while the
+// calibrated update supplies the *direction*. A short recovery phase on the
+// retain data follows. Storage grows linearly with clients x rounds, the
+// drawback the paper highlights.
+#pragma once
+
+#include "baselines/method.h"
+
+namespace quickdrop::baselines {
+
+class FedEraser final : public UnlearningMethod {
+ public:
+  explicit FedEraser(BaselineConfig config) : UnlearningMethod(config) {}
+  [[nodiscard]] std::string name() const override { return "FedEraser"; }
+  [[nodiscard]] bool supports(core::UnlearningRequest::Kind) const override { return true; }
+  UnlearnOutcome unlearn(TrainedFederation& fed, const core::UnlearningRequest& request) override;
+};
+
+}  // namespace quickdrop::baselines

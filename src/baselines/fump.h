@@ -1,0 +1,36 @@
+// FU-MP (Wang et al., WWW'22): federated unlearning via class-discriminative
+// channel pruning.
+//
+// The relevance of each output channel of the last convolutional block to
+// each class is scored with TF-IDF over per-class mean activations; the
+// channels most discriminative for the target class are pruned (their
+// filters, biases and normalization affine parameters are zeroed), followed
+// by recovery rounds on the retain data. Pruning irreversibly modifies the
+// model, so FU-MP supports neither client-level unlearning nor relearning.
+#pragma once
+
+#include "baselines/method.h"
+
+namespace quickdrop::baselines {
+
+class FuMp final : public UnlearningMethod {
+ public:
+  explicit FuMp(BaselineConfig config) : UnlearningMethod(config) {}
+  [[nodiscard]] std::string name() const override { return "FU-MP"; }
+  [[nodiscard]] bool supports(core::UnlearningRequest::Kind kind) const override {
+    return kind == core::UnlearningRequest::Kind::kClass;
+  }
+  [[nodiscard]] bool supports_relearning() const override { return false; }
+  UnlearnOutcome unlearn(TrainedFederation& fed, const core::UnlearningRequest& request) override;
+
+  nn::ModelState relearn(TrainedFederation&, const nn::ModelState&,
+                         const core::UnlearningRequest&, StageReport*) override;
+
+  /// TF-IDF class-discrimination scores of the last conv block's channels:
+  /// [num_classes][channels]. Exposed for tests.
+  static std::vector<std::vector<double>> channel_scores(nn::Module& model,
+                                                         const TrainedFederation& fed,
+                                                         int samples_per_class);
+};
+
+}  // namespace quickdrop::baselines

@@ -1,0 +1,88 @@
+#include "baselines/harness.h"
+
+#include "util/timer.h"
+
+namespace quickdrop::baselines {
+
+std::int64_t EraserHistory::byte_size() const {
+  std::int64_t bytes = 0;
+  for (const auto& round : updates) {
+    for (const auto& state : round) bytes += nn::state_bytes(state);
+  }
+  for (const auto& g : globals) bytes += nn::state_bytes(g);
+  return bytes;
+}
+
+TrainedFederation train_federation(fl::ModelFactory factory,
+                                   std::vector<data::Dataset> client_train, data::Dataset test,
+                                   const HarnessConfig& config) {
+  TrainedFederation fed{.factory = factory,
+                        .quickdrop = std::make_shared<core::QuickDrop>(
+                            factory, std::move(client_train), config.quickdrop, config.seed),
+                        .test = std::move(test),
+                        .initial = {},
+                        .global = {},
+                        .history = {},
+                        .train_seconds = 0.0};
+  fed.initial = fed.quickdrop->initial_state();
+  fed.history.interval = config.eraser_interval;
+  const int num_clients = fed.quickdrop->num_clients();
+
+  const Timer timer;
+  fed.global = fed.quickdrop->train(
+      /*callback=*/{},
+      /*client_callback=*/[&](int round, int client, const nn::ModelState& local,
+                              const nn::ModelState& global_before) {
+        if (round % config.eraser_interval != 0) return;
+        auto& h = fed.history;
+        if (h.rounds.empty() || h.rounds.back() != round) {
+          h.rounds.push_back(round);
+          h.globals.push_back(global_before);
+          h.updates.emplace_back(static_cast<std::size_t>(num_clients));
+        }
+        h.updates.back()[static_cast<std::size_t>(client)] = nn::subtract(local, global_before);
+      });
+  fed.train_seconds = timer.seconds();
+  return fed;
+}
+
+namespace {
+
+std::vector<data::Dataset> split_clients(const TrainedFederation& fed,
+                                         const core::UnlearningRequest& request, bool forget) {
+  const auto& clients = fed.client_train();
+  std::vector<data::Dataset> out;
+  out.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const auto& d = clients[i];
+    if (request.kind == core::UnlearningRequest::Kind::kClient) {
+      const bool is_target = static_cast<int>(i) == request.target;
+      if (is_target == forget) {
+        out.push_back(d);
+      } else {
+        out.push_back(data::Dataset(d.image_shape(), d.num_classes()));
+      }
+      continue;
+    }
+    std::vector<int> rows;
+    for (int r = 0; r < d.size(); ++r) {
+      if ((d.label(r) == request.target) == forget) rows.push_back(r);
+    }
+    out.push_back(d.subset(rows));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<data::Dataset> original_forget(const TrainedFederation& fed,
+                                           const core::UnlearningRequest& request) {
+  return split_clients(fed, request, /*forget=*/true);
+}
+
+std::vector<data::Dataset> original_retain(const TrainedFederation& fed,
+                                           const core::UnlearningRequest& request) {
+  return split_clients(fed, request, /*forget=*/false);
+}
+
+}  // namespace quickdrop::baselines

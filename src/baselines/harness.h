@@ -1,0 +1,69 @@
+// Shared training harness for comparing FU methods.
+//
+// The paper's evaluation unlearns from one FL-trained model per setting. The
+// harness trains once with QuickDrop's in-situ distillation (which does not
+// perturb model updates — they use the real-data gradients) while recording
+// the per-round client updates FedEraser needs, so every method starts from
+// the identical trained model.
+#pragma once
+
+#include <memory>
+
+#include "core/quickdrop.h"
+#include "data/partition.h"
+
+namespace quickdrop::baselines {
+
+/// Per-round history recorded for FedEraser (Liu et al., IWQoS'21).
+struct EraserHistory {
+  int interval = 1;  ///< rounds between snapshots
+  /// Round indices of the snapshots.
+  std::vector<int> rounds;
+  /// Global state at the start of each recorded round.
+  std::vector<nn::ModelState> globals;
+  /// updates[r][i] = client i's local update (local - global) in recorded
+  /// round r; empty ModelState when the client did not participate.
+  std::vector<std::vector<nn::ModelState>> updates;
+
+  /// Storage footprint of the recorded updates (the paper's storage-cost
+  /// argument against gradient-calibration methods).
+  [[nodiscard]] std::int64_t byte_size() const;
+};
+
+/// Output of the shared training phase consumed by every UnlearningMethod.
+struct TrainedFederation {
+  fl::ModelFactory factory;
+  std::shared_ptr<core::QuickDrop> quickdrop;  ///< owns synthetic stores & config
+  data::Dataset test;                          ///< global test set
+  nn::ModelState initial;                      ///< state before round 0
+  nn::ModelState global;                       ///< trained model
+  EraserHistory history;
+  double train_seconds = 0.0;
+
+  [[nodiscard]] const std::vector<data::Dataset>& client_train() const {
+    return quickdrop->client_train();
+  }
+  [[nodiscard]] int num_classes() const { return test.num_classes(); }
+};
+
+/// Configuration of the shared harness.
+struct HarnessConfig {
+  core::QuickDropConfig quickdrop;
+  int eraser_interval = 5;  ///< record FedEraser history every k rounds
+  std::uint64_t seed = 1;
+};
+
+/// Trains the federation once; see file comment.
+TrainedFederation train_federation(fl::ModelFactory factory,
+                                   std::vector<data::Dataset> client_train, data::Dataset test,
+                                   const HarnessConfig& config);
+
+/// Per-client *original* forget datasets D_f for a request.
+std::vector<data::Dataset> original_forget(const TrainedFederation& fed,
+                                           const core::UnlearningRequest& request);
+
+/// Per-client *original* retain datasets D \ D_f for a request.
+std::vector<data::Dataset> original_retain(const TrainedFederation& fed,
+                                           const core::UnlearningRequest& request);
+
+}  // namespace quickdrop::baselines

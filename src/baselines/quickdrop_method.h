@@ -1,0 +1,22 @@
+// Adapter exposing core::QuickDrop behind the UnlearningMethod interface so
+// benches can sweep it uniformly against the baselines.
+#pragma once
+
+#include "baselines/method.h"
+
+namespace quickdrop::baselines {
+
+class QuickDropMethod final : public UnlearningMethod {
+ public:
+  explicit QuickDropMethod(BaselineConfig config) : UnlearningMethod(config) {}
+  [[nodiscard]] std::string name() const override { return "QuickDrop"; }
+  [[nodiscard]] bool supports(core::UnlearningRequest::Kind) const override { return true; }
+  UnlearnOutcome unlearn(TrainedFederation& fed, const core::UnlearningRequest& request) override;
+
+  /// Relearning uses the synthetic forget set, keeping QuickDrop's
+  /// computation-efficiency edge (paper §4.7).
+  nn::ModelState relearn(TrainedFederation& fed, const nn::ModelState& state,
+                         const core::UnlearningRequest& request, StageReport* report) override;
+};
+
+}  // namespace quickdrop::baselines

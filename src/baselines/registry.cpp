@@ -1,0 +1,37 @@
+#include "baselines/registry.h"
+
+#include <stdexcept>
+
+#include "baselines/federaser.h"
+#include "baselines/fump.h"
+#include "baselines/quickdrop_method.h"
+#include "baselines/simple_methods.h"
+
+namespace quickdrop::baselines {
+
+std::unique_ptr<UnlearningMethod> make_method(const std::string& name,
+                                              const BaselineConfig& config) {
+  if (name == "QuickDrop") return std::make_unique<QuickDropMethod>(config);
+  if (name == "Retrain-Or") return std::make_unique<RetrainOracle>(config);
+  if (name == "SGA-Or") return std::make_unique<SgaOriginal>(config);
+  if (name == "FedEraser") return std::make_unique<FedEraser>(config);
+  if (name == "FU-MP") return std::make_unique<FuMp>(config);
+  if (name == "S2U") return std::make_unique<S2U>(config);
+  throw std::invalid_argument("make_method: unknown method '" + name + "'");
+}
+
+std::vector<std::string> all_method_names() {
+  return {"Retrain-Or", "FedEraser", "S2U", "SGA-Or", "FU-MP", "QuickDrop"};
+}
+
+std::vector<std::unique_ptr<UnlearningMethod>> methods_for(core::UnlearningRequest::Kind kind,
+                                                           const BaselineConfig& config) {
+  std::vector<std::unique_ptr<UnlearningMethod>> out;
+  for (const auto& name : all_method_names()) {
+    auto method = make_method(name, config);
+    if (method->supports(kind)) out.push_back(std::move(method));
+  }
+  return out;
+}
+
+}  // namespace quickdrop::baselines

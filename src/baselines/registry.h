@@ -1,0 +1,23 @@
+// Method registry: construct any UnlearningMethod by name.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/method.h"
+
+namespace quickdrop::baselines {
+
+/// Known method names: "QuickDrop", "Retrain-Or", "SGA-Or", "FedEraser",
+/// "FU-MP", "S2U". Throws std::invalid_argument for unknown names.
+std::unique_ptr<UnlearningMethod> make_method(const std::string& name,
+                                              const BaselineConfig& config);
+
+/// All method names, QuickDrop last (the tables' presentation order).
+std::vector<std::string> all_method_names();
+
+/// The methods applicable to a request kind, in table order.
+std::vector<std::unique_ptr<UnlearningMethod>> methods_for(core::UnlearningRequest::Kind kind,
+                                                           const BaselineConfig& config);
+
+}  // namespace quickdrop::baselines

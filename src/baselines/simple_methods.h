@@ -1,0 +1,43 @@
+// Retrain-Or, SGA-Or and S2U baselines.
+#pragma once
+
+#include "baselines/method.h"
+
+namespace quickdrop::baselines {
+
+/// Retrain-Or: retrains the model from scratch on D \ D_f — the oracle
+/// (paper §2.3). No recovery stage; the single "unlearning" stage is full
+/// retraining.
+class RetrainOracle final : public UnlearningMethod {
+ public:
+  explicit RetrainOracle(BaselineConfig config) : UnlearningMethod(config) {}
+  [[nodiscard]] std::string name() const override { return "Retrain-Or"; }
+  [[nodiscard]] bool supports(core::UnlearningRequest::Kind) const override { return true; }
+  UnlearnOutcome unlearn(TrainedFederation& fed, const core::UnlearningRequest& request) override;
+};
+
+/// SGA-Or (Wu et al.): stochastic gradient ascent rounds on the original D_f
+/// followed by SGD recovery rounds on the original D \ D_f (Algorithm 1).
+class SgaOriginal final : public UnlearningMethod {
+ public:
+  explicit SgaOriginal(BaselineConfig config) : UnlearningMethod(config) {}
+  [[nodiscard]] std::string name() const override { return "SGA-Or"; }
+  [[nodiscard]] bool supports(core::UnlearningRequest::Kind) const override { return true; }
+  UnlearnOutcome unlearn(TrainedFederation& fed, const core::UnlearningRequest& request) override;
+};
+
+/// S2U (Gao et al., VeriFi): integrated unlearning+recovery rounds in which
+/// every client trains on its original data but the forgetting client's
+/// update is scaled down while the remaining clients' updates are scaled up.
+/// Client-level only.
+class S2U final : public UnlearningMethod {
+ public:
+  explicit S2U(BaselineConfig config) : UnlearningMethod(config) {}
+  [[nodiscard]] std::string name() const override { return "S2U"; }
+  [[nodiscard]] bool supports(core::UnlearningRequest::Kind kind) const override {
+    return kind == core::UnlearningRequest::Kind::kClient;
+  }
+  UnlearnOutcome unlearn(TrainedFederation& fed, const core::UnlearningRequest& request) override;
+};
+
+}  // namespace quickdrop::baselines

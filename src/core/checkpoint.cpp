@@ -1,0 +1,201 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace quickdrop::core {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x51444350'00000002ULL;  // "QDCP" v2
+
+class Writer {
+ public:
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void string(const std::string& s) {
+    u64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  void tensor(const Tensor& t) {
+    u64(t.shape().size());
+    for (const auto d : t.shape()) u64(static_cast<std::uint64_t>(d));
+    const auto offset = bytes_.size();
+    bytes_.resize(offset + t.data().size() * sizeof(float));
+    std::memcpy(bytes_.data() + offset, t.data().data(), t.data().size() * sizeof(float));
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  std::uint64_t u64() {
+    if (pos_ + 8 > bytes_.size()) throw std::invalid_argument("checkpoint: truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  std::string string() {
+    const auto size = u64();
+    if (size > 1 << 20 || pos_ + size > bytes_.size()) {
+      throw std::invalid_argument("checkpoint: bad string");
+    }
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  static_cast<std::size_t>(size));
+    pos_ += static_cast<std::size_t>(size);
+    return s;
+  }
+  Tensor tensor() {
+    const auto rank = u64();
+    if (rank > 8) throw std::invalid_argument("checkpoint: absurd tensor rank");
+    Shape shape(rank);
+    for (auto& d : shape) d = static_cast<std::int64_t>(u64());
+    Tensor t(shape);
+    const auto nbytes = static_cast<std::size_t>(t.numel()) * sizeof(float);
+    if (pos_ + nbytes > bytes_.size()) throw std::invalid_argument("checkpoint: truncated");
+    std::memcpy(t.data().data(), bytes_.data() + pos_, nbytes);
+    pos_ += nbytes;
+    return t;
+  }
+  [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Checkpoint make_checkpoint(const nn::ModelState& global,
+                           const std::vector<SyntheticStore>& stores) {
+  Checkpoint cp;
+  cp.global.reserve(global.size());
+  for (const auto& t : global) cp.global.push_back(t.clone());
+  for (const auto& store : stores) {
+    Checkpoint::ClientStore client;
+    client.num_classes = store.num_classes();
+    client.image_shape = store.image_shape();
+    for (int c = 0; c < store.num_classes(); ++c) {
+      if (store.has_class(c)) {
+        client.synthetic.push_back(store.class_samples(c).clone());
+        // Augmentation set of exactly this class.
+        const auto aug = store.augmentation({c});
+        auto [images, labels] = aug.batch([&] {
+          std::vector<int> rows(static_cast<std::size_t>(aug.size()));
+          for (int i = 0; i < aug.size(); ++i) rows[static_cast<std::size_t>(i)] = i;
+          return rows;
+        }());
+        (void)labels;
+        client.augmentation.push_back(std::move(images));
+      } else {
+        client.synthetic.push_back(Tensor(Shape{0}));
+        client.augmentation.push_back(Tensor(Shape{0}));
+      }
+    }
+    cp.clients.push_back(std::move(client));
+  }
+  return cp;
+}
+
+std::vector<std::uint8_t> serialize_checkpoint(const Checkpoint& cp) {
+  Writer w;
+  w.u64(kMagic);
+  w.u64(cp.metadata.size());
+  for (const auto& [key, value] : cp.metadata) {
+    w.string(key);
+    w.string(value);
+  }
+  w.u64(cp.global.size());
+  for (const auto& t : cp.global) w.tensor(t);
+  w.u64(cp.clients.size());
+  for (const auto& client : cp.clients) {
+    w.u64(static_cast<std::uint64_t>(client.num_classes));
+    w.u64(client.image_shape.size());
+    for (const auto d : client.image_shape) w.u64(static_cast<std::uint64_t>(d));
+    for (int c = 0; c < client.num_classes; ++c) {
+      w.tensor(client.synthetic[static_cast<std::size_t>(c)]);
+      w.tensor(client.augmentation[static_cast<std::size_t>(c)]);
+    }
+  }
+  return w.take();
+}
+
+Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (r.u64() != kMagic) throw std::invalid_argument("checkpoint: bad magic/version");
+  Checkpoint cp;
+  const auto metadata_count = r.u64();
+  if (metadata_count > 1 << 16) throw std::invalid_argument("checkpoint: bad metadata count");
+  for (std::uint64_t i = 0; i < metadata_count; ++i) {
+    const auto key = r.string();
+    cp.metadata[key] = r.string();
+  }
+  const auto params = r.u64();
+  for (std::uint64_t i = 0; i < params; ++i) cp.global.push_back(r.tensor());
+  const auto clients = r.u64();
+  for (std::uint64_t i = 0; i < clients; ++i) {
+    Checkpoint::ClientStore client;
+    client.num_classes = static_cast<int>(r.u64());
+    if (client.num_classes <= 0 || client.num_classes > 1 << 20) {
+      throw std::invalid_argument("checkpoint: bad class count");
+    }
+    const auto rank = r.u64();
+    client.image_shape.resize(rank);
+    for (auto& d : client.image_shape) d = static_cast<std::int64_t>(r.u64());
+    for (int c = 0; c < client.num_classes; ++c) {
+      client.synthetic.push_back(r.tensor());
+      client.augmentation.push_back(r.tensor());
+    }
+    cp.clients.push_back(std::move(client));
+  }
+  if (!r.done()) throw std::invalid_argument("checkpoint: trailing bytes");
+  return cp;
+}
+
+void save_checkpoint(const Checkpoint& cp, const std::string& path) {
+  const auto bytes = serialize_checkpoint(cp);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("load_checkpoint: read failed for " + path);
+  return deserialize_checkpoint(bytes);
+}
+
+std::vector<SyntheticStore> restore_stores(const Checkpoint& cp) {
+  std::vector<SyntheticStore> stores;
+  stores.reserve(cp.clients.size());
+  for (const auto& client : cp.clients) {
+    std::vector<std::optional<Tensor>> synthetic, augmentation;
+    for (int c = 0; c < client.num_classes; ++c) {
+      const auto& s = client.synthetic[static_cast<std::size_t>(c)];
+      const auto& a = client.augmentation[static_cast<std::size_t>(c)];
+      synthetic.push_back(s.numel() > 0 ? std::optional<Tensor>(s.clone()) : std::nullopt);
+      augmentation.push_back(a.numel() > 0 ? std::optional<Tensor>(a.clone()) : std::nullopt);
+    }
+    stores.push_back(SyntheticStore::from_parts(client.image_shape, client.num_classes,
+                                                std::move(synthetic), std::move(augmentation)));
+  }
+  return stores;
+}
+
+}  // namespace quickdrop::core

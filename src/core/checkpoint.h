@@ -1,0 +1,51 @@
+// Checkpointing: persist a trained QuickDrop deployment to disk.
+//
+// The paper's workflow separates training time from unlearning time: the
+// synthetic stores generated during training must survive until unlearning
+// requests arrive, possibly across process restarts. A checkpoint bundles the
+// global model state and every client's synthetic + augmentation data in one
+// versioned binary blob.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/synthetic_store.h"
+#include "nn/state.h"
+
+namespace quickdrop::core {
+
+/// Everything needed to serve unlearning requests later.
+struct Checkpoint {
+  /// Free-form key/value metadata (dataset name, federation config, ...);
+  /// the CLI uses it to make checkpoints self-describing.
+  std::map<std::string, std::string> metadata;
+  nn::ModelState global;
+  /// Per client, per class: synthetic samples (empty tensor when the class is
+  /// absent) and the matching augmentation samples.
+  struct ClientStore {
+    int num_classes = 0;
+    Shape image_shape;
+    std::vector<Tensor> synthetic;     // indexed by class; numel 0 == absent
+    std::vector<Tensor> augmentation;  // same indexing
+  };
+  std::vector<ClientStore> clients;
+};
+
+/// Extracts a checkpointable snapshot from live stores.
+Checkpoint make_checkpoint(const nn::ModelState& global,
+                           const std::vector<SyntheticStore>& stores);
+
+/// Binary round-trip. Throws std::invalid_argument on malformed input.
+std::vector<std::uint8_t> serialize_checkpoint(const Checkpoint& checkpoint);
+Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes);
+
+/// File I/O. Throws std::runtime_error on I/O failure.
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path);
+Checkpoint load_checkpoint(const std::string& path);
+
+/// Rebuilds live stores from a checkpoint (shapes/classes restored exactly).
+std::vector<SyntheticStore> restore_stores(const Checkpoint& checkpoint);
+
+}  // namespace quickdrop::core

@@ -1,0 +1,51 @@
+#include "core/finetune.h"
+
+#include "nn/optimizer.h"
+
+namespace quickdrop::core {
+
+void finetune_store(const fl::ModelFactory& factory, SyntheticStore& store,
+                    const data::Dataset& client_data, const FinetuneConfig& config, Rng& rng,
+                    fl::CostMeter& cost) {
+  if (config.outer_steps <= 0) return;
+  const auto classes = store.present_classes();
+  if (classes.empty()) return;
+
+  for (int f = 0; f < config.outer_steps; ++f) {
+    // Fresh random initialization: matching across many initializations is
+    // what targets generalization rather than one trajectory.
+    const auto model = factory();
+    const auto params = model->parameters();
+
+    for (int t = 0; t < config.inner_steps; ++t) {
+      for (const int c : classes) {
+        const auto rows = client_data.indices_of_class(c);
+        if (rows.empty()) continue;
+        const auto batch_rows =
+            data::Dataset::sample_batch_indices(rows, config.batch_size, rng);
+        auto [images, labels] = client_data.batch(batch_rows);
+        const ag::Var loss = ag::cross_entropy(model->forward_tensor(images), labels);
+        const auto grads = ag::grad(loss, std::span<const ag::Var>(params));
+        cost.add_training(static_cast<std::int64_t>(batch_rows.size()));
+        std::vector<Tensor> grad_tensors;
+        grad_tensors.reserve(grads.size());
+        for (const auto& g : grads) grad_tensors.push_back(g.value());
+        match_synthetic_to_gradient(*model, store.class_samples(c), c, grad_tensors,
+                                    config.distill, cost);
+      }
+      // Advance the probe model on the synthetic data so later matches see
+      // parameters further along a plausible optimization path.
+      const data::Dataset synthetic = store.to_dataset();
+      std::vector<int> pool(static_cast<std::size_t>(synthetic.size()));
+      for (int i = 0; i < synthetic.size(); ++i) pool[static_cast<std::size_t>(i)] = i;
+      const auto rows = data::Dataset::sample_batch_indices(pool, config.batch_size, rng);
+      auto [images, labels] = synthetic.batch(rows);
+      fl::CostMeter synth_cost;  // model-probe steps on synthetic data
+      fl::sgd_step_on_batch(*model, images, labels, config.model_lr,
+                            nn::UpdateDirection::kDescent, synth_cost);
+      cost.add_distillation(synth_cost.sample_grads);
+    }
+  }
+}
+
+}  // namespace quickdrop::core

@@ -1,0 +1,227 @@
+#include "core/quickdrop.h"
+
+#include <stdexcept>
+
+#include "tensor/kernels.h"
+#include "util/timer.h"
+
+namespace quickdrop::core {
+
+QuickDrop::QuickDrop(fl::ModelFactory factory, std::vector<data::Dataset> client_train,
+                     QuickDropConfig config, std::uint64_t seed)
+    : factory_(std::move(factory)),
+      client_train_(std::move(client_train)),
+      config_(config),
+      rng_(seed) {
+  if (client_train_.empty()) throw std::invalid_argument("QuickDrop: no clients");
+  scratch_model_ = factory_();
+  initial_state_ = nn::state_of(*scratch_model_);
+  Rng store_rng = rng_.split(0x5707);
+  stores_.reserve(client_train_.size());
+  for (std::size_t i = 0; i < client_train_.size(); ++i) {
+    Rng client_rng = store_rng.split(i);
+    stores_.emplace_back(client_train_[i], config_.scale, client_rng, config_.synthetic_init);
+  }
+}
+
+nn::ModelState QuickDrop::train(const fl::RoundCallback& callback,
+                                const fl::ClientStateCallback& client_callback) {
+  const Timer timer;
+  DistillingLocalUpdate update(stores_, config_.local_steps, config_.batch_size,
+                               config_.train_lr, config_.distill);
+  fl::FedAvgConfig fed{.rounds = config_.fl_rounds, .participation = config_.participation};
+  Rng fed_rng = rng_.split(0xF1);
+  nn::ModelState global =
+      fl::run_fedavg(*scratch_model_, initial_state_, client_train_, update, fed, fed_rng,
+                     training_stats_.cost, callback, client_callback);
+  distill_seconds_ = update.distill_seconds();
+
+  // Optional fine-tuning of every client's synthetic store (§3.3.2).
+  if (config_.finetune.outer_steps > 0) {
+    const Timer ft_timer;
+    Rng ft_rng = rng_.split(0xF7);
+    for (std::size_t i = 0; i < stores_.size(); ++i) {
+      Rng client_rng = ft_rng.split(i);
+      finetune_store(factory_, stores_[i], client_train_[i], config_.finetune, client_rng,
+                     training_stats_.cost);
+    }
+    distill_seconds_ += ft_timer.seconds();
+  }
+
+  training_stats_.seconds = timer.seconds();
+  training_stats_.rounds = config_.fl_rounds;
+  training_stats_.data_size = fl::total_samples(client_train_);
+  return global;
+}
+
+void QuickDrop::load_stores(std::vector<SyntheticStore> stores) {
+  if (stores.size() != client_train_.size()) {
+    throw std::invalid_argument("QuickDrop::load_stores: need one store per client");
+  }
+  stores_ = std::move(stores);
+}
+
+nn::ModelState QuickDrop::initial_state() const {
+  nn::ModelState copy;
+  copy.reserve(initial_state_.size());
+  for (const auto& t : initial_state_) copy.push_back(t.clone());
+  return copy;
+}
+
+std::vector<data::Dataset> QuickDrop::forget_datasets(const UnlearningRequest& request) const {
+  std::vector<data::Dataset> out;
+  out.reserve(stores_.size());
+  for (std::size_t i = 0; i < stores_.size(); ++i) {
+    if (request.kind == UnlearningRequest::Kind::kClass) {
+      // S_f := union_i S_i^c — every client contributes its class-c samples.
+      out.push_back(stores_[i].to_dataset({request.target}));
+    } else {
+      // S_f := S_i for the target client only.
+      if (static_cast<int>(i) == request.target) {
+        out.push_back(stores_[i].to_dataset());
+      } else {
+        out.push_back(data::Dataset(stores_[i].image_shape(), stores_[i].num_classes()));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<data::Dataset> QuickDrop::retain_datasets(const UnlearningRequest* request) const {
+  std::set<int> dropped_classes = forgotten_classes_;
+  std::set<int> dropped_clients = forgotten_clients_;
+  if (request) {
+    if (request->kind == UnlearningRequest::Kind::kClass) {
+      dropped_classes.insert(request->target);
+    } else {
+      dropped_clients.insert(request->target);
+    }
+  }
+  std::vector<data::Dataset> out;
+  out.reserve(stores_.size());
+  for (std::size_t i = 0; i < stores_.size(); ++i) {
+    if (dropped_clients.count(static_cast<int>(i))) {
+      out.push_back(data::Dataset(stores_[i].image_shape(), stores_[i].num_classes()));
+      continue;
+    }
+    std::vector<int> classes;
+    for (const int c : stores_[i].present_classes()) {
+      if (!dropped_classes.count(c)) classes.push_back(c);
+    }
+    out.push_back(config_.augment_recovery ? stores_[i].augmented_dataset(classes)
+                                           : stores_[i].to_dataset(classes));
+  }
+  return out;
+}
+
+double QuickDrop::forget_accuracy(const data::Dataset& dataset) {
+  if (dataset.empty()) return 0.0;
+  std::vector<int> rows(static_cast<std::size_t>(dataset.size()));
+  for (int i = 0; i < dataset.size(); ++i) rows[static_cast<std::size_t>(i)] = i;
+  auto [images, labels] = dataset.batch(rows);
+  const Tensor logits = scratch_model_->forward_tensor(images).value();
+  const auto preds = kernels::argmax_rows(logits);
+  int correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) correct += preds[i] == labels[i];
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+nn::ModelState QuickDrop::run_phase(const nn::ModelState& start,
+                                    const std::vector<data::Dataset>& client_data, int rounds,
+                                    float lr, nn::UpdateDirection direction, float participation,
+                                    PhaseStats* stats, const fl::RoundCallback& callback) {
+  const Timer timer;
+  fl::SgdLocalUpdate update(config_.unlearn_local_steps, config_.unlearn_batch_size, lr,
+                            direction);
+  fl::FedAvgConfig fed{.rounds = rounds, .participation = participation};
+  fl::CostMeter cost;
+  Rng phase_rng = rng_.split(0xE0 + static_cast<std::uint64_t>(cost.rounds));
+  nn::ModelState result =
+      fl::run_fedavg(*scratch_model_, start, client_data, update, fed, phase_rng, cost, callback);
+  if (stats) {
+    stats->seconds = timer.seconds();
+    stats->cost = cost;
+    stats->rounds = rounds;
+    stats->data_size = fl::total_samples(client_data);
+  }
+  return result;
+}
+
+nn::ModelState QuickDrop::unlearn(const nn::ModelState& state, const UnlearningRequest& request,
+                                  PhaseStats* unlearn_stats, PhaseStats* recovery_stats,
+                                  const fl::RoundCallback& callback) {
+  // Unlearning rounds: SGA on the synthetic forget counterpart S_f.
+  const auto forget = forget_datasets(request);
+  if (fl::total_samples(forget) == 0) {
+    throw std::invalid_argument("QuickDrop::unlearn: no synthetic data for " +
+                                request.to_string());
+  }
+  nn::ModelState current;
+  if (config_.max_unlearn_rounds > config_.unlearn_rounds) {
+    // Verified unlearning: repeat SGA rounds until the synthetic forget set
+    // is actually erased (or the cap is reached).
+    current = state;
+    PhaseStats accumulated;
+    const Timer timer;
+    data::Dataset forget_union = forget.front();
+    for (std::size_t i = 1; i < forget.size(); ++i) {
+      if (!forget[i].empty()) {
+        forget_union = forget_union.empty() ? forget[i]
+                                            : data::Dataset::concat(forget_union, forget[i]);
+      }
+    }
+    int rounds_run = 0;
+    while (rounds_run < config_.max_unlearn_rounds) {
+      PhaseStats step;
+      current = run_phase(current, forget, 1, config_.unlearn_lr,
+                          nn::UpdateDirection::kAscent, 1.0f, &step, callback);
+      accumulated.cost += step.cost;
+      ++rounds_run;
+      if (rounds_run < config_.unlearn_rounds) continue;  // minimum rounds first
+      nn::load_state(*scratch_model_, current);
+      if (forget_accuracy(forget_union) <= config_.unlearn_target_accuracy) break;
+    }
+    accumulated.seconds = timer.seconds();
+    accumulated.rounds = rounds_run;
+    accumulated.data_size = fl::total_samples(forget);
+    if (unlearn_stats) *unlearn_stats = accumulated;
+  } else {
+    current = run_phase(state, forget, config_.unlearn_rounds, config_.unlearn_lr,
+                        nn::UpdateDirection::kAscent, 1.0f, unlearn_stats, callback);
+  }
+
+  // Recovery rounds: SGD on the augmented synthetic retain sets.
+  const auto retain = retain_datasets(&request);
+  if (fl::total_samples(retain) > 0) {
+    current = run_phase(current, retain, config_.recovery_rounds, config_.recover_lr,
+                        nn::UpdateDirection::kDescent, config_.participation, recovery_stats,
+                        callback);
+  }
+
+  if (request.kind == UnlearningRequest::Kind::kClass) {
+    forgotten_classes_.insert(request.target);
+  } else {
+    forgotten_clients_.insert(request.target);
+  }
+  return current;
+}
+
+nn::ModelState QuickDrop::relearn(const nn::ModelState& state, const UnlearningRequest& request,
+                                  PhaseStats* stats) {
+  const auto forget = forget_datasets(request);
+  if (fl::total_samples(forget) == 0) {
+    throw std::invalid_argument("QuickDrop::relearn: no synthetic data for " +
+                                request.to_string());
+  }
+  nn::ModelState current = run_phase(state, forget, config_.relearn_rounds, config_.relearn_lr,
+                                     nn::UpdateDirection::kDescent, config_.participation, stats,
+                                     {});
+  if (request.kind == UnlearningRequest::Kind::kClass) {
+    forgotten_classes_.erase(request.target);
+  } else {
+    forgotten_clients_.erase(request.target);
+  }
+  return current;
+}
+
+}  // namespace quickdrop::core

@@ -1,0 +1,30 @@
+// Unlearning request types (paper §2.2).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace quickdrop::core {
+
+/// A class-level or client-level unlearning (or relearning) request.
+struct UnlearningRequest {
+  enum class Kind { kClass, kClient };
+
+  Kind kind;
+  int target;  ///< class id or client id
+
+  static UnlearningRequest for_class(int class_id) {
+    if (class_id < 0) throw std::invalid_argument("UnlearningRequest: negative class");
+    return {Kind::kClass, class_id};
+  }
+  static UnlearningRequest for_client(int client_id) {
+    if (client_id < 0) throw std::invalid_argument("UnlearningRequest: negative client");
+    return {Kind::kClient, client_id};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return (kind == Kind::kClass ? "class " : "client ") + std::to_string(target);
+  }
+};
+
+}  // namespace quickdrop::core

@@ -1,0 +1,116 @@
+// Sample-level unlearning — the paper's §5.1 future-work direction.
+//
+// QuickDrop proper distills one synthetic set per (client, class) and can
+// therefore only forget whole classes or whole clients. Following the paper's
+// sketch ("consider subsets of data within each class; generate synthetic
+// samples for each subset and unlearn at the granularity of these subsets"),
+// this extension partitions every client's per-class data into K disjoint
+// subsets, distills one synthetic set per (client, class, subset) in situ,
+// and serves a sample-level request by unlearning exactly the subsets that
+// contain the requested samples and recovering on all remaining subsets —
+// including the *same class's* other subsets, which is what preserves class
+// knowledge while erasing specific samples.
+#pragma once
+
+#include <map>
+
+#include "core/quickdrop.h"
+
+namespace quickdrop::core {
+
+/// One client's subset bookkeeping: row -> (class, subset) plus one
+/// synthetic tensor per non-empty (class, subset) cell.
+class SubsetStore {
+ public:
+  /// Partitions each class's rows into `subsets_per_class` random subsets and
+  /// initializes each cell's synthetic tensor with ceil(|cell| / scale)
+  /// random real samples of the cell.
+  SubsetStore(const data::Dataset& client_data, int scale, int subsets_per_class, Rng& rng);
+
+  [[nodiscard]] int subsets_per_class() const { return subsets_per_class_; }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+
+  /// Cell id of a client-local row: class * K + subset.
+  [[nodiscard]] int cell_of_row(int row) const;
+  [[nodiscard]] bool has_cell(int cell) const;
+  [[nodiscard]] Tensor& cell_samples(int cell);
+  [[nodiscard]] int cell_class(int cell) const { return cell / subsets_per_class_; }
+
+  /// Synthetic data of the given cells as a Dataset (true class labels).
+  [[nodiscard]] data::Dataset cells_dataset(const std::vector<int>& cells) const;
+
+  /// All cells, or all cells except the given ones.
+  [[nodiscard]] std::vector<int> all_cells() const;
+  [[nodiscard]] std::vector<int> cells_excluding(const std::vector<int>& excluded) const;
+
+  /// Total synthetic samples across cells.
+  [[nodiscard]] int total_samples() const;
+
+  [[nodiscard]] const Shape& image_shape() const { return image_shape_; }
+
+ private:
+  int num_classes_ = 0;
+  int subsets_per_class_ = 0;
+  Shape image_shape_;
+  std::vector<int> row_cell_;                    // per client-local row
+  std::map<int, Tensor> cells_;                  // cell id -> [m, C, H, W]
+};
+
+/// A sample-level unlearning request: client id -> client-local row indices.
+struct SampleRequest {
+  std::map<int, std::vector<int>> rows_per_client;
+};
+
+/// In-situ distillation at subset granularity: like DistillingLocalUpdate but
+/// batches are grouped per cell instead of per class.
+class SubsetDistillingUpdate final : public fl::ClientUpdate {
+ public:
+  SubsetDistillingUpdate(std::vector<SubsetStore>& stores, int local_steps, int batch_size,
+                         float model_learning_rate, DistillConfig distill);
+
+  void run(nn::Module& model, const data::Dataset& dataset, int round, int client_id, Rng& rng,
+           fl::CostMeter& cost) override;
+
+ private:
+  std::vector<SubsetStore>& stores_;
+  int local_steps_;
+  int batch_size_;
+  float model_lr_;
+  DistillConfig distill_;
+};
+
+/// End-to-end coordinator for sample-level QuickDrop.
+class SampleLevelQuickDrop {
+ public:
+  /// `config` supplies the FL/unlearning hyperparameters (scale applies
+  /// within each cell); `subsets_per_class` is the paper's K.
+  SampleLevelQuickDrop(fl::ModelFactory factory, std::vector<data::Dataset> client_train,
+                       QuickDropConfig config, int subsets_per_class, std::uint64_t seed);
+
+  /// FL training with in-situ subset-granular distillation.
+  nn::ModelState train(const fl::RoundCallback& callback = {});
+
+  /// SGA on the cells containing the requested samples, then recovery on all
+  /// other cells. Cells stay marked forgotten for later requests.
+  nn::ModelState unlearn(const nn::ModelState& state, const SampleRequest& request,
+                         PhaseStats* unlearn_stats = nullptr,
+                         PhaseStats* recovery_stats = nullptr);
+
+  [[nodiscard]] const std::vector<SubsetStore>& stores() const { return stores_; }
+  [[nodiscard]] int num_clients() const { return static_cast<int>(client_train_.size()); }
+  [[nodiscard]] const std::vector<data::Dataset>& client_train() const { return client_train_; }
+
+  /// The cells a request touches, per client (exposed for tests).
+  [[nodiscard]] std::map<int, std::vector<int>> affected_cells(const SampleRequest& request) const;
+
+ private:
+  fl::ModelFactory factory_;
+  std::vector<data::Dataset> client_train_;
+  QuickDropConfig config_;
+  Rng rng_;
+  std::vector<SubsetStore> stores_;
+  std::unique_ptr<nn::Module> scratch_model_;
+  std::vector<std::vector<int>> forgotten_cells_;  // per client
+};
+
+}  // namespace quickdrop::core

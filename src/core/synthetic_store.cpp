@@ -1,0 +1,156 @@
+#include "core/synthetic_store.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace quickdrop::core {
+namespace {
+
+Shape stacked(const Shape& image_shape, std::int64_t m) {
+  Shape s{m};
+  s.insert(s.end(), image_shape.begin(), image_shape.end());
+  return s;
+}
+
+Tensor stack_rows(const data::Dataset& dataset, const std::vector<int>& rows) {
+  auto [images, labels] = dataset.batch(rows);
+  (void)labels;
+  return images;
+}
+
+}  // namespace
+
+SyntheticStore::SyntheticStore(const data::Dataset& client_data, int scale, Rng& rng,
+                               SyntheticInit init)
+    : num_classes_(client_data.num_classes()), image_shape_(client_data.image_shape()) {
+  if (scale <= 0) throw std::invalid_argument("SyntheticStore: scale must be positive");
+  per_class_.resize(static_cast<std::size_t>(num_classes_));
+  augment_.resize(static_cast<std::size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto rows = client_data.indices_of_class(c);
+    if (rows.empty()) continue;
+    // ceil(|D_i^c| / s) synthetic samples; at least one when the class exists.
+    const int m = static_cast<int>((rows.size() + static_cast<std::size_t>(scale) - 1) /
+                                   static_cast<std::size_t>(scale));
+    const auto synth_rows = data::Dataset::sample_batch_indices(rows, m, rng);
+    if (init == SyntheticInit::kRealSamples) {
+      per_class_[static_cast<std::size_t>(c)] = stack_rows(client_data, synth_rows).clone();
+    } else {
+      per_class_[static_cast<std::size_t>(c)] = Tensor::randn(stacked(image_shape_, m), rng);
+    }
+    const auto aug_rows = data::Dataset::sample_batch_indices(rows, m, rng);
+    augment_[static_cast<std::size_t>(c)] = stack_rows(client_data, aug_rows).clone();
+  }
+}
+
+SyntheticStore SyntheticStore::from_parts(Shape image_shape, int num_classes,
+                                          std::vector<std::optional<Tensor>> synthetic,
+                                          std::vector<std::optional<Tensor>> augmentation) {
+  if (num_classes <= 0 ||
+      synthetic.size() != static_cast<std::size_t>(num_classes) ||
+      augmentation.size() != static_cast<std::size_t>(num_classes)) {
+    throw std::invalid_argument("SyntheticStore::from_parts: bad arity");
+  }
+  SyntheticStore store;
+  store.num_classes_ = num_classes;
+  store.image_shape_ = std::move(image_shape);
+  const Shape expected_tail = store.image_shape_;
+  auto validate = [&](std::optional<Tensor>& t) {
+    if (t && t->numel() == 0) t.reset();
+    if (!t) return;
+    const auto& s = t->shape();
+    if (s.size() != expected_tail.size() + 1 ||
+        !std::equal(expected_tail.begin(), expected_tail.end(), s.begin() + 1)) {
+      throw std::invalid_argument("SyntheticStore::from_parts: sample shape mismatch");
+    }
+  };
+  for (auto& t : synthetic) validate(t);
+  for (auto& t : augmentation) validate(t);
+  store.per_class_ = std::move(synthetic);
+  store.augment_ = std::move(augmentation);
+  return store;
+}
+
+bool SyntheticStore::has_class(int c) const {
+  return c >= 0 && c < num_classes_ && per_class_[static_cast<std::size_t>(c)].has_value();
+}
+
+Tensor& SyntheticStore::class_samples(int c) {
+  if (!has_class(c)) throw std::out_of_range("SyntheticStore: class absent");
+  return *per_class_[static_cast<std::size_t>(c)];
+}
+
+const Tensor& SyntheticStore::class_samples(int c) const {
+  if (!has_class(c)) throw std::out_of_range("SyntheticStore: class absent");
+  return *per_class_[static_cast<std::size_t>(c)];
+}
+
+int SyntheticStore::class_count(int c) const {
+  return has_class(c) ? static_cast<int>(per_class_[static_cast<std::size_t>(c)]->dim(0)) : 0;
+}
+
+namespace {
+data::Dataset dataset_from(const std::vector<std::optional<Tensor>>& per_class,
+                           const std::vector<int>& classes, const Shape& image_shape,
+                           int num_classes) {
+  std::int64_t m = 0;
+  for (const int c : classes) {
+    if (c < 0 || c >= num_classes) throw std::out_of_range("SyntheticStore: class out of range");
+    if (per_class[static_cast<std::size_t>(c)]) m += per_class[static_cast<std::size_t>(c)]->dim(0);
+  }
+  Tensor images(stacked(image_shape, m));
+  std::vector<int> labels;
+  labels.reserve(static_cast<std::size_t>(m));
+  const std::int64_t stride = numel(image_shape);
+  std::int64_t row = 0;
+  for (const int c : classes) {
+    const auto& opt = per_class[static_cast<std::size_t>(c)];
+    if (!opt) continue;
+    std::memcpy(images.data().data() + row * stride, opt->data().data(),
+                opt->data().size() * sizeof(float));
+    row += opt->dim(0);
+    labels.insert(labels.end(), static_cast<std::size_t>(opt->dim(0)), c);
+  }
+  return data::Dataset(std::move(images), std::move(labels), num_classes);
+}
+}  // namespace
+
+data::Dataset SyntheticStore::to_dataset(const std::vector<int>& classes) const {
+  return dataset_from(per_class_, classes, image_shape_, num_classes_);
+}
+
+data::Dataset SyntheticStore::to_dataset() const { return to_dataset(present_classes()); }
+
+data::Dataset SyntheticStore::augmentation(const std::vector<int>& classes) const {
+  return dataset_from(augment_, classes, image_shape_, num_classes_);
+}
+
+data::Dataset SyntheticStore::augmented_dataset(const std::vector<int>& classes) const {
+  return data::Dataset::concat(to_dataset(classes), augmentation(classes));
+}
+
+int SyntheticStore::total_samples() const {
+  int n = 0;
+  for (const auto& opt : per_class_) {
+    if (opt) n += static_cast<int>(opt->dim(0));
+  }
+  return n;
+}
+
+std::int64_t SyntheticStore::byte_size() const {
+  std::int64_t bytes = 0;
+  for (const auto& opt : per_class_) {
+    if (opt) bytes += opt->numel() * static_cast<std::int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+std::vector<int> SyntheticStore::present_classes() const {
+  std::vector<int> out;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (has_class(c)) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace quickdrop::core

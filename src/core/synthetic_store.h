@@ -1,0 +1,79 @@
+// Per-client synthetic dataset store (paper §3.1-3.2).
+//
+// Each client holds a per-class synthetic counterpart S_i^c of its original
+// per-class data D_i^c with |S_i^c| = ceil(|D_i^c| / s) for scale parameter s
+// (paper: s=100, i.e. ~1% of the data volume). Samples are initialized from
+// random real samples of the class and subsequently optimized by gradient
+// matching. The store also keeps the 1:1 original-sample augmentation sets
+// used during recovery (paper §3.3.1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace quickdrop::core {
+
+/// How synthetic samples are initialized before gradient matching.
+enum class SyntheticInit {
+  kRealSamples,    ///< random real samples of the class (paper default, §4.1)
+  kGaussianNoise,  ///< i.i.d. N(0,1) pixels (the paper found this weaker)
+};
+
+class SyntheticStore {
+ public:
+  /// Builds the store from one client's training data. The synthetic samples
+  /// of class c are initialized per `init`; the augmentation set holds an
+  /// equally sized random selection of real samples.
+  SyntheticStore(const data::Dataset& client_data, int scale, Rng& rng,
+                 SyntheticInit init = SyntheticInit::kRealSamples);
+
+  /// Reassembles a store from raw per-class tensors (e.g. from a checkpoint).
+  /// Entries without a value (or with zero rows) mean the class is absent.
+  static SyntheticStore from_parts(Shape image_shape, int num_classes,
+                                   std::vector<std::optional<Tensor>> synthetic,
+                                   std::vector<std::optional<Tensor>> augmentation);
+
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  [[nodiscard]] bool has_class(int c) const;
+
+  /// Synthetic samples of class c as an [m_c, C, H, W] tensor (mutable: the
+  /// distiller optimizes these pixels in place via shared storage).
+  [[nodiscard]] Tensor& class_samples(int c);
+  [[nodiscard]] const Tensor& class_samples(int c) const;
+  [[nodiscard]] int class_count(int c) const;
+
+  /// Synthetic data of the given classes as a Dataset (empty selection ok).
+  [[nodiscard]] data::Dataset to_dataset(const std::vector<int>& classes) const;
+  /// All synthetic data.
+  [[nodiscard]] data::Dataset to_dataset() const;
+
+  /// Real-sample augmentation set restricted to the given classes.
+  [[nodiscard]] data::Dataset augmentation(const std::vector<int>& classes) const;
+
+  /// Synthetic data of `classes` mixed 1:1 with augmentation samples — the
+  /// recovery-phase dataset of §3.3.1.
+  [[nodiscard]] data::Dataset augmented_dataset(const std::vector<int>& classes) const;
+
+  /// Total number of synthetic samples.
+  [[nodiscard]] int total_samples() const;
+
+  /// Storage footprint of the synthetic data in bytes.
+  [[nodiscard]] std::int64_t byte_size() const;
+
+  [[nodiscard]] const Shape& image_shape() const { return image_shape_; }
+
+  /// Classes with at least one synthetic sample.
+  [[nodiscard]] std::vector<int> present_classes() const;
+
+ private:
+  SyntheticStore() = default;  // for from_parts
+
+  int num_classes_ = 0;
+  Shape image_shape_;
+  std::vector<std::optional<Tensor>> per_class_;  // [m_c, C, H, W]
+  std::vector<std::optional<Tensor>> augment_;    // same shapes as per_class_
+};
+
+}  // namespace quickdrop::core

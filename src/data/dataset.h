@@ -1,0 +1,61 @@
+// In-memory labeled image dataset.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace quickdrop::data {
+
+/// Immutable-after-construction collection of images [C,H,W] with integer
+/// labels, stored contiguously as [M,C,H,W].
+class Dataset {
+ public:
+  /// Empty dataset with the given geometry (images added via append helpers
+  /// on construction paths below).
+  Dataset(Shape image_shape, int num_classes);
+
+  /// Wraps existing storage; images is [M,C,H,W], labels.size() == M.
+  Dataset(Tensor images, std::vector<int> labels, int num_classes);
+
+  [[nodiscard]] int size() const { return static_cast<int>(labels_.size()); }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  /// Shape of one image, e.g. [3, 12, 12].
+  [[nodiscard]] const Shape& image_shape() const { return image_shape_; }
+  [[nodiscard]] int label(int i) const { return labels_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const std::vector<int>& labels() const { return labels_; }
+
+  /// A single image as a [C,H,W] tensor (deep copy).
+  [[nodiscard]] Tensor image(int i) const;
+
+  /// Stacks the given rows into a batch: ([B,C,H,W], labels).
+  [[nodiscard]] std::pair<Tensor, std::vector<int>> batch(const std::vector<int>& indices) const;
+
+  /// Indices of all samples with the given class label.
+  [[nodiscard]] std::vector<int> indices_of_class(int c) const;
+
+  /// Per-class sample counts.
+  [[nodiscard]] std::vector<int> class_counts() const;
+
+  /// New dataset holding deep copies of the given rows.
+  [[nodiscard]] Dataset subset(const std::vector<int>& indices) const;
+
+  /// Concatenation of two datasets with identical geometry.
+  [[nodiscard]] static Dataset concat(const Dataset& a, const Dataset& b);
+
+  /// Samples a batch of `batch_size` indices uniformly from `pool` without
+  /// replacement (or all of pool when it is smaller).
+  static std::vector<int> sample_batch_indices(const std::vector<int>& pool, int batch_size,
+                                               Rng& rng);
+
+ private:
+  Shape image_shape_;
+  int num_classes_;
+  Tensor images_;  // [M,C,H,W]
+  std::vector<int> labels_;
+};
+
+}  // namespace quickdrop::data

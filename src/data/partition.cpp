@@ -1,0 +1,80 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace quickdrop::data {
+
+Partition dirichlet_partition(const Dataset& dataset, int num_clients, float alpha, Rng& rng) {
+  if (num_clients <= 0) throw std::invalid_argument("dirichlet_partition: num_clients must be positive");
+  if (dataset.size() < num_clients) {
+    throw std::invalid_argument("dirichlet_partition: fewer samples than clients");
+  }
+  Partition partition(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < dataset.num_classes(); ++c) {
+    auto rows = dataset.indices_of_class(c);
+    if (rows.empty()) continue;
+    rng.shuffle(rows);
+    const auto shares = rng.dirichlet(alpha, num_clients);
+    // Cumulative split of the shuffled class rows by the Dirichlet shares.
+    std::size_t start = 0;
+    float cumulative = 0.0f;
+    for (int i = 0; i < num_clients; ++i) {
+      cumulative += shares[static_cast<std::size_t>(i)];
+      const auto end = i + 1 == num_clients
+                           ? rows.size()
+                           : std::min(rows.size(), static_cast<std::size_t>(
+                                                       cumulative * static_cast<float>(rows.size())));
+      for (std::size_t r = start; r < end; ++r) {
+        partition[static_cast<std::size_t>(i)].push_back(rows[r]);
+      }
+      start = std::max(start, end);
+    }
+  }
+  // No client may be empty: steal one sample from the largest client.
+  for (auto& client : partition) {
+    while (client.empty()) {
+      auto largest = std::max_element(
+          partition.begin(), partition.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      if (largest->size() <= 1) throw std::logic_error("dirichlet_partition: cannot balance");
+      client.push_back(largest->back());
+      largest->pop_back();
+    }
+  }
+  return partition;
+}
+
+Partition iid_partition(const Dataset& dataset, int num_clients, Rng& rng) {
+  if (num_clients <= 0) throw std::invalid_argument("iid_partition: num_clients must be positive");
+  if (dataset.size() < num_clients) {
+    throw std::invalid_argument("iid_partition: fewer samples than clients");
+  }
+  const auto order = rng.permutation(dataset.size());
+  Partition partition(static_cast<std::size_t>(num_clients));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    partition[i % static_cast<std::size_t>(num_clients)].push_back(order[i]);
+  }
+  return partition;
+}
+
+std::vector<Dataset> materialize(const Dataset& dataset, const Partition& partition) {
+  std::vector<Dataset> out;
+  out.reserve(partition.size());
+  for (const auto& indices : partition) out.push_back(dataset.subset(indices));
+  return out;
+}
+
+double label_skew(const Dataset& dataset, const Partition& partition) {
+  double total = 0.0;
+  for (const auto& client : partition) {
+    if (client.empty()) continue;
+    std::vector<int> counts(static_cast<std::size_t>(dataset.num_classes()), 0);
+    for (const int i : client) ++counts[static_cast<std::size_t>(dataset.label(i))];
+    total += static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+             static_cast<double>(client.size());
+  }
+  return total / static_cast<double>(partition.size());
+}
+
+}  // namespace quickdrop::data

@@ -1,0 +1,31 @@
+// Client data partitioners for federated simulation.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace quickdrop::data {
+
+/// Per-client row indices into a parent dataset.
+using Partition = std::vector<std::vector<int>>;
+
+/// Dirichlet(alpha) label-skew partition (Hsu et al. 2019): for every class,
+/// client shares are drawn from Dirichlet(alpha); lower alpha means more
+/// heterogeneity. Guarantees every client at least one sample by stealing
+/// from the largest client when necessary.
+Partition dirichlet_partition(const Dataset& dataset, int num_clients, float alpha, Rng& rng);
+
+/// Uniform IID partition: a global shuffle dealt round-robin.
+Partition iid_partition(const Dataset& dataset, int num_clients, Rng& rng);
+
+/// Materializes per-client datasets from a partition.
+std::vector<Dataset> materialize(const Dataset& dataset, const Partition& partition);
+
+/// Summary statistic used in tests: average over clients of the fraction of a
+/// client's data held in its single largest class. 1.0 = every client holds
+/// one class only; ~1/num_classes = perfectly uniform.
+double label_skew(const Dataset& dataset, const Partition& partition);
+
+}  // namespace quickdrop::data

@@ -1,0 +1,49 @@
+// Synthetic image-classification datasets.
+//
+// The evaluation machine is offline, so the paper's MNIST / CIFAR-10 / SVHN
+// are replaced by deterministic generators calibrated to the same accuracy
+// regime (see DESIGN.md §2). Each class is a mixture of band-limited spatial
+// patterns plus per-channel bias; samples perturb the pattern with circular
+// shifts and Gaussian pixel noise. Difficulty is controlled by the noise and
+// shift magnitudes.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace quickdrop::data {
+
+/// Parameters of a synthetic dataset.
+struct SyntheticSpec {
+  int num_classes = 10;
+  int channels = 3;
+  int image_size = 12;
+  int train_per_class = 100;
+  int test_per_class = 40;
+  float noise = 0.6f;        ///< stddev of additive pixel noise
+  int max_shift = 2;         ///< max circular shift per axis (sample-level)
+  std::uint64_t seed = 1234;  ///< class prototypes and samples derive from this
+
+  void validate() const;
+};
+
+/// Train/test pair drawn from one generator.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generates a dataset according to `spec`.
+TrainTest make_synthetic(const SyntheticSpec& spec);
+
+/// Stand-ins for the paper's three benchmark datasets.
+/// MNIST-like: 1 channel, easy (low noise), target accuracy ~95%.
+SyntheticSpec mnist_like_spec();
+/// CIFAR-10-like: 3 channels, hard (high noise), target accuracy ~70-80%.
+SyntheticSpec cifar10_like_spec();
+/// SVHN-like: 3 channels, medium difficulty, more samples per class.
+SyntheticSpec svhn_like_spec();
+
+/// Looks up one of the named specs ("mnist" | "cifar10" | "svhn").
+SyntheticSpec spec_by_name(const std::string& name);
+
+}  // namespace quickdrop::data

@@ -1,0 +1,88 @@
+#include "fl/client_update.h"
+
+#include <stdexcept>
+
+namespace quickdrop::fl {
+
+SgdLocalUpdate::SgdLocalUpdate(int local_steps, int batch_size, float learning_rate,
+                               nn::UpdateDirection direction)
+    : local_steps_(local_steps),
+      batch_size_(batch_size),
+      learning_rate_(learning_rate),
+      direction_(direction) {
+  if (local_steps <= 0 || batch_size <= 0 || learning_rate <= 0.0f) {
+    throw std::invalid_argument("SgdLocalUpdate: bad hyperparameters");
+  }
+}
+
+float sgd_step_on_batch(nn::Module& model, const Tensor& images, const std::vector<int>& labels,
+                        float learning_rate, nn::UpdateDirection direction, CostMeter& cost) {
+  const auto params = model.parameters();
+  const ag::Var logits = model.forward_tensor(images);
+  const ag::Var loss = ag::cross_entropy(logits, labels);
+  const auto grads = ag::grad(loss, std::span<const ag::Var>(params));
+  nn::Sgd optimizer(params, learning_rate);
+  optimizer.step(grads, direction);
+  cost.add_training(static_cast<std::int64_t>(labels.size()));
+  return loss.value().item();
+}
+
+FedProxLocalUpdate::FedProxLocalUpdate(int local_steps, int batch_size, float learning_rate,
+                                       float mu)
+    : local_steps_(local_steps),
+      batch_size_(batch_size),
+      learning_rate_(learning_rate),
+      mu_(mu) {
+  if (local_steps <= 0 || batch_size <= 0 || learning_rate <= 0.0f || mu < 0.0f) {
+    throw std::invalid_argument("FedProxLocalUpdate: bad hyperparameters");
+  }
+}
+
+void FedProxLocalUpdate::run(nn::Module& model, const data::Dataset& dataset, int round,
+                             int client_id, Rng& rng, CostMeter& cost) {
+  (void)round;
+  (void)client_id;
+  if (dataset.empty()) return;
+  const auto params = model.parameters();
+  // Anchor: the global state the client started this round from.
+  std::vector<Tensor> anchor;
+  anchor.reserve(params.size());
+  for (const auto& p : params) anchor.push_back(p.value().clone());
+
+  std::vector<int> pool(static_cast<std::size_t>(dataset.size()));
+  for (int i = 0; i < dataset.size(); ++i) pool[static_cast<std::size_t>(i)] = i;
+  nn::Sgd optimizer(params, learning_rate_);
+  for (int t = 0; t < local_steps_; ++t) {
+    const auto rows = data::Dataset::sample_batch_indices(pool, batch_size_, rng);
+    auto [images, labels] = dataset.batch(rows);
+    const ag::Var loss = ag::cross_entropy(model.forward_tensor(images), labels);
+    const auto grads = ag::grad(loss, std::span<const ag::Var>(params));
+    cost.add_training(static_cast<std::int64_t>(labels.size()));
+    // g + mu * (w - w_global), applied as one descent step.
+    std::vector<Tensor> adjusted;
+    adjusted.reserve(grads.size());
+    for (std::size_t i = 0; i < grads.size(); ++i) {
+      Tensor g = grads[i].value().clone();
+      g.add_(params[i].value(), mu_);
+      g.add_(anchor[i], -mu_);
+      adjusted.push_back(std::move(g));
+    }
+    optimizer.step_tensors(adjusted, nn::UpdateDirection::kDescent);
+  }
+}
+
+void SgdLocalUpdate::run(nn::Module& model, const data::Dataset& dataset, int round,
+                         int client_id, Rng& rng, CostMeter& cost) {
+  (void)round;
+  (void)client_id;
+  if (dataset.empty()) return;
+  std::vector<int> pool(static_cast<std::size_t>(dataset.size()));
+  for (int i = 0; i < dataset.size(); ++i) pool[static_cast<std::size_t>(i)] = i;
+  for (int t = 0; t < local_steps_; ++t) {
+    const auto rows = data::Dataset::sample_batch_indices(pool, batch_size_, rng);
+    auto [images, labels] = dataset.batch(rows);
+    sgd_step_on_batch(model, images, labels, learning_rate_, direction_, cost);
+  }
+}
+
+}  // namespace quickdrop::fl

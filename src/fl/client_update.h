@@ -1,0 +1,74 @@
+// Client-side local update strategies.
+//
+// A FedAvg round hands each participating client a model initialized with the
+// global state; the ClientUpdate strategy mutates it in place. Standard FL
+// training, SGA unlearning and QuickDrop's in-situ distillation are all
+// strategies behind this interface.
+#pragma once
+
+#include "data/dataset.h"
+#include "fl/cost.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace quickdrop::fl {
+
+/// One client's local work within a round.
+class ClientUpdate {
+ public:
+  virtual ~ClientUpdate() = default;
+
+  /// Performs local steps on `model` using the client's `dataset`.
+  /// `round`/`client_id` identify the invocation (for RNG splitting and
+  /// telemetry); `cost` accumulates gradient computations.
+  virtual void run(nn::Module& model, const data::Dataset& dataset, int round, int client_id,
+                   Rng& rng, CostMeter& cost) = 0;
+};
+
+/// Plain mini-batch SGD (or SGA) local steps — Algorithm 1's inner loop.
+class SgdLocalUpdate : public ClientUpdate {
+ public:
+  SgdLocalUpdate(int local_steps, int batch_size, float learning_rate,
+                 nn::UpdateDirection direction = nn::UpdateDirection::kDescent);
+
+  void run(nn::Module& model, const data::Dataset& dataset, int round, int client_id, Rng& rng,
+           CostMeter& cost) override;
+
+  [[nodiscard]] int local_steps() const { return local_steps_; }
+  [[nodiscard]] int batch_size() const { return batch_size_; }
+  [[nodiscard]] float learning_rate() const { return learning_rate_; }
+  [[nodiscard]] nn::UpdateDirection direction() const { return direction_; }
+
+ private:
+  int local_steps_;
+  int batch_size_;
+  float learning_rate_;
+  nn::UpdateDirection direction_;
+};
+
+/// FedProx local steps (Li et al., MLSys'20): minimizes the local loss plus a
+/// proximal term (mu/2)||w - w_global||^2 that anchors clients to the global
+/// model — the standard remedy for client drift under heterogeneous data.
+class FedProxLocalUpdate final : public ClientUpdate {
+ public:
+  FedProxLocalUpdate(int local_steps, int batch_size, float learning_rate, float mu);
+
+  void run(nn::Module& model, const data::Dataset& dataset, int round, int client_id, Rng& rng,
+           CostMeter& cost) override;
+
+  [[nodiscard]] float mu() const { return mu_; }
+
+ private:
+  int local_steps_;
+  int batch_size_;
+  float learning_rate_;
+  float mu_;
+};
+
+/// Executes one SGD/SGA step of `model` on the given batch; returns the loss.
+/// Shared by every strategy in the library.
+float sgd_step_on_batch(nn::Module& model, const Tensor& images, const std::vector<int>& labels,
+                        float learning_rate, nn::UpdateDirection direction, CostMeter& cost);
+
+}  // namespace quickdrop::fl

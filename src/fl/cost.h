@@ -1,0 +1,47 @@
+// Computation cost accounting.
+//
+// The paper's headline result is a speedup ratio driven by how many sample
+// gradients each method computes. Besides wall-clock time (hardware
+// dependent), we count per-sample gradient computations so ratios are
+// auditable and machine independent.
+#pragma once
+
+#include <cstdint>
+
+namespace quickdrop::fl {
+
+/// Accumulates gradient-computation counts for one phase of an algorithm.
+struct CostMeter {
+  /// Sample-gradient computations used for model training/unlearning.
+  std::int64_t sample_grads = 0;
+  /// Sample-gradient computations spent on dataset distillation (the
+  /// synthetic-batch gradients and matching updates of Algorithm 2).
+  std::int64_t distill_sample_grads = 0;
+  /// Number of FedAvg rounds executed.
+  int rounds = 0;
+  /// Communication: bytes uploaded by clients (local states) and downloaded
+  /// from the server (global states), accumulated per participating client.
+  std::int64_t bytes_up = 0;
+  std::int64_t bytes_down = 0;
+
+  void add_training(std::int64_t samples) { sample_grads += samples; }
+  void add_distillation(std::int64_t samples) { distill_sample_grads += samples; }
+  void add_exchange(std::int64_t up, std::int64_t down) {
+    bytes_up += up;
+    bytes_down += down;
+  }
+
+  [[nodiscard]] std::int64_t total() const { return sample_grads + distill_sample_grads; }
+  [[nodiscard]] std::int64_t total_bytes() const { return bytes_up + bytes_down; }
+
+  CostMeter& operator+=(const CostMeter& other) {
+    sample_grads += other.sample_grads;
+    distill_sample_grads += other.distill_sample_grads;
+    rounds += other.rounds;
+    bytes_up += other.bytes_up;
+    bytes_down += other.bytes_down;
+    return *this;
+  }
+};
+
+}  // namespace quickdrop::fl

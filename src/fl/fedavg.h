@@ -1,0 +1,60 @@
+// FedAvg round execution — the shared engine for FL training, SGA unlearning
+// rounds, recovery rounds, relearning rounds and all baselines.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/client_update.h"
+#include "fl/cost.h"
+#include "nn/state.h"
+
+namespace quickdrop::fl {
+
+/// Builds a fresh model of the experiment's architecture. Parameter values do
+/// not matter — the runner immediately loads a state — but shapes must match.
+using ModelFactory = std::function<std::unique_ptr<nn::Module>()>;
+
+/// Invoked after each aggregation with the round index and new global state.
+using RoundCallback = std::function<void(int round, const nn::ModelState& state)>;
+
+/// Invoked after each client's local update with the client's resulting local
+/// state and the global state it started from. FedEraser uses this to record
+/// historical parameter updates during training.
+using ClientStateCallback = std::function<void(int round, int client,
+                                               const nn::ModelState& local_state,
+                                               const nn::ModelState& global_before)>;
+
+/// Configuration of a block of FedAvg rounds.
+struct FedAvgConfig {
+  int rounds = 1;
+  /// Fraction of eligible clients sampled per round (1.0 = all). Clients
+  /// with empty datasets are never eligible.
+  float participation = 1.0f;
+  /// Failure injection: each sampled client independently drops out of the
+  /// round with this probability (straggler/crash simulation). The server
+  /// aggregates over survivors; if the whole cohort fails, the round is a
+  /// no-op (the global state carries over).
+  float dropout_rate = 0.0f;
+};
+
+/// Runs `config.rounds` rounds of FedAvg (Algorithm 1's outer loop):
+/// each sampled client loads the global state into `model`, applies `update`,
+/// and the server aggregates the resulting states weighted by |Z_i|/|Z| over
+/// this round's participants. Returns the final global state.
+///
+/// `model` is scratch storage reused across clients; its parameters are
+/// overwritten. `client_data` holds each client's dataset *for this phase*
+/// (training data, forget counterparts, retain counterparts, ...).
+nn::ModelState run_fedavg(nn::Module& model, nn::ModelState global,
+                          const std::vector<data::Dataset>& client_data, ClientUpdate& update,
+                          const FedAvgConfig& config, Rng& rng, CostMeter& cost,
+                          const RoundCallback& callback = {},
+                          const ClientStateCallback& client_callback = {});
+
+/// Total samples across client datasets.
+std::int64_t total_samples(const std::vector<data::Dataset>& client_data);
+
+}  // namespace quickdrop::fl

@@ -1,0 +1,38 @@
+// Model evaluation metrics: Top-1 accuracy on full datasets, per class, and
+// on forget/retain splits.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace quickdrop::metrics {
+
+/// Top-1 accuracy of `model` on `dataset` (0 when the dataset is empty).
+double accuracy(nn::Module& model, const data::Dataset& dataset, int batch_size = 128);
+
+/// Per-class Top-1 accuracy; classes with no test samples report 0.
+std::vector<double> per_class_accuracy(nn::Module& model, const data::Dataset& dataset,
+                                       int batch_size = 128);
+
+/// Accuracy restricted to samples whose label is in `classes`.
+double accuracy_on_classes(nn::Module& model, const data::Dataset& dataset,
+                           const std::vector<int>& classes, int batch_size = 128);
+
+/// Accuracy restricted to samples whose label is NOT in `classes`.
+double accuracy_excluding_classes(nn::Module& model, const data::Dataset& dataset,
+                                  const std::vector<int>& classes, int batch_size = 128);
+
+/// Accuracy on an explicit row subset.
+double accuracy_on_indices(nn::Module& model, const data::Dataset& dataset,
+                           const std::vector<int>& indices, int batch_size = 128);
+
+/// Mean cross-entropy loss on the dataset.
+double mean_loss(nn::Module& model, const data::Dataset& dataset, int batch_size = 128);
+
+/// Raw [N, num_classes] softmax probabilities for the given rows.
+Tensor softmax_probabilities(nn::Module& model, const data::Dataset& dataset,
+                             const std::vector<int>& indices, int batch_size = 128);
+
+}  // namespace quickdrop::metrics

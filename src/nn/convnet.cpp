@@ -1,0 +1,54 @@
+#include "nn/convnet.h"
+
+#include <stdexcept>
+
+namespace quickdrop::nn {
+
+void ConvNetConfig::validate() const {
+  if (in_channels <= 0 || image_size <= 0 || num_classes <= 1 || width <= 0 || depth <= 0) {
+    throw std::invalid_argument("ConvNetConfig: all fields must be positive (classes > 1)");
+  }
+  int spatial = image_size;
+  for (int d = 0; d < depth; ++d) {
+    if (spatial % 2 != 0) {
+      throw std::invalid_argument("ConvNetConfig: image_size " + std::to_string(image_size) +
+                                  " does not survive " + std::to_string(depth) + " halvings");
+    }
+    spatial /= 2;
+  }
+  if (spatial < 1) throw std::invalid_argument("ConvNetConfig: network pools to nothing");
+}
+
+int ConvNetConfig::final_spatial() const {
+  int spatial = image_size;
+  for (int d = 0; d < depth; ++d) spatial /= 2;
+  return spatial;
+}
+
+std::unique_ptr<Sequential> make_convnet(const ConvNetConfig& config, Rng& rng) {
+  config.validate();
+  auto net = std::make_unique<Sequential>();
+  int channels = config.in_channels;
+  for (int d = 0; d < config.depth; ++d) {
+    net->add(std::make_unique<Conv2d>(channels, config.width, /*kernel=*/3, /*pad=*/1,
+                                      /*stride=*/1, rng));
+    net->add(std::make_unique<InstanceNorm2d>(config.width));
+    net->add(std::make_unique<ReLU>());
+    net->add(std::make_unique<AvgPool2d>(2));
+    channels = config.width;
+  }
+  net->add(std::make_unique<Flatten>());
+  const int spatial = config.final_spatial();
+  net->add(std::make_unique<Linear>(config.width * spatial * spatial, config.num_classes, rng));
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mlp(int in_features, int hidden, int out_features, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Linear>(in_features, hidden, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(hidden, out_features, rng));
+  return net;
+}
+
+}  // namespace quickdrop::nn

@@ -1,0 +1,37 @@
+// The paper's ConvNet backbone: D blocks of [Conv(W filters, 3x3, pad 1),
+// InstanceNorm, ReLU, AvgPool(2)] followed by a linear classifier
+// (Gidaris & Komodakis 2018, as used by QuickDrop and Zhao et al.).
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace quickdrop::nn {
+
+/// Architecture hyperparameters of the ConvNet family.
+struct ConvNetConfig {
+  int in_channels = 3;
+  int image_size = 12;  ///< square input resolution
+  int num_classes = 10;
+  int width = 16;   ///< filters per block (paper: 128)
+  int depth = 2;    ///< number of blocks (paper: 3)
+
+  /// Throws std::invalid_argument when the geometry is infeasible (e.g. the
+  /// image does not survive `depth` halvings).
+  void validate() const;
+
+  /// Spatial resolution after all pooling stages.
+  [[nodiscard]] int final_spatial() const;
+};
+
+/// Builds a ConvNet with freshly initialized parameters drawn from `rng`.
+std::unique_ptr<Sequential> make_convnet(const ConvNetConfig& config, Rng& rng);
+
+/// A tiny multilayer perceptron (Linear-ReLU-Linear); used by tests and by
+/// the membership-inference attack model.
+std::unique_ptr<Sequential> make_mlp(int in_features, int hidden, int out_features, Rng& rng);
+
+}  // namespace quickdrop::nn

@@ -1,0 +1,89 @@
+// Concrete layers: Linear, Conv2d, InstanceNorm2d, ReLU, AvgPool2d, Flatten.
+//
+// Conv2d is expressed as im2col + matmul and InstanceNorm2d is composed from
+// elementwise/reduction primitives, so second-order gradients flow through
+// every layer — a requirement for gradient-matching distillation.
+#pragma once
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace quickdrop::nn {
+
+/// Fully connected layer: y = x W^T + b for x of shape [N, in].
+class Linear final : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+
+  ag::Var forward(const ag::Var& input) override;
+  void collect_parameters(std::vector<ag::Var>& out) override;
+
+  [[nodiscard]] ag::Var& weight() { return weight_; }
+  [[nodiscard]] ag::Var& bias() { return bias_; }
+
+ private:
+  ag::Var weight_;  // [out, in]
+  ag::Var bias_;    // [out]
+};
+
+/// 2-D convolution on [N,C,H,W] input (square kernel, zero padding).
+class Conv2d final : public Module {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int pad, int stride, Rng& rng);
+
+  ag::Var forward(const ag::Var& input) override;
+  void collect_parameters(std::vector<ag::Var>& out) override;
+
+  [[nodiscard]] int out_channels() const { return out_channels_; }
+  /// Weight leaf of shape [out_channels, in_channels*k*k].
+  [[nodiscard]] ag::Var& weight() { return weight_; }
+  [[nodiscard]] ag::Var& bias() { return bias_; }
+
+ private:
+  int in_channels_, out_channels_, kernel_, pad_, stride_;
+  ag::Var weight_;  // [F, C*k*k]
+  ag::Var bias_;    // [F]
+};
+
+/// Instance normalization over the spatial dims of [N,C,H,W], with learnable
+/// per-channel affine parameters (matching the paper's ConvNet backbone).
+class InstanceNorm2d final : public Module {
+ public:
+  explicit InstanceNorm2d(int channels, float eps = 1e-5f);
+
+  ag::Var forward(const ag::Var& input) override;
+  void collect_parameters(std::vector<ag::Var>& out) override;
+
+ private:
+  float eps_;
+  ag::Var gamma_;  // [1,C,1,1]
+  ag::Var beta_;   // [1,C,1,1]
+};
+
+/// Elementwise rectifier.
+class ReLU final : public Module {
+ public:
+  ag::Var forward(const ag::Var& input) override { return ag::relu(input); }
+  void collect_parameters(std::vector<ag::Var>&) override {}
+};
+
+/// Non-overlapping k-by-k average pooling; H and W must be divisible by k.
+class AvgPool2d final : public Module {
+ public:
+  explicit AvgPool2d(int kernel);
+
+  ag::Var forward(const ag::Var& input) override;
+  void collect_parameters(std::vector<ag::Var>&) override {}
+
+ private:
+  int kernel_;
+};
+
+/// Collapses [N, ...] to [N, features].
+class Flatten final : public Module {
+ public:
+  ag::Var forward(const ag::Var& input) override;
+  void collect_parameters(std::vector<ag::Var>&) override {}
+};
+
+}  // namespace quickdrop::nn

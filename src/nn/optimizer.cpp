@@ -1,0 +1,44 @@
+#include "nn/optimizer.h"
+
+#include <stdexcept>
+
+namespace quickdrop::nn {
+
+Sgd::Sgd(std::vector<ag::Var> parameters, float learning_rate, float momentum)
+    : parameters_(std::move(parameters)), learning_rate_(learning_rate), momentum_(momentum) {
+  if (learning_rate <= 0.0f) throw std::invalid_argument("Sgd: learning rate must be positive");
+  if (momentum < 0.0f || momentum >= 1.0f) {
+    throw std::invalid_argument("Sgd: momentum must be in [0, 1)");
+  }
+}
+
+void Sgd::step(const std::vector<ag::Var>& gradients, UpdateDirection direction) {
+  std::vector<Tensor> tensors;
+  tensors.reserve(gradients.size());
+  for (const auto& g : gradients) tensors.push_back(g.value());
+  step_tensors(tensors, direction);
+}
+
+void Sgd::step_tensors(const std::vector<Tensor>& gradients, UpdateDirection direction) {
+  if (gradients.size() != parameters_.size()) {
+    throw std::invalid_argument("Sgd: gradient count mismatch");
+  }
+  const float sign = direction == UpdateDirection::kDescent ? -1.0f : 1.0f;
+  if (momentum_ == 0.0f) {
+    for (std::size_t i = 0; i < parameters_.size(); ++i) {
+      parameters_[i].mutable_value().add_(gradients[i], sign * learning_rate_);
+    }
+    return;
+  }
+  if (velocity_.empty()) {
+    velocity_.reserve(parameters_.size());
+    for (const auto& p : parameters_) velocity_.push_back(Tensor::zeros(p.value().shape()));
+  }
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    velocity_[i].scale_(momentum_);
+    velocity_[i].add_(gradients[i], 1.0f);
+    parameters_[i].mutable_value().add_(velocity_[i], sign * learning_rate_);
+  }
+}
+
+}  // namespace quickdrop::nn

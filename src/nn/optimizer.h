@@ -1,0 +1,41 @@
+// Stochastic gradient descent / ascent over parameter leaves.
+#pragma once
+
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace quickdrop::nn {
+
+/// Direction of an SGD update. Ascent implements the paper's SGA unlearning
+/// steps (Algorithm 1, phase `unlearn`).
+enum class UpdateDirection { kDescent, kAscent };
+
+/// SGD with optional classical momentum (Zhao et al. distill synthetic
+/// pixels with momentum 0.5). Holds references (Var handles) to the
+/// parameters it updates.
+class Sgd {
+ public:
+  Sgd(std::vector<ag::Var> parameters, float learning_rate, float momentum = 0.0f);
+
+  /// Applies one update: v <- mu*v + g; p <- p -/+ lr * v. `gradients` must
+  /// align with the parameter list passed at construction.
+  void step(const std::vector<ag::Var>& gradients,
+            UpdateDirection direction = UpdateDirection::kDescent);
+
+  /// Same, with raw tensors.
+  void step_tensors(const std::vector<Tensor>& gradients,
+                    UpdateDirection direction = UpdateDirection::kDescent);
+
+  [[nodiscard]] float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  [[nodiscard]] float momentum() const { return momentum_; }
+
+ private:
+  std::vector<ag::Var> parameters_;
+  float learning_rate_;
+  float momentum_;
+  std::vector<Tensor> velocity_;  // lazily initialized on first step
+};
+
+}  // namespace quickdrop::nn

@@ -1,0 +1,123 @@
+#include "nn/state.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace quickdrop::nn {
+
+ModelState state_of(Module& module) {
+  ModelState state;
+  for (const auto& p : module.parameters()) state.push_back(p.value().clone());
+  return state;
+}
+
+void load_state(Module& module, const ModelState& state) {
+  auto params = module.parameters();
+  if (params.size() != state.size()) {
+    throw std::invalid_argument("load_state: parameter count mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value().copy_from(state[i]);
+  }
+}
+
+ModelState zeros_like(const ModelState& state) {
+  ModelState out;
+  out.reserve(state.size());
+  for (const auto& t : state) out.push_back(Tensor::zeros(t.shape()));
+  return out;
+}
+
+void axpy(ModelState& y, const ModelState& x, float a) {
+  if (y.size() != x.size()) throw std::invalid_argument("axpy: state size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i].add_(x[i], a);
+}
+
+void scale(ModelState& state, float factor) {
+  for (auto& t : state) t.scale_(factor);
+}
+
+ModelState subtract(const ModelState& a, const ModelState& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("subtract: state size mismatch");
+  ModelState out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    Tensor t = a[i].clone();
+    t.add_(b[i], -1.0f);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+double l2_norm(const ModelState& state) {
+  double acc = 0.0;
+  for (const auto& t : state) {
+    for (const float v : t.data()) acc += static_cast<double>(v) * v;
+  }
+  return std::sqrt(acc);
+}
+
+ModelState weighted_average(std::span<const ModelState> states, std::span<const float> weights) {
+  if (states.empty() || states.size() != weights.size()) {
+    throw std::invalid_argument("weighted_average: need one weight per state");
+  }
+  ModelState out = zeros_like(states[0]);
+  for (std::size_t i = 0; i < states.size(); ++i) axpy(out, states[i], weights[i]);
+  return out;
+}
+
+std::int64_t state_numel(const ModelState& state) {
+  std::int64_t n = 0;
+  for (const auto& t : state) n += t.numel();
+  return n;
+}
+
+std::int64_t state_bytes(const ModelState& state) {
+  return state_numel(state) * static_cast<std::int64_t>(sizeof(float));
+}
+
+std::vector<std::uint8_t> serialize_state(const ModelState& state) {
+  std::vector<std::uint8_t> bytes;
+  auto put_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  put_u64(state.size());
+  for (const auto& t : state) {
+    put_u64(t.shape().size());
+    for (const auto d : t.shape()) put_u64(static_cast<std::uint64_t>(d));
+    const auto data = t.data();
+    const auto offset = bytes.size();
+    bytes.resize(offset + data.size() * sizeof(float));
+    std::memcpy(bytes.data() + offset, data.data(), data.size() * sizeof(float));
+  }
+  return bytes;
+}
+
+ModelState deserialize_state(std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  auto get_u64 = [&]() -> std::uint64_t {
+    if (pos + 8 > bytes.size()) throw std::invalid_argument("deserialize_state: truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    pos += 8;
+    return v;
+  };
+  ModelState state;
+  const auto count = get_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto rank = get_u64();
+    Shape shape(rank);
+    for (auto& d : shape) d = static_cast<std::int64_t>(get_u64());
+    Tensor t(shape);
+    const auto nbytes = static_cast<std::size_t>(t.numel()) * sizeof(float);
+    if (pos + nbytes > bytes.size()) throw std::invalid_argument("deserialize_state: truncated");
+    std::memcpy(t.data().data(), bytes.data() + pos, nbytes);
+    pos += nbytes;
+    state.push_back(std::move(t));
+  }
+  if (pos != bytes.size()) throw std::invalid_argument("deserialize_state: trailing bytes");
+  return state;
+}
+
+}  // namespace quickdrop::nn

@@ -1,0 +1,55 @@
+// Model state vectors: snapshots of all parameters of a module.
+//
+// The FL substrate moves these between server and clients; FedEraser stores
+// per-round update states. All functions operate on deep copies so states
+// never alias live models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace quickdrop::nn {
+
+/// Deep-copied parameter tensors of a model, in parameter order.
+using ModelState = std::vector<Tensor>;
+
+/// Snapshot of the module's current parameters (deep copies).
+ModelState state_of(Module& module);
+
+/// Writes a state into the module's parameters. Shapes must match.
+void load_state(Module& module, const ModelState& state);
+
+/// All-zero state with the same shapes.
+ModelState zeros_like(const ModelState& state);
+
+/// y += a * x (elementwise over every tensor).
+void axpy(ModelState& y, const ModelState& x, float a);
+
+/// s *= factor.
+void scale(ModelState& state, float factor);
+
+/// a - b as a new state.
+ModelState subtract(const ModelState& a, const ModelState& b);
+
+/// Euclidean norm over all entries.
+double l2_norm(const ModelState& state);
+
+/// Sum_i weights[i] * states[i]; weights need not be normalized by callers —
+/// they are used as given (FedAvg passes |D_i|/|D|).
+ModelState weighted_average(std::span<const ModelState> states, std::span<const float> weights);
+
+/// Number of scalar entries.
+std::int64_t state_numel(const ModelState& state);
+
+/// Bytes occupied by the raw float payload (used for storage accounting).
+std::int64_t state_bytes(const ModelState& state);
+
+/// Binary (de)serialization, e.g. for checkpointing experiments.
+std::vector<std::uint8_t> serialize_state(const ModelState& state);
+ModelState deserialize_state(std::span<const std::uint8_t> bytes);
+
+}  // namespace quickdrop::nn

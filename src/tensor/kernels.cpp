@@ -1,0 +1,360 @@
+#include "tensor/kernels.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace quickdrop::kernels {
+namespace {
+
+/// Strides for iterating an input of shape `in` as if it had the broadcast
+/// shape `out` (stride 0 on broadcast dimensions).
+std::vector<std::int64_t> broadcast_strides(const Shape& in, const Shape& out) {
+  const auto in_strides = contiguous_strides(in);
+  std::vector<std::int64_t> strides(out.size(), 0);
+  const std::size_t off = out.size() - in.size();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    strides[off + i] = in[i] == 1 ? 0 : in_strides[i];
+  }
+  return strides;
+}
+
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, F f, const char* name) {
+  if (a.shape() == b.shape()) {  // fast path
+    Tensor out(a.shape());
+    auto oa = a.data(), ob = b.data();
+    auto od = out.data();
+    for (std::size_t i = 0; i < od.size(); ++i) od[i] = f(oa[i], ob[i]);
+    return out;
+  }
+  Shape out_shape;
+  try {
+    out_shape = broadcast_shapes(a.shape(), b.shape());
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(std::string(name) + ": cannot broadcast " +
+                                shape_to_string(a.shape()) + " with " + shape_to_string(b.shape()));
+  }
+  Tensor out(out_shape);
+  const auto sa = broadcast_strides(a.shape(), out_shape);
+  const auto sb = broadcast_strides(b.shape(), out_shape);
+  const auto rank = out_shape.size();
+  std::vector<std::int64_t> idx(rank, 0);
+  auto da = a.data(), db = b.data();
+  auto od = out.data();
+  std::int64_t ia = 0, ib = 0;
+  for (std::int64_t flat = 0; flat < out.numel(); ++flat) {
+    od[static_cast<std::size_t>(flat)] =
+        f(da[static_cast<std::size_t>(ia)], db[static_cast<std::size_t>(ib)]);
+    // Odometer increment.
+    for (int d = static_cast<int>(rank) - 1; d >= 0; --d) {
+      ++idx[d];
+      ia += sa[d];
+      ib += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      ia -= sa[d] * out_shape[d];
+      ib -= sb[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor unary_op(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  auto da = a.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) od[i] = f(da[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; }, "add");
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x / y; }, "div");
+}
+
+Tensor neg(const Tensor& a) {
+  return unary_op(a, [](float x) { return -x; });
+}
+Tensor exp(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::sqrt(x); });
+}
+Tensor relu(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor gt_zero_mask(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x * s; });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: bad shapes " + shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  auto da = a.data(), db = b.data();
+  auto od = out.data();
+  // ikj loop order: streams over b and out rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* orow = od.data() + i * n;
+    const float* arow = da.data() + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = db.data() + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("transpose2d: rank must be 2");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  auto da = a.data();
+  auto od = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) od[j * m + i] = da[i * n + j];
+  }
+  return out;
+}
+
+Tensor permute(const Tensor& a, const std::vector<int>& dims) {
+  const int rank = a.rank();
+  if (static_cast<int>(dims.size()) != rank) {
+    throw std::invalid_argument("permute: dims size mismatch");
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(rank), false);
+  Shape out_shape(static_cast<std::size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    const int d = dims[static_cast<std::size_t>(i)];
+    if (d < 0 || d >= rank || seen[static_cast<std::size_t>(d)]) {
+      throw std::invalid_argument("permute: dims is not a permutation");
+    }
+    seen[static_cast<std::size_t>(d)] = true;
+    out_shape[static_cast<std::size_t>(i)] = a.shape()[static_cast<std::size_t>(d)];
+  }
+  Tensor out(out_shape);
+  const auto in_strides = contiguous_strides(a.shape());
+  std::vector<std::int64_t> strides(static_cast<std::size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    strides[static_cast<std::size_t>(i)] = in_strides[static_cast<std::size_t>(dims[static_cast<std::size_t>(i)])];
+  }
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(rank), 0);
+  auto da = a.data();
+  auto od = out.data();
+  std::int64_t src = 0;
+  for (std::int64_t flat = 0; flat < out.numel(); ++flat) {
+    od[static_cast<std::size_t>(flat)] = da[static_cast<std::size_t>(src)];
+    for (int d = rank - 1; d >= 0; --d) {
+      ++idx[static_cast<std::size_t>(d)];
+      src += strides[static_cast<std::size_t>(d)];
+      if (idx[static_cast<std::size_t>(d)] < out_shape[static_cast<std::size_t>(d)]) break;
+      src -= strides[static_cast<std::size_t>(d)] * out_shape[static_cast<std::size_t>(d)];
+      idx[static_cast<std::size_t>(d)] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor reduce_sum_to(const Tensor& a, const Shape& target_shape) {
+  if (a.shape() == target_shape) return a.clone();
+  if (!broadcastable_to(target_shape, a.shape())) {
+    throw std::invalid_argument("reduce_sum_to: " + shape_to_string(target_shape) +
+                                " does not broadcast to " + shape_to_string(a.shape()));
+  }
+  Tensor out(target_shape);
+  const auto strides = broadcast_strides(target_shape, a.shape());
+  const auto& in_shape = a.shape();
+  std::vector<std::int64_t> idx(in_shape.size(), 0);
+  auto da = a.data();
+  auto od = out.data();
+  std::int64_t dst = 0;
+  for (std::int64_t flat = 0; flat < a.numel(); ++flat) {
+    od[static_cast<std::size_t>(dst)] += da[static_cast<std::size_t>(flat)];
+    for (int d = static_cast<int>(in_shape.size()) - 1; d >= 0; --d) {
+      ++idx[static_cast<std::size_t>(d)];
+      dst += strides[static_cast<std::size_t>(d)];
+      if (idx[static_cast<std::size_t>(d)] < in_shape[static_cast<std::size_t>(d)]) break;
+      dst -= strides[static_cast<std::size_t>(d)] * in_shape[static_cast<std::size_t>(d)];
+      idx[static_cast<std::size_t>(d)] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor broadcast_to(const Tensor& a, const Shape& shape) {
+  if (a.shape() == shape) return a.clone();
+  if (!broadcastable_to(a.shape(), shape)) {
+    throw std::invalid_argument("broadcast_to: " + shape_to_string(a.shape()) +
+                                " does not broadcast to " + shape_to_string(shape));
+  }
+  Tensor out(shape);
+  const auto strides = broadcast_strides(a.shape(), shape);
+  std::vector<std::int64_t> idx(shape.size(), 0);
+  auto da = a.data();
+  auto od = out.data();
+  std::int64_t src = 0;
+  for (std::int64_t flat = 0; flat < out.numel(); ++flat) {
+    od[static_cast<std::size_t>(flat)] = da[static_cast<std::size_t>(src)];
+    for (int d = static_cast<int>(shape.size()) - 1; d >= 0; --d) {
+      ++idx[static_cast<std::size_t>(d)];
+      src += strides[static_cast<std::size_t>(d)];
+      if (idx[static_cast<std::size_t>(d)] < shape[static_cast<std::size_t>(d)]) break;
+      src -= strides[static_cast<std::size_t>(d)] * shape[static_cast<std::size_t>(d)];
+      idx[static_cast<std::size_t>(d)] = 0;
+    }
+  }
+  return out;
+}
+
+namespace {
+void check_conv_geometry(const Shape& image_shape, int k, int pad, int stride) {
+  if (image_shape.size() != 4) throw std::invalid_argument("im2col: input must be [N,C,H,W]");
+  if (k <= 0 || pad < 0 || stride <= 0) throw std::invalid_argument("im2col: bad geometry");
+  const std::int64_t h = image_shape[2], w = image_shape[3];
+  if (h + 2 * pad < k || w + 2 * pad < k) {
+    throw std::invalid_argument("im2col: kernel larger than padded input");
+  }
+}
+}  // namespace
+
+Tensor im2col(const Tensor& x, int k, int pad, int stride) {
+  check_conv_geometry(x.shape(), k, pad, stride);
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h + 2 * pad - k) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - k) / stride + 1;
+  Tensor cols({c * k * k, n * oh * ow});
+  auto dx = x.data();
+  auto dc = cols.data();
+  const std::int64_t col_width = n * oh * ow;
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj) {
+        const std::int64_t row = (ci * k + ki) * k + kj;
+        float* out_row = dc.data() + row * col_width;
+        for (std::int64_t ni = 0; ni < n; ++ni) {
+          const float* img = dx.data() + (ni * c + ci) * h * w;
+          for (std::int64_t y = 0; y < oh; ++y) {
+            const std::int64_t iy = y * stride + ki - pad;
+            for (std::int64_t xo = 0; xo < ow; ++xo) {
+              const std::int64_t ix = xo * stride + kj - pad;
+              const bool in_bounds = iy >= 0 && iy < h && ix >= 0 && ix < w;
+              out_row[(ni * oh + y) * ow + xo] = in_bounds ? img[iy * w + ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Shape& image_shape, int k, int pad, int stride) {
+  check_conv_geometry(image_shape, k, pad, stride);
+  const std::int64_t n = image_shape[0], c = image_shape[1], h = image_shape[2], w = image_shape[3];
+  const std::int64_t oh = (h + 2 * pad - k) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - k) / stride + 1;
+  if (cols.rank() != 2 || cols.dim(0) != c * k * k || cols.dim(1) != n * oh * ow) {
+    throw std::invalid_argument("col2im: columns shape mismatch " + shape_to_string(cols.shape()));
+  }
+  Tensor out(image_shape);
+  auto dc = cols.data();
+  auto od = out.data();
+  const std::int64_t col_width = n * oh * ow;
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj) {
+        const std::int64_t row = (ci * k + ki) * k + kj;
+        const float* in_row = dc.data() + row * col_width;
+        for (std::int64_t ni = 0; ni < n; ++ni) {
+          float* img = od.data() + (ni * c + ci) * h * w;
+          for (std::int64_t y = 0; y < oh; ++y) {
+            const std::int64_t iy = y * stride + ki - pad;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t xo = 0; xo < ow; ++xo) {
+              const std::int64_t ix = xo * stride + kj - pad;
+              if (ix < 0 || ix >= w) continue;
+              img[iy * w + ix] += in_row[(ni * oh + y) * ow + xo];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor row_max(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("row_max: rank must be 2");
+  const std::int64_t n = a.dim(0), c = a.dim(1);
+  if (c == 0) throw std::invalid_argument("row_max: empty rows");
+  Tensor out({n, 1});
+  auto da = a.data();
+  auto od = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float m = da[static_cast<std::size_t>(i * c)];
+    for (std::int64_t j = 1; j < c; ++j) m = std::max(m, da[static_cast<std::size_t>(i * c + j)]);
+    od[static_cast<std::size_t>(i)] = m;
+  }
+  return out;
+}
+
+Tensor one_hot(const std::vector<int>& labels, int num_classes) {
+  Tensor out({static_cast<std::int64_t>(labels.size()), num_classes});
+  auto od = out.data();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || labels[i] >= num_classes) {
+      throw std::invalid_argument("one_hot: label out of range");
+    }
+    od[i * static_cast<std::size_t>(num_classes) + static_cast<std::size_t>(labels[i])] = 1.0f;
+  }
+  return out;
+}
+
+std::vector<int> argmax_rows(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("argmax_rows: rank must be 2");
+  const std::int64_t n = a.dim(0), c = a.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  auto da = a.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    int best = 0;
+    float best_v = da[static_cast<std::size_t>(i * c)];
+    for (std::int64_t j = 1; j < c; ++j) {
+      const float v = da[static_cast<std::size_t>(i * c + j)];
+      if (v > best_v) {
+        best_v = v;
+        best = static_cast<int>(j);
+      }
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace quickdrop::kernels

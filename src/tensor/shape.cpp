@@ -1,0 +1,67 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace quickdrop {
+
+std::int64_t numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const auto d : shape) {
+    if (d < 0) throw std::invalid_argument("numel: negative dimension in " + shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<std::int64_t> contiguous_strides(const Shape& shape) {
+  std::vector<std::int64_t> strides(shape.size());
+  std::int64_t acc = 1;
+  for (int i = static_cast<int>(shape.size()) - 1; i >= 0; --i) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+Shape broadcast_shapes(const Shape& a, const Shape& b) {
+  const std::size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (std::size_t i = 0; i < rank; ++i) {
+    const std::int64_t da = i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    const std::int64_t db = i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    if (da != db && da != 1 && db != 1) {
+      throw std::invalid_argument("broadcast_shapes: incompatible " + shape_to_string(a) +
+                                  " vs " + shape_to_string(b));
+    }
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+bool broadcastable_to(const Shape& from, const Shape& to) {
+  if (from.size() > to.size()) return false;
+  const std::size_t off = to.size() - from.size();
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (from[i] != to[off + i] && from[i] != 1) return false;
+  }
+  return true;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+void check_same_shape(const Shape& a, const Shape& b, const char* context) {
+  if (a != b) {
+    throw std::invalid_argument(std::string(context) + ": shape mismatch " +
+                                shape_to_string(a) + " vs " + shape_to_string(b));
+  }
+}
+
+}  // namespace quickdrop

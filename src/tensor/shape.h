@@ -1,0 +1,33 @@
+// Shape arithmetic for dense tensors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quickdrop {
+
+/// Dimension sizes of a dense row-major tensor. An empty Shape denotes a
+/// scalar with one element.
+using Shape = std::vector<std::int64_t>;
+
+/// Total number of elements of a shape (1 for a scalar/empty shape).
+std::int64_t numel(const Shape& shape);
+
+/// Row-major strides (in elements) for a contiguous tensor of this shape.
+std::vector<std::int64_t> contiguous_strides(const Shape& shape);
+
+/// NumPy-style broadcast of two shapes. Throws std::invalid_argument when the
+/// shapes are incompatible.
+Shape broadcast_shapes(const Shape& a, const Shape& b);
+
+/// True if `from` can be broadcast to `to`.
+bool broadcastable_to(const Shape& from, const Shape& to);
+
+/// Human-readable form, e.g. "[2, 3, 4]".
+std::string shape_to_string(const Shape& shape);
+
+/// Equality helper with a readable error on mismatch (used in kernels).
+void check_same_shape(const Shape& a, const Shape& b, const char* context);
+
+}  // namespace quickdrop

@@ -1,0 +1,78 @@
+// Dense float32 tensor with shared storage.
+//
+// Tensor is a cheap-to-copy handle: copies alias the same buffer (like
+// torch.Tensor). Use clone() for a deep copy. All tensors are contiguous and
+// row-major; views are not supported — ops materialize their results.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace quickdrop {
+
+class Tensor {
+ public:
+  /// Empty scalar-shaped tensor holding a single zero.
+  Tensor();
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor adopting the given values; values.size() must equal numel(shape).
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// Factories.
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  /// I.i.d. normal entries with the given stddev.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  /// 1-element scalar tensor.
+  static Tensor scalar(float value) { return Tensor({}, {value}); }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return static_cast<std::int64_t>(data_->size()); }
+  [[nodiscard]] std::int64_t dim(int i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
+
+  /// Flat element access.
+  [[nodiscard]] float& at(std::int64_t i) { return (*data_)[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] float at(std::int64_t i) const { return (*data_)[static_cast<std::size_t>(i)]; }
+
+  /// Raw contiguous storage.
+  [[nodiscard]] std::span<float> data() { return {data_->data(), data_->size()}; }
+  [[nodiscard]] std::span<const float> data() const { return {data_->data(), data_->size()}; }
+
+  /// True if two handles alias the same buffer.
+  [[nodiscard]] bool same_storage(const Tensor& other) const { return data_ == other.data_; }
+
+  /// Deep copy.
+  [[nodiscard]] Tensor clone() const;
+
+  /// Reinterprets the buffer with a new shape of equal numel (shares storage).
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// In-place helpers (mutate the shared buffer).
+  void fill(float value);
+  void add_(const Tensor& other, float scale = 1.0f);  ///< this += scale * other
+  void scale_(float factor);                           ///< this *= factor
+  void copy_from(const Tensor& other);                 ///< elementwise copy, same shape
+
+  /// Scalar value of a 1-element tensor.
+  [[nodiscard]] float item() const;
+
+  /// Sum / mean / max-abs of all entries (convenience for tests & metrics).
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float max_abs() const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace quickdrop

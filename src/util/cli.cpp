@@ -1,0 +1,70 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace quickdrop {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("CliFlags: expected --flag, got '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag == boolean true
+    }
+  }
+}
+
+int CliFlags::get_int(const std::string& name, int default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  used_[name] = true;
+  return std::stoi(it->second);
+}
+
+double CliFlags::get_double(const std::string& name, double default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  used_[name] = true;
+  return std::stod(it->second);
+}
+
+std::string CliFlags::get_string(const std::string& name, const std::string& default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  used_[name] = true;
+  return it->second;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  used_[name] = true;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CliFlags::unused() const {
+  std::vector<std::string> result;
+  for (const auto& [name, _] : values_) {
+    if (!used_.count(name)) result.push_back(name);
+  }
+  return result;
+}
+
+void CliFlags::check_unused() const {
+  const auto u = unused();
+  if (!u.empty()) {
+    std::string msg = "CliFlags: unknown flag(s):";
+    for (const auto& name : u) msg += " --" + name;
+    throw std::invalid_argument(msg);
+  }
+}
+
+}  // namespace quickdrop

@@ -1,0 +1,38 @@
+// Tiny command-line flag parser used by the bench and example binaries.
+//
+// Flags take the form `--name=value` or `--name value`. Unknown flags are an
+// error so typos do not silently fall back to defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace quickdrop {
+
+/// Parses `--flag=value` style command lines with typed accessors.
+class CliFlags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  CliFlags(int argc, char** argv);
+
+  /// Typed lookups; the default is returned when the flag is absent.
+  int get_int(const std::string& name, int default_value);
+  double get_double(const std::string& name, double default_value);
+  std::string get_string(const std::string& name, const std::string& default_value);
+  bool get_bool(const std::string& name, bool default_value);
+
+  /// Returns the flags that were provided but never read; used to reject
+  /// typos after all get_*() calls were made.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+  /// Throws std::invalid_argument if any provided flag was never consumed.
+  void check_unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace quickdrop

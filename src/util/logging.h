@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace quickdrop {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default: kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace quickdrop
+
+#define QD_LOG_DEBUG ::quickdrop::detail::LogLine(::quickdrop::LogLevel::kDebug)
+#define QD_LOG_INFO ::quickdrop::detail::LogLine(::quickdrop::LogLevel::kInfo)
+#define QD_LOG_WARN ::quickdrop::detail::LogLine(::quickdrop::LogLevel::kWarn)
+#define QD_LOG_ERROR ::quickdrop::detail::LogLine(::quickdrop::LogLevel::kError)

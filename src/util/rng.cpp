@@ -1,0 +1,136 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace quickdrop {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform_u64: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<int>(uniform_u64(span));
+}
+
+float Rng::uniform() {
+  // 24 high bits -> float in [0, 1).
+  return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = uniform();
+  while (u1 <= 1e-12f) u1 = uniform();
+  const float u2 = uniform();
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  const float a = 2.0f * 3.14159265358979323846f * u2;
+  cached_normal_ = r * std::sin(a);
+  have_cached_normal_ = true;
+  return r * std::cos(a);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+Rng Rng::split(std::uint64_t tag) const {
+  std::uint64_t x = seed_ ^ (tag * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  return Rng(splitmix64(x));
+}
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  if (k > n || k < 0) throw std::invalid_argument("Rng::sample_without_replacement: k out of range");
+  std::vector<int> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: first k entries form the sample.
+  for (int i = 0; i < k; ++i) {
+    const int j = i + static_cast<int>(uniform_u64(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<int> Rng::permutation(int n) { return sample_without_replacement(n, n); }
+
+void Rng::shuffle(std::vector<int>& v) {
+  for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+    const int j = static_cast<int>(uniform_u64(static_cast<std::uint64_t>(i) + 1));
+    std::swap(v[i], v[j]);
+  }
+}
+
+float Rng::gamma(float shape) {
+  // Marsaglia & Tsang; for shape < 1 use the boost trick.
+  if (shape < 1.0f) {
+    const float u = std::max(uniform(), 1e-12f);
+    return gamma(shape + 1.0f) * std::pow(u, 1.0f / shape);
+  }
+  const float d = shape - 1.0f / 3.0f;
+  const float c = 1.0f / std::sqrt(9.0f * d);
+  for (;;) {
+    float x = normal();
+    float v = 1.0f + c * x;
+    if (v <= 0.0f) continue;
+    v = v * v * v;
+    const float u = std::max(uniform(), 1e-12f);
+    if (std::log(u) < 0.5f * x * x + d - d * v + d * std::log(v)) return d * v;
+  }
+}
+
+std::vector<float> Rng::dirichlet(float alpha, int k) {
+  if (alpha <= 0.0f || k <= 0) throw std::invalid_argument("Rng::dirichlet: bad parameters");
+  std::vector<float> g(k);
+  float sum = 0.0f;
+  for (auto& v : g) {
+    v = std::max(gamma(alpha), 1e-20f);
+    sum += v;
+  }
+  for (auto& v : g) v /= sum;
+  return g;
+}
+
+}  // namespace quickdrop

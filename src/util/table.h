@@ -1,0 +1,36 @@
+// Plain-text table rendering for experiment reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace quickdrop {
+
+/// Accumulates rows of strings and renders an aligned ASCII table, in the
+/// style of the paper's result tables.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV (comma-separated, minimal quoting).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, e.g. fmt_double(1.2345, 2) == "1.23".
+std::string fmt_double(double v, int precision);
+
+/// Formats a fraction as a percentage string, e.g. fmt_percent(0.1234) == "12.34%".
+std::string fmt_percent(double fraction, int precision = 2);
+
+}  // namespace quickdrop

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/mia.h"
+#include "fl/client_update.h"
+#include "data/synthetic.h"
+#include "nn/convnet.h"
+
+namespace quickdrop::attack {
+namespace {
+
+data::TrainTest tiny_data() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 30;
+  spec.test_per_class = 30;
+  spec.noise = 0.8f;
+  spec.seed = 55;
+  return data::make_synthetic(spec);
+}
+
+std::unique_ptr<nn::Sequential> overfit_model(const data::Dataset& train) {
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 8;
+  cfg.num_classes = 3;
+  cfg.width = 8;
+  cfg.depth = 1;
+  Rng rng(3);
+  auto model = nn::make_convnet(cfg, rng);
+  std::vector<int> pool(static_cast<std::size_t>(train.size()));
+  for (int i = 0; i < train.size(); ++i) pool[static_cast<std::size_t>(i)] = i;
+  fl::CostMeter cost;
+  Rng brng(4);
+  for (int step = 0; step < 250; ++step) {
+    const auto rows = data::Dataset::sample_batch_indices(pool, 32, brng);
+    auto [images, labels] = train.batch(rows);
+    fl::sgd_step_on_batch(*model, images, labels, 0.1f, nn::UpdateDirection::kDescent, cost);
+  }
+  return model;
+}
+
+TEST(MiaFeaturesTest, ShapeAndLossValue) {
+  const auto tt = tiny_data();
+  auto model = overfit_model(tt.train);
+  const auto feat = mia_features(*model, tt.train, {0, 1, 2});
+  EXPECT_EQ(feat.shape(), (Shape{3, 3}));
+  // loss >= 0, confidence in (0,1], entropy >= 0.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(feat.at(i * 3 + 0), 0.0f);
+    EXPECT_GT(feat.at(i * 3 + 1), 0.0f);
+    EXPECT_LE(feat.at(i * 3 + 1), 1.0f + 1e-5f);
+    EXPECT_GE(feat.at(i * 3 + 2), -1e-5f);
+  }
+}
+
+TEST(MiaFeaturesTest, ConfidentSampleHasLowLossHighConfidence) {
+  const auto tt = tiny_data();
+  auto model = overfit_model(tt.train);
+  const auto feat = mia_features(*model, tt.train, {0});
+  // Trained model should be confident on a training sample.
+  EXPECT_LT(feat.at(0), 1.0f);   // loss
+  EXPECT_GT(feat.at(1), 0.5f);   // confidence
+}
+
+TEST(MiaTest, MembersScoreHigherThanNonMembers) {
+  const auto tt = tiny_data();
+  auto model = overfit_model(tt.train);
+  Rng rng(9);
+  // Forget set := training rows of class 0; retain := training rows of the
+  // other classes. On a model that has NOT unlearned, both should look like
+  // members far more often than fresh test samples do.
+  const auto fset = tt.train.subset(tt.train.indices_of_class(0));
+  std::vector<int> retain_rows;
+  for (int i = 0; i < tt.train.size(); ++i) {
+    if (tt.train.label(i) != 0) retain_rows.push_back(i);
+  }
+  const auto rset = tt.train.subset(retain_rows);
+  const auto report = run_mia(*model, tt.train, tt.test, fset, rset, rng);
+  EXPECT_GT(report.attack_accuracy, 0.5);
+  EXPECT_GT(report.retain_member_rate, 0.35);
+  // No unlearning happened: the forget set is still recognized.
+  EXPECT_GT(report.forget_member_rate, 0.35);
+}
+
+TEST(MiaTest, EmptySetsReportZero) {
+  const auto tt = tiny_data();
+  auto model = overfit_model(tt.train);
+  Rng rng(9);
+  const data::Dataset empty(tt.train.image_shape(), 3);
+  const auto report = run_mia(*model, tt.train, tt.test, empty, empty, rng);
+  EXPECT_DOUBLE_EQ(report.forget_member_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report.retain_member_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace quickdrop::attack

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/checkpoint.h"
+#include "core/quickdrop.h"
+#include "data/synthetic.h"
+#include "nn/convnet.h"
+
+namespace quickdrop::core {
+namespace {
+
+struct Fixture {
+  data::TrainTest tt;
+  std::vector<SyntheticStore> stores;
+  nn::ModelState global;
+
+  Fixture() : tt(make_data()) {
+    Rng rng(3);
+    // Client 0 has all classes; client 1 misses class 0.
+    stores.emplace_back(tt.train, 10, rng);
+    std::vector<int> rows;
+    for (int i = 0; i < tt.train.size(); ++i) {
+      if (tt.train.label(i) != 0) rows.push_back(i);
+    }
+    stores.emplace_back(tt.train.subset(rows), 10, rng);
+    nn::ConvNetConfig cfg;
+    cfg.in_channels = 1;
+    cfg.image_size = 8;
+    cfg.width = 4;
+    cfg.depth = 1;
+    cfg.num_classes = 3;
+    Rng mrng(5);
+    auto model = nn::make_convnet(cfg, mrng);
+    global = nn::state_of(*model);
+  }
+
+  static data::TrainTest make_data() {
+    data::SyntheticSpec spec;
+    spec.num_classes = 3;
+    spec.channels = 1;
+    spec.image_size = 8;
+    spec.train_per_class = 20;
+    spec.test_per_class = 2;
+    spec.seed = 61;
+    return data::make_synthetic(spec);
+  }
+};
+
+void expect_stores_equal(const SyntheticStore& a, const SyntheticStore& b) {
+  ASSERT_EQ(a.num_classes(), b.num_classes());
+  ASSERT_EQ(a.image_shape(), b.image_shape());
+  for (int c = 0; c < a.num_classes(); ++c) {
+    ASSERT_EQ(a.has_class(c), b.has_class(c)) << "class " << c;
+    if (!a.has_class(c)) continue;
+    const auto& ta = a.class_samples(c);
+    const auto& tb = b.class_samples(c);
+    ASSERT_EQ(ta.shape(), tb.shape());
+    for (std::int64_t i = 0; i < ta.numel(); ++i) EXPECT_FLOAT_EQ(ta.at(i), tb.at(i));
+  }
+}
+
+TEST(CheckpointTest, MetadataRoundTrip) {
+  Fixture f;
+  auto cp = make_checkpoint(f.global, f.stores);
+  cp.metadata = {{"dataset", "cifar10"}, {"clients", "10"}, {"note", "hello world"}};
+  const auto back = deserialize_checkpoint(serialize_checkpoint(cp));
+  EXPECT_EQ(back.metadata, cp.metadata);
+}
+
+TEST(CheckpointTest, EmptyMetadataRoundTrip) {
+  Fixture f;
+  const auto cp = make_checkpoint(f.global, f.stores);
+  const auto back = deserialize_checkpoint(serialize_checkpoint(cp));
+  EXPECT_TRUE(back.metadata.empty());
+}
+
+TEST(CheckpointTest, SerializeRoundTrip) {
+  Fixture f;
+  const auto cp = make_checkpoint(f.global, f.stores);
+  const auto bytes = serialize_checkpoint(cp);
+  const auto back = deserialize_checkpoint(bytes);
+  ASSERT_EQ(back.global.size(), f.global.size());
+  for (std::size_t i = 0; i < f.global.size(); ++i) {
+    for (std::int64_t j = 0; j < f.global[i].numel(); ++j) {
+      EXPECT_FLOAT_EQ(back.global[i].at(j), f.global[i].at(j));
+    }
+  }
+  const auto stores = restore_stores(back);
+  ASSERT_EQ(stores.size(), 2u);
+  expect_stores_equal(stores[0], f.stores[0]);
+  expect_stores_equal(stores[1], f.stores[1]);
+}
+
+TEST(CheckpointTest, AbsentClassSurvivesRoundTrip) {
+  Fixture f;
+  const auto cp = make_checkpoint(f.global, f.stores);
+  const auto stores = restore_stores(deserialize_checkpoint(serialize_checkpoint(cp)));
+  EXPECT_FALSE(stores[1].has_class(0));
+  EXPECT_TRUE(stores[1].has_class(1));
+}
+
+TEST(CheckpointTest, AugmentationSurvivesRoundTrip) {
+  Fixture f;
+  const auto cp = make_checkpoint(f.global, f.stores);
+  const auto stores = restore_stores(deserialize_checkpoint(serialize_checkpoint(cp)));
+  const auto before = f.stores[0].augmentation({1});
+  const auto after = stores[0].augmentation({1});
+  ASSERT_EQ(before.size(), after.size());
+  for (int i = 0; i < before.size(); ++i) {
+    const auto a = before.image(i), b = after.image(i);
+    for (std::int64_t j = 0; j < a.numel(); ++j) EXPECT_FLOAT_EQ(a.at(j), b.at(j));
+  }
+}
+
+TEST(CheckpointTest, RejectsCorruptInput) {
+  Fixture f;
+  auto bytes = serialize_checkpoint(make_checkpoint(f.global, f.stores));
+  EXPECT_THROW(deserialize_checkpoint(std::span(bytes.data(), bytes.size() - 3)),
+               std::invalid_argument);
+  bytes[0] ^= 0xFF;  // break the magic
+  EXPECT_THROW(deserialize_checkpoint(bytes), std::invalid_argument);
+}
+
+TEST(CheckpointTest, FileRoundTrip) {
+  Fixture f;
+  const std::string path = testing::TempDir() + "/qd_checkpoint_test.bin";
+  const auto cp = make_checkpoint(f.global, f.stores);
+  save_checkpoint(cp, path);
+  const auto loaded = load_checkpoint(path);
+  const auto stores = restore_stores(loaded);
+  expect_stores_equal(stores[0], f.stores[0]);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/qd.bin"), std::runtime_error);
+}
+
+TEST(CheckpointTest, FromPartsValidation) {
+  EXPECT_THROW(SyntheticStore::from_parts({1, 8, 8}, 2, {}, {}), std::invalid_argument);
+  std::vector<std::optional<Tensor>> synth(2), aug(2);
+  synth[0] = Tensor({3, 2, 8, 8});  // wrong channel count vs image shape
+  EXPECT_THROW(
+      SyntheticStore::from_parts({1, 8, 8}, 2, std::move(synth), std::move(aug)),
+      std::invalid_argument);
+}
+
+TEST(CheckpointTest, RestoredDeploymentServesRequestsViaQuickDrop) {
+  // Train a tiny federation, checkpoint it, restore into a *fresh* QuickDrop
+  // (as after a process restart) and serve an unlearning request.
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 30;
+  spec.test_per_class = 10;
+  spec.noise = 0.35f;
+  spec.seed = 63;
+  const auto tt = data::make_synthetic(spec);
+  std::vector<data::Dataset> clients = {tt.train.subset([&] {
+                                          std::vector<int> rows;
+                                          for (int i = 0; i < tt.train.size(); i += 2) rows.push_back(i);
+                                          return rows;
+                                        }()),
+                                        tt.train.subset([&] {
+                                          std::vector<int> rows;
+                                          for (int i = 1; i < tt.train.size(); i += 2) rows.push_back(i);
+                                          return rows;
+                                        }())};
+  nn::ConvNetConfig net;
+  net.in_channels = 1;
+  net.image_size = 8;
+  net.num_classes = 3;
+  net.width = 12;
+  net.depth = 1;
+  auto shared = std::make_shared<Rng>(65);
+  fl::ModelFactory factory = [shared, net] { return nn::make_convnet(net, *shared); };
+  QuickDropConfig cfg;
+  cfg.fl_rounds = 12;
+  cfg.local_steps = 6;
+  cfg.batch_size = 16;
+  cfg.train_lr = 0.1f;
+  cfg.scale = 10;
+  cfg.unlearn_lr = 0.05f;
+  cfg.recover_lr = 0.05f;
+
+  QuickDrop original(factory, clients, cfg, 66);
+  const auto trained = original.train();
+  const auto cp = make_checkpoint(trained, original.stores());
+  const auto bytes = serialize_checkpoint(cp);
+
+  // "Restart": a fresh coordinator with restored stores — no training.
+  QuickDrop restored(factory, clients, cfg, 67);
+  const auto loaded = deserialize_checkpoint(bytes);
+  restored.load_stores(restore_stores(loaded));
+  const auto state = restored.unlearn(loaded.global, UnlearningRequest::for_class(1));
+
+  auto model = factory();
+  nn::load_state(*model, state);
+  double class1_correct = 0, class1_total = 0;
+  for (int i = 0; i < tt.test.size(); ++i) {
+    if (tt.test.label(i) != 1) continue;
+    ++class1_total;
+  }
+  ASSERT_GT(class1_total, 0);
+  // Evaluate class-1 accuracy directly.
+  const auto rows = tt.test.indices_of_class(1);
+  auto [images, labels] = tt.test.batch(rows);
+  const auto logits = model->forward_tensor(images).value();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    float best = logits.at(static_cast<std::int64_t>(i) * 3);
+    int arg = 0;
+    for (int c = 1; c < 3; ++c) {
+      const float v = logits.at(static_cast<std::int64_t>(i) * 3 + c);
+      if (v > best) {
+        best = v;
+        arg = c;
+      }
+    }
+    class1_correct += arg == 1;
+  }
+  EXPECT_LT(class1_correct / class1_total, 0.3);
+}
+
+TEST(CheckpointTest, LoadStoresRejectsWrongClientCount) {
+  Fixture f;
+  nn::ConvNetConfig net;
+  net.in_channels = 1;
+  net.image_size = 8;
+  net.num_classes = 3;
+  net.width = 4;
+  net.depth = 1;
+  auto shared = std::make_shared<Rng>(68);
+  fl::ModelFactory factory = [shared, net] { return nn::make_convnet(net, *shared); };
+  QuickDropConfig cfg;
+  QuickDrop qd(factory, {f.tt.train}, cfg, 69);
+  EXPECT_THROW(qd.load_stores({}), std::invalid_argument);
+}
+
+TEST(CheckpointTest, RestoredStoreServesUnlearningData) {
+  Fixture f;
+  const auto stores = restore_stores(deserialize_checkpoint(
+      serialize_checkpoint(make_checkpoint(f.global, f.stores))));
+  const auto forget = stores[0].to_dataset({2});
+  EXPECT_EQ(forget.size(), f.stores[0].class_count(2));
+  const auto retain = stores[0].augmented_dataset({0, 1});
+  EXPECT_EQ(retain.size(),
+            2 * (f.stores[0].class_count(0) + f.stores[0].class_count(1)));
+}
+
+}  // namespace
+}  // namespace quickdrop::core

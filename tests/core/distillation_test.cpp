@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/distillation.h"
+#include "core/finetune.h"
+#include "data/synthetic.h"
+#include "nn/convnet.h"
+
+namespace quickdrop::core {
+namespace {
+
+nn::ConvNetConfig tiny_net() {
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 8;
+  cfg.num_classes = 3;
+  cfg.width = 6;
+  cfg.depth = 1;
+  return cfg;
+}
+
+data::TrainTest tiny_data() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 20;
+  spec.test_per_class = 4;
+  spec.noise = 0.4f;
+  spec.seed = 21;
+  return data::make_synthetic(spec);
+}
+
+std::vector<Tensor> real_gradients(nn::Module& model, const data::Dataset& d, int label) {
+  const auto rows = d.indices_of_class(label);
+  auto [images, labels] = d.batch(rows);
+  const auto params = model.parameters();
+  const ag::Var loss = ag::cross_entropy(model.forward_tensor(images), labels);
+  const auto grads = ag::grad(loss, std::span<const ag::Var>(params));
+  std::vector<Tensor> out;
+  for (const auto& g : grads) out.push_back(g.value());
+  return out;
+}
+
+TEST(MatchingDistanceTest, ZeroForIdenticalGradients) {
+  Rng rng(1);
+  auto model = nn::make_convnet(tiny_net(), rng);
+  const auto tt = tiny_data();
+  const auto grads = real_gradients(*model, tt.train, 0);
+  std::vector<ag::Var> as_vars;
+  for (const auto& g : grads) as_vars.push_back(ag::Var::constant(g));
+  const auto dist = matching_distance(as_vars, grads);
+  EXPECT_NEAR(dist.value().item(), 0.0f, 1e-3f);
+}
+
+TEST(MatchingDistanceTest, PositiveForOpposedGradients) {
+  Rng rng(1);
+  auto model = nn::make_convnet(tiny_net(), rng);
+  const auto tt = tiny_data();
+  const auto grads = real_gradients(*model, tt.train, 0);
+  std::vector<ag::Var> negated;
+  for (const auto& g : grads) {
+    Tensor n = g.clone();
+    n.scale_(-1.0f);
+    negated.push_back(ag::Var::constant(n));
+  }
+  // cos = -1 per group -> distance = 2 * total groups > 0.
+  EXPECT_GT(matching_distance(negated, grads).value().item(), 1.0f);
+}
+
+TEST(MatchingDistanceTest, RejectsMismatchedLists) {
+  EXPECT_THROW(matching_distance({}, {}), std::invalid_argument);
+}
+
+TEST(MatchSyntheticTest, ReducesDistance) {
+  Rng rng(2);
+  auto model = nn::make_convnet(tiny_net(), rng);
+  const auto tt = tiny_data();
+  const auto grads = real_gradients(*model, tt.train, 1);
+
+  // Start from noise: matching should pull the synthetic gradient toward the
+  // real one.
+  Tensor synthetic = Tensor::randn({2, 1, 8, 8}, rng, 0.5f);
+  DistillConfig cfg;
+  cfg.opt_steps = 1;
+  cfg.learning_rate = 0.05f;
+  fl::CostMeter cost;
+  const float first = match_synthetic_to_gradient(*model, synthetic, 1, grads, cfg, cost);
+  float last = first;
+  for (int i = 0; i < 30; ++i) {
+    last = match_synthetic_to_gradient(*model, synthetic, 1, grads, cfg, cost);
+  }
+  EXPECT_LT(last, first);
+  EXPECT_EQ(cost.distill_sample_grads, 31 * 2);
+}
+
+TEST(DistillingLocalUpdateTest, TrainsModelAndMovesSyntheticData) {
+  Rng rng(3);
+  auto model = nn::make_convnet(tiny_net(), rng);
+  const auto tt = tiny_data();
+  std::vector<SyntheticStore> stores;
+  Rng srng(4);
+  stores.emplace_back(tt.train, 10, srng);
+  const Tensor before = stores[0].class_samples(0).clone();
+
+  DistillConfig dcfg;
+  DistillingLocalUpdate update(stores, /*local_steps=*/5, /*batch_size=*/16,
+                               /*model_lr=*/0.1f, dcfg);
+  fl::CostMeter cost;
+  Rng urng(5);
+  const double loss_before = [&] {
+    const auto params = model->parameters();
+    auto [images, labels] = tt.train.batch(tt.train.indices_of_class(0));
+    return static_cast<double>(
+        ag::cross_entropy(model->forward_tensor(images), labels).value().item());
+  }();
+  update.run(*model, tt.train, 0, 0, urng, cost);
+
+  // Model learned something.
+  const double loss_after = [&] {
+    auto [images, labels] = tt.train.batch(tt.train.indices_of_class(0));
+    return static_cast<double>(
+        ag::cross_entropy(model->forward_tensor(images), labels).value().item());
+  }();
+  EXPECT_LT(loss_after, loss_before);
+
+  // Synthetic pixels moved.
+  const Tensor& after = stores[0].class_samples(0);
+  double moved = 0;
+  for (std::int64_t i = 0; i < after.numel(); ++i) moved += std::abs(after.at(i) - before.at(i));
+  EXPECT_GT(moved, 0.0);
+
+  // Both cost categories were charged.
+  EXPECT_GT(cost.sample_grads, 0);
+  EXPECT_GT(cost.distill_sample_grads, 0);
+  EXPECT_GT(update.distill_seconds(), 0.0);
+}
+
+TEST(DistillingLocalUpdateTest, LargeSyntheticSetMatchesChunkwise) {
+  // With scale=1 the synthetic set equals the full data; the matcher must
+  // fall back to chunked matching and still make progress without touching
+  // samples outside the chunk bounds.
+  Rng rng(6);
+  auto model = nn::make_convnet(tiny_net(), rng);
+  const auto tt = tiny_data();
+  std::vector<SyntheticStore> stores;
+  Rng srng(7);
+  stores.emplace_back(tt.train, 1, srng);  // 20 synthetic samples per class
+  ASSERT_GT(stores[0].class_count(0), 16);
+
+  const Tensor before = stores[0].class_samples(0).clone();
+  DistillConfig dcfg;
+  dcfg.max_synthetic_batch = 4;
+  DistillingLocalUpdate update(stores, /*local_steps=*/6, /*batch_size=*/16, 0.1f, dcfg);
+  fl::CostMeter cost;
+  Rng urng(8);
+  update.run(*model, tt.train, 0, 0, urng, cost);
+
+  const Tensor& after = stores[0].class_samples(0);
+  double moved = 0;
+  for (std::int64_t i = 0; i < after.numel(); ++i) moved += std::abs(after.at(i) - before.at(i));
+  EXPECT_GT(moved, 0.0);
+  // Per matching call at most max_synthetic_batch samples are charged.
+  EXPECT_LE(cost.distill_sample_grads, 6LL * 3 * dcfg.max_synthetic_batch);
+}
+
+TEST(DistillingLocalUpdateTest, Validation) {
+  std::vector<SyntheticStore> stores;
+  EXPECT_THROW(DistillingLocalUpdate(stores, 0, 16, 0.1f, {}), std::invalid_argument);
+}
+
+TEST(FinetuneTest, ZeroStepsIsNoOp) {
+  const auto tt = tiny_data();
+  Rng srng(4);
+  SyntheticStore store(tt.train, 10, srng);
+  const Tensor before = store.class_samples(0).clone();
+  auto shared_rng = std::make_shared<Rng>(9);
+  fl::ModelFactory factory = [shared_rng] { return nn::make_convnet(tiny_net(), *shared_rng); };
+  FinetuneConfig cfg;  // outer_steps = 0
+  fl::CostMeter cost;
+  Rng rng(10);
+  finetune_store(factory, store, tt.train, cfg, rng, cost);
+  const Tensor& after = store.class_samples(0);
+  for (std::int64_t i = 0; i < after.numel(); ++i) EXPECT_FLOAT_EQ(after.at(i), before.at(i));
+  EXPECT_EQ(cost.total(), 0);
+}
+
+TEST(FinetuneTest, RunsAndChargesCost) {
+  const auto tt = tiny_data();
+  Rng srng(4);
+  SyntheticStore store(tt.train, 10, srng);
+  const Tensor before = store.class_samples(1).clone();
+  auto shared_rng = std::make_shared<Rng>(9);
+  fl::ModelFactory factory = [shared_rng] { return nn::make_convnet(tiny_net(), *shared_rng); };
+  FinetuneConfig cfg;
+  cfg.outer_steps = 2;
+  cfg.inner_steps = 2;
+  cfg.batch_size = 8;
+  fl::CostMeter cost;
+  Rng rng(10);
+  finetune_store(factory, store, tt.train, cfg, rng, cost);
+  EXPECT_GT(cost.sample_grads, 0);
+  EXPECT_GT(cost.distill_sample_grads, 0);
+  const Tensor& after = store.class_samples(1);
+  double moved = 0;
+  for (std::int64_t i = 0; i < after.numel(); ++i) moved += std::abs(after.at(i) - before.at(i));
+  EXPECT_GT(moved, 0.0);
+}
+
+}  // namespace
+}  // namespace quickdrop::core

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sample_level.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+
+namespace quickdrop::core {
+namespace {
+
+data::TrainTest make_data() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 40;
+  spec.test_per_class = 10;
+  spec.noise = 0.35f;
+  spec.seed = 71;
+  return data::make_synthetic(spec);
+}
+
+TEST(SubsetStoreTest, EveryRowAssignedToACellOfItsClass) {
+  const auto tt = make_data();
+  Rng rng(1);
+  SubsetStore store(tt.train, 5, 3, rng);
+  for (int row = 0; row < tt.train.size(); ++row) {
+    const int cell = store.cell_of_row(row);
+    EXPECT_EQ(store.cell_class(cell), tt.train.label(row));
+    EXPECT_TRUE(store.has_cell(cell));
+  }
+}
+
+TEST(SubsetStoreTest, CellsPartitionClasses) {
+  const auto tt = make_data();
+  Rng rng(1);
+  SubsetStore store(tt.train, 5, 2, rng);
+  // 4 classes x 2 subsets, every subset non-empty at 40 rows per class.
+  EXPECT_EQ(store.all_cells().size(), 8u);
+  // Rows of one class split roughly evenly between its two cells.
+  std::map<int, int> counts;
+  for (const int row : tt.train.indices_of_class(0)) ++counts[store.cell_of_row(row)];
+  ASSERT_EQ(counts.size(), 2u);
+  for (const auto& [_, n] : counts) EXPECT_EQ(n, 20);
+}
+
+TEST(SubsetStoreTest, CellsDatasetLabels) {
+  const auto tt = make_data();
+  Rng rng(1);
+  SubsetStore store(tt.train, 5, 2, rng);
+  const auto ds = store.cells_dataset({2 * 2, 2 * 2 + 1});  // both cells of class 2
+  EXPECT_GT(ds.size(), 0);
+  for (int i = 0; i < ds.size(); ++i) EXPECT_EQ(ds.label(i), 2);
+}
+
+TEST(SubsetStoreTest, CellsExcluding) {
+  const auto tt = make_data();
+  Rng rng(1);
+  SubsetStore store(tt.train, 5, 2, rng);
+  const auto rest = store.cells_excluding({0, 1});
+  EXPECT_EQ(rest.size(), 6u);
+  for (const int c : rest) EXPECT_GT(c, 1);
+}
+
+TEST(SubsetStoreTest, ScalingWithinCells) {
+  const auto tt = make_data();
+  Rng rng(1);
+  SubsetStore store(tt.train, 5, 2, rng);
+  // 20 rows per cell, scale 5 -> 4 synthetic samples per cell, 8 cells.
+  EXPECT_EQ(store.total_samples(), 8 * 4);
+}
+
+TEST(SubsetStoreTest, Validation) {
+  const auto tt = make_data();
+  Rng rng(1);
+  EXPECT_THROW(SubsetStore(tt.train, 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(SubsetStore(tt.train, 5, 0, rng), std::invalid_argument);
+}
+
+struct SampleWorld {
+  data::TrainTest tt = make_data();
+  std::vector<data::Dataset> clients;
+  fl::ModelFactory factory;
+  std::unique_ptr<nn::Module> eval_model;
+
+  SampleWorld() {
+    Rng prng(5);
+    clients = data::materialize(tt.train, data::iid_partition(tt.train, 3, prng));
+    nn::ConvNetConfig net;
+    net.in_channels = 1;
+    net.image_size = 8;
+    net.num_classes = 4;
+    net.width = 12;
+    net.depth = 1;
+    auto shared = std::make_shared<Rng>(9);
+    factory = [shared, net] { return nn::make_convnet(net, *shared); };
+    eval_model = factory();
+  }
+
+  QuickDropConfig config() const {
+    QuickDropConfig cfg;
+    cfg.fl_rounds = 15;
+    cfg.local_steps = 6;
+    cfg.batch_size = 16;
+    cfg.train_lr = 0.1f;
+    cfg.scale = 5;
+    cfg.unlearn_local_steps = 4;
+    cfg.unlearn_batch_size = 16;
+    cfg.unlearn_lr = 0.04f;
+    cfg.recover_lr = 0.05f;
+    return cfg;
+  }
+};
+
+TEST(SampleLevelTest, AffectedCellsMapsRowsToOwningSubsets) {
+  SampleWorld w;
+  SampleLevelQuickDrop qd(w.factory, w.clients, w.config(), 2, 77);
+  SampleRequest request;
+  request.rows_per_client[1] = {0, 1, 2};
+  const auto affected = qd.affected_cells(request);
+  ASSERT_EQ(affected.size(), 1u);
+  const auto& cells = affected.at(1);
+  std::set<int> expected;
+  for (const int row : request.rows_per_client[1]) {
+    expected.insert(qd.stores()[1].cell_of_row(row));
+  }
+  EXPECT_EQ(std::set<int>(cells.begin(), cells.end()), expected);
+}
+
+TEST(SampleLevelTest, RejectsBadRequests) {
+  SampleWorld w;
+  SampleLevelQuickDrop qd(w.factory, w.clients, w.config(), 2, 77);
+  SampleRequest empty;
+  const auto state = qd.train();
+  EXPECT_THROW(qd.unlearn(state, empty), std::invalid_argument);
+  SampleRequest bad;
+  bad.rows_per_client[99] = {0};
+  EXPECT_THROW(qd.unlearn(state, bad), std::out_of_range);
+}
+
+TEST(SampleLevelTest, ForgetsSubsetKeepsClass) {
+  SampleWorld w;
+  SampleLevelQuickDrop qd(w.factory, w.clients, w.config(), 2, 77);
+  const auto trained = qd.train();
+  nn::load_state(*w.eval_model, trained);
+  const double test_before = metrics::accuracy(*w.eval_model, w.tt.test);
+  ASSERT_GT(test_before, 0.6);
+
+  // Forget client 0's class-1 samples that live in subset cell (1,0).
+  const int target_cell = 1 * 2 + 0;
+  SampleRequest request;
+  for (int row = 0; row < w.clients[0].size(); ++row) {
+    if (w.clients[0].label(row) == 1 &&
+        qd.stores()[0].cell_of_row(row) == target_cell) {
+      request.rows_per_client[0].push_back(row);
+    }
+  }
+  ASSERT_FALSE(request.rows_per_client[0].empty());
+
+  PhaseStats us, rs;
+  const auto state = qd.unlearn(trained, request, &us, &rs);
+  nn::load_state(*w.eval_model, state);
+
+  // Class 1 knowledge must survive: the same class's other subset (and other
+  // clients) was in the recovery set.
+  const double class1 = metrics::accuracy_on_classes(*w.eval_model, w.tt.test, {1});
+  EXPECT_GT(class1, 0.3);
+  // Overall model remains useful.
+  EXPECT_GT(metrics::accuracy(*w.eval_model, w.tt.test), test_before - 0.3);
+  // Forget set was tiny: far fewer samples than any class's full data.
+  EXPECT_LT(us.data_size, 10);
+  EXPECT_GT(rs.data_size, us.data_size);
+}
+
+TEST(SampleLevelTest, AccuracyOnForgottenSamplesDrops) {
+  SampleWorld w;
+  SampleLevelQuickDrop qd(w.factory, w.clients, w.config(), 2, 77);
+  const auto trained = qd.train();
+
+  // Forget all of class 3 on every client (both subsets) — then the subset
+  // machinery must behave like class-level unlearning.
+  SampleRequest request;
+  for (int client = 0; client < 3; ++client) {
+    for (int row = 0; row < w.clients[static_cast<std::size_t>(client)].size(); ++row) {
+      if (w.clients[static_cast<std::size_t>(client)].label(row) == 3) {
+        request.rows_per_client[client].push_back(row);
+      }
+    }
+  }
+  const auto state = qd.unlearn(trained, request);
+  nn::load_state(*w.eval_model, state);
+  EXPECT_LT(metrics::accuracy_on_classes(*w.eval_model, w.tt.test, {3}), 0.25);
+  EXPECT_GT(metrics::accuracy_excluding_classes(*w.eval_model, w.tt.test, {3}), 0.5);
+}
+
+}  // namespace
+}  // namespace quickdrop::core

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/synthetic_store.h"
+#include "data/synthetic.h"
+
+namespace quickdrop::core {
+namespace {
+
+data::Dataset client_data() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 25;
+  spec.test_per_class = 2;
+  spec.seed = 5;
+  auto tt = data::make_synthetic(spec);
+  // Drop class 3 to simulate non-IID absence.
+  std::vector<int> rows;
+  for (int i = 0; i < tt.train.size(); ++i) {
+    if (tt.train.label(i) != 3) rows.push_back(i);
+  }
+  return tt.train.subset(rows);
+}
+
+TEST(SyntheticStoreTest, CeilScaling) {
+  const auto d = client_data();  // 25 samples in classes 0..2
+  Rng rng(1);
+  SyntheticStore store(d, 10, rng);
+  // ceil(25/10) = 3 per present class.
+  EXPECT_EQ(store.class_count(0), 3);
+  EXPECT_EQ(store.class_count(1), 3);
+  EXPECT_EQ(store.class_count(2), 3);
+  EXPECT_EQ(store.class_count(3), 0);
+  EXPECT_FALSE(store.has_class(3));
+  EXPECT_EQ(store.total_samples(), 9);
+}
+
+TEST(SyntheticStoreTest, AtLeastOneSamplePerPresentClass) {
+  const auto d = client_data();
+  Rng rng(1);
+  SyntheticStore store(d, 1000, rng);  // scale >> class size
+  EXPECT_EQ(store.class_count(0), 1);
+  EXPECT_EQ(store.total_samples(), 3);
+}
+
+TEST(SyntheticStoreTest, ScaleOneKeepsFullSize) {
+  const auto d = client_data();
+  Rng rng(1);
+  SyntheticStore store(d, 1, rng);
+  EXPECT_EQ(store.total_samples(), d.size());
+}
+
+TEST(SyntheticStoreTest, ToDatasetLabels) {
+  const auto d = client_data();
+  Rng rng(1);
+  SyntheticStore store(d, 10, rng);
+  const auto ds = store.to_dataset({1, 2});
+  EXPECT_EQ(ds.size(), 6);
+  EXPECT_EQ(ds.class_counts(), (std::vector<int>{0, 3, 3, 0}));
+  const auto all = store.to_dataset();
+  EXPECT_EQ(all.size(), 9);
+}
+
+TEST(SyntheticStoreTest, AbsentClassYieldsEmptySelection) {
+  const auto d = client_data();
+  Rng rng(1);
+  SyntheticStore store(d, 10, rng);
+  EXPECT_EQ(store.to_dataset({3}).size(), 0);
+}
+
+TEST(SyntheticStoreTest, AugmentedDatasetDoubles) {
+  const auto d = client_data();
+  Rng rng(1);
+  SyntheticStore store(d, 10, rng);
+  const auto aug = store.augmented_dataset({0, 1, 2});
+  EXPECT_EQ(aug.size(), 18);  // 9 synthetic + 9 real
+}
+
+TEST(SyntheticStoreTest, ByteSize) {
+  const auto d = client_data();
+  Rng rng(1);
+  SyntheticStore store(d, 10, rng);
+  EXPECT_EQ(store.byte_size(), 9 * 8 * 8 * 4);
+}
+
+TEST(SyntheticStoreTest, PresentClasses) {
+  const auto d = client_data();
+  Rng rng(1);
+  SyntheticStore store(d, 10, rng);
+  EXPECT_EQ(store.present_classes(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SyntheticStoreTest, MutatingSamplesVisibleInDataset) {
+  const auto d = client_data();
+  Rng rng(1);
+  SyntheticStore store(d, 10, rng);
+  store.class_samples(0).fill(42.0f);
+  const auto ds = store.to_dataset({0});
+  EXPECT_FLOAT_EQ(ds.image(0).at(0), 42.0f);
+}
+
+TEST(SyntheticStoreTest, InitializedFromRealSamples) {
+  // Every initial synthetic sample must be an exact copy of some real sample
+  // of the same class (paper §4.1: init from random real samples).
+  const auto d = client_data();
+  Rng rng(1);
+  SyntheticStore store(d, 10, rng);
+  for (const int c : store.present_classes()) {
+    const auto rows = d.indices_of_class(c);
+    const Tensor& synth = store.class_samples(c);
+    const std::int64_t stride = synth.numel() / synth.dim(0);
+    for (std::int64_t i = 0; i < synth.dim(0); ++i) {
+      bool matched = false;
+      for (const int r : rows) {
+        const auto img = d.image(r);
+        bool equal = true;
+        for (std::int64_t j = 0; j < stride && equal; ++j) {
+          equal = synth.at(i * stride + j) == img.at(j);
+        }
+        matched = matched || equal;
+      }
+      EXPECT_TRUE(matched) << "class " << c << " sample " << i;
+    }
+  }
+}
+
+TEST(SyntheticStoreTest, RejectsBadScale) {
+  const auto d = client_data();
+  Rng rng(1);
+  EXPECT_THROW(SyntheticStore(d, 0, rng), std::invalid_argument);
+}
+
+class ScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaleSweep, SizesFollowCeilFormula) {
+  const auto d = client_data();
+  Rng rng(2);
+  SyntheticStore store(d, GetParam(), rng);
+  for (const int c : store.present_classes()) {
+    const int expected = static_cast<int>(
+        (d.indices_of_class(c).size() + static_cast<std::size_t>(GetParam()) - 1) /
+        static_cast<std::size_t>(GetParam()));
+    EXPECT_EQ(store.class_count(c), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweep, ::testing::Values(1, 2, 5, 10, 25, 100, 1000));
+
+}  // namespace
+}  // namespace quickdrop::core

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace quickdrop::data {
+namespace {
+
+Dataset tiny_dataset() {
+  // 4 samples of 1x2x2 images, labels 0,1,0,2.
+  Tensor images({4, 1, 2, 2});
+  for (std::int64_t i = 0; i < images.numel(); ++i) images.at(i) = static_cast<float>(i);
+  return Dataset(std::move(images), {0, 1, 0, 2}, 3);
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const auto d = tiny_dataset();
+  EXPECT_EQ(d.size(), 4);
+  EXPECT_EQ(d.num_classes(), 3);
+  EXPECT_EQ(d.image_shape(), (Shape{1, 2, 2}));
+  EXPECT_EQ(d.label(1), 1);
+  EXPECT_EQ(d.class_counts(), (std::vector<int>{2, 1, 1}));
+}
+
+TEST(DatasetTest, ImageExtraction) {
+  const auto d = tiny_dataset();
+  const auto img = d.image(1);
+  EXPECT_EQ(img.shape(), (Shape{1, 2, 2}));
+  EXPECT_FLOAT_EQ(img.at(0), 4.0f);
+}
+
+TEST(DatasetTest, BatchStacksRows) {
+  const auto d = tiny_dataset();
+  auto [images, labels] = d.batch({2, 0});
+  EXPECT_EQ(images.shape(), (Shape{2, 1, 2, 2}));
+  EXPECT_EQ(labels, (std::vector<int>{0, 0}));
+  EXPECT_FLOAT_EQ(images.at(0), 8.0f);  // row 2 starts at flat index 8
+  EXPECT_FLOAT_EQ(images.at(4), 0.0f);  // row 0
+}
+
+TEST(DatasetTest, BatchRejectsOutOfRange) {
+  const auto d = tiny_dataset();
+  EXPECT_THROW(d.batch({4}), std::out_of_range);
+}
+
+TEST(DatasetTest, IndicesOfClass) {
+  const auto d = tiny_dataset();
+  EXPECT_EQ(d.indices_of_class(0), (std::vector<int>{0, 2}));
+  EXPECT_TRUE(d.indices_of_class(1) == std::vector<int>{1});
+  EXPECT_TRUE(d.indices_of_class(2) == std::vector<int>{3});
+}
+
+TEST(DatasetTest, SubsetDeepCopies) {
+  const auto d = tiny_dataset();
+  auto s = d.subset({1, 3});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.label(0), 1);
+  EXPECT_EQ(s.label(1), 2);
+}
+
+TEST(DatasetTest, Concat) {
+  const auto d = tiny_dataset();
+  const auto c = Dataset::concat(d, d.subset({0}));
+  EXPECT_EQ(c.size(), 5);
+  EXPECT_EQ(c.label(4), 0);
+  EXPECT_FLOAT_EQ(c.image(4).at(0), 0.0f);
+}
+
+TEST(DatasetTest, ConcatRejectsMismatch) {
+  const auto d = tiny_dataset();
+  const Dataset other(Shape{3, 2, 2}, 3);
+  EXPECT_THROW(Dataset::concat(d, other), std::invalid_argument);
+}
+
+TEST(DatasetTest, LabelsValidated) {
+  Tensor images({1, 1, 2, 2});
+  EXPECT_THROW(Dataset(images.clone(), {5}, 3), std::invalid_argument);
+  EXPECT_THROW(Dataset(images.clone(), {0, 0}, 3), std::invalid_argument);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  const Dataset d(Shape{1, 2, 2}, 3);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0);
+}
+
+TEST(DatasetTest, SampleBatchIndices) {
+  Rng rng(1);
+  const std::vector<int> pool = {10, 20, 30};
+  const auto small = Dataset::sample_batch_indices(pool, 2, rng);
+  EXPECT_EQ(small.size(), 2u);
+  for (const int v : small) EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  const auto all = Dataset::sample_batch_indices(pool, 10, rng);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_THROW(Dataset::sample_batch_indices({}, 2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quickdrop::data

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace quickdrop::data {
+namespace {
+
+Dataset labeled_dataset(int per_class, int num_classes) {
+  const int m = per_class * num_classes;
+  Tensor images({m, 1, 2, 2});
+  std::vector<int> labels(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) labels[static_cast<std::size_t>(i)] = i % num_classes;
+  return Dataset(std::move(images), std::move(labels), num_classes);
+}
+
+void expect_exact_cover(const Dataset& d, const Partition& p) {
+  std::vector<int> seen;
+  for (const auto& client : p) seen.insert(seen.end(), client.begin(), client.end());
+  std::sort(seen.begin(), seen.end());
+  std::vector<int> expected(static_cast<std::size_t>(d.size()));
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(PartitionTest, DirichletCoversAllRowsOnce) {
+  const auto d = labeled_dataset(30, 5);
+  Rng rng(1);
+  const auto p = dirichlet_partition(d, 6, 0.1f, rng);
+  EXPECT_EQ(p.size(), 6u);
+  expect_exact_cover(d, p);
+}
+
+TEST(PartitionTest, DirichletNoEmptyClients) {
+  const auto d = labeled_dataset(10, 3);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const auto p = dirichlet_partition(d, 8, 0.05f, rng);
+    for (const auto& client : p) EXPECT_FALSE(client.empty());
+  }
+}
+
+TEST(PartitionTest, LowerAlphaMoreSkewed) {
+  const auto tt = make_synthetic([] {
+    SyntheticSpec s;
+    s.num_classes = 10;
+    s.channels = 1;
+    s.image_size = 8;
+    s.train_per_class = 40;
+    s.test_per_class = 2;
+    return s;
+  }());
+  Rng rng1(3), rng2(3);
+  const auto skewed = dirichlet_partition(tt.train, 10, 0.1f, rng1);
+  const auto uniform = dirichlet_partition(tt.train, 10, 100.0f, rng2);
+  EXPECT_GT(label_skew(tt.train, skewed), label_skew(tt.train, uniform) + 0.2);
+}
+
+TEST(PartitionTest, IidCoversAndBalances) {
+  const auto d = labeled_dataset(20, 4);
+  Rng rng(2);
+  const auto p = iid_partition(d, 5, rng);
+  expect_exact_cover(d, p);
+  for (const auto& client : p) EXPECT_EQ(client.size(), 16u);
+}
+
+TEST(PartitionTest, IidSkewNearUniform) {
+  const auto tt = make_synthetic([] {
+    SyntheticSpec s;
+    s.num_classes = 10;
+    s.channels = 1;
+    s.image_size = 8;
+    s.train_per_class = 40;
+    s.test_per_class = 2;
+    return s;
+  }());
+  Rng rng(4);
+  const auto p = iid_partition(tt.train, 4, rng);
+  EXPECT_LT(label_skew(tt.train, p), 0.2);
+}
+
+TEST(PartitionTest, MaterializePreservesLabels) {
+  const auto d = labeled_dataset(6, 3);
+  Rng rng(1);
+  const auto p = iid_partition(d, 3, rng);
+  const auto clients = materialize(d, p);
+  ASSERT_EQ(clients.size(), 3u);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    ASSERT_EQ(clients[i].size(), static_cast<int>(p[i].size()));
+    for (int r = 0; r < clients[i].size(); ++r) {
+      EXPECT_EQ(clients[i].label(r), d.label(p[i][static_cast<std::size_t>(r)]));
+    }
+  }
+}
+
+TEST(PartitionTest, Validation) {
+  const auto d = labeled_dataset(2, 2);
+  Rng rng(1);
+  EXPECT_THROW(dirichlet_partition(d, 0, 0.1f, rng), std::invalid_argument);
+  EXPECT_THROW(dirichlet_partition(d, 100, 0.1f, rng), std::invalid_argument);
+  EXPECT_THROW(iid_partition(d, 0, rng), std::invalid_argument);
+}
+
+class DirichletAlphaSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(DirichletAlphaSweep, AlwaysExactCoverAndNonEmpty) {
+  const auto d = labeled_dataset(25, 4);
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  const auto p = dirichlet_partition(d, 7, GetParam(), rng);
+  expect_exact_cover(d, p);
+  for (const auto& client : p) EXPECT_FALSE(client.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletAlphaSweep,
+                         ::testing::Values(0.05f, 0.1f, 0.5f, 1.0f, 10.0f, 100.0f));
+
+}  // namespace
+}  // namespace quickdrop::data

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+
+namespace quickdrop::data {
+namespace {
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 10;
+  spec.test_per_class = 5;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(SyntheticTest, ShapesAndCounts) {
+  const auto tt = make_synthetic(tiny_spec());
+  EXPECT_EQ(tt.train.size(), 40);
+  EXPECT_EQ(tt.test.size(), 20);
+  EXPECT_EQ(tt.train.image_shape(), (Shape{1, 8, 8}));
+  EXPECT_EQ(tt.train.class_counts(), (std::vector<int>{10, 10, 10, 10}));
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const auto a = make_synthetic(tiny_spec());
+  const auto b = make_synthetic(tiny_spec());
+  const auto ia = a.train.image(3);
+  const auto ib = b.train.image(3);
+  for (std::int64_t i = 0; i < ia.numel(); ++i) EXPECT_FLOAT_EQ(ia.at(i), ib.at(i));
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto spec2 = tiny_spec();
+  spec2.seed = 78;
+  const auto a = make_synthetic(tiny_spec());
+  const auto b = make_synthetic(spec2);
+  bool any_diff = false;
+  const auto ia = a.train.image(0);
+  const auto ib = b.train.image(0);
+  for (std::int64_t i = 0; i < ia.numel(); ++i) any_diff = any_diff || ia.at(i) != ib.at(i);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, ClassesAreSeparated) {
+  // Mean within-class distance should be clearly below mean between-class
+  // distance for a low-noise spec.
+  auto spec = tiny_spec();
+  spec.noise = 0.1f;
+  spec.max_shift = 0;
+  const auto tt = make_synthetic(spec);
+  auto dist = [&](int i, int j) {
+    const auto a = tt.train.image(i);
+    const auto b = tt.train.image(j);
+    double acc = 0;
+    for (std::int64_t k = 0; k < a.numel(); ++k) {
+      acc += (a.at(k) - b.at(k)) * (a.at(k) - b.at(k));
+    }
+    return std::sqrt(acc);
+  };
+  // Class c occupies rows [10c, 10c+10).
+  double within = 0, between = 0;
+  int wn = 0, bn = 0;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      within += dist(10 * c + i, 10 * c + i + 5);
+      ++wn;
+      between += dist(10 * c + i, 10 * ((c + 1) % 4) + i);
+      ++bn;
+    }
+  }
+  EXPECT_LT(within / wn, 0.5 * between / bn);
+}
+
+TEST(SyntheticTest, NoiseIncreasesVariance) {
+  auto low = tiny_spec();
+  low.noise = 0.0f;
+  low.max_shift = 0;
+  auto high = tiny_spec();
+  high.noise = 2.0f;
+  high.max_shift = 0;
+  const auto a = make_synthetic(low);
+  const auto b = make_synthetic(high);
+  // Same class, two samples: with zero noise they are identical.
+  const auto a0 = a.train.image(0), a1 = a.train.image(1);
+  for (std::int64_t i = 0; i < a0.numel(); ++i) EXPECT_FLOAT_EQ(a0.at(i), a1.at(i));
+  const auto b0 = b.train.image(0), b1 = b.train.image(1);
+  double diff = 0;
+  for (std::int64_t i = 0; i < b0.numel(); ++i) diff += std::fabs(b0.at(i) - b1.at(i));
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticTest, SpecValidation) {
+  auto spec = tiny_spec();
+  spec.num_classes = 1;
+  EXPECT_THROW(make_synthetic(spec), std::invalid_argument);
+  spec = tiny_spec();
+  spec.noise = -1.0f;
+  EXPECT_THROW(make_synthetic(spec), std::invalid_argument);
+}
+
+TEST(SyntheticTest, NamedSpecs) {
+  EXPECT_EQ(mnist_like_spec().channels, 1);
+  EXPECT_EQ(cifar10_like_spec().channels, 3);
+  EXPECT_GT(svhn_like_spec().train_per_class, cifar10_like_spec().train_per_class);
+  EXPECT_EQ(spec_by_name("mnist").channels, 1);
+  EXPECT_EQ(spec_by_name("cifar10").seed, cifar10_like_spec().seed);
+  EXPECT_THROW(spec_by_name("imagenet"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quickdrop::data

@@ -1,0 +1,108 @@
+// Failure-injection tests: FedAvg must stay correct when sampled clients
+// crash mid-round.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/fedavg.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+
+namespace quickdrop::fl {
+namespace {
+
+struct Fixture {
+  data::TrainTest tt;
+  std::vector<data::Dataset> clients;
+  std::unique_ptr<nn::Module> model;
+
+  Fixture() : tt(make_data()) {
+    Rng prng(1);
+    clients = data::materialize(tt.train, data::iid_partition(tt.train, 4, prng));
+    nn::ConvNetConfig cfg;
+    cfg.in_channels = 1;
+    cfg.image_size = 8;
+    cfg.num_classes = 3;
+    cfg.width = 8;
+    cfg.depth = 1;
+    Rng mrng(2);
+    model = nn::make_convnet(cfg, mrng);
+  }
+
+  static data::TrainTest make_data() {
+    data::SyntheticSpec spec;
+    spec.num_classes = 3;
+    spec.channels = 1;
+    spec.image_size = 8;
+    spec.train_per_class = 20;
+    spec.test_per_class = 10;
+    spec.noise = 0.3f;
+    spec.seed = 91;
+    return data::make_synthetic(spec);
+  }
+};
+
+TEST(FailureInjectionTest, ModerateDropoutStillLearns) {
+  Fixture f;
+  SgdLocalUpdate update(5, 16, 0.1f);
+  FedAvgConfig cfg{.rounds = 10, .participation = 1.0f, .dropout_rate = 0.3f};
+  CostMeter cost;
+  Rng rng(3);
+  const auto state =
+      run_fedavg(*f.model, nn::state_of(*f.model), f.clients, update, cfg, rng, cost);
+  nn::load_state(*f.model, state);
+  EXPECT_GT(metrics::accuracy(*f.model, f.tt.test), 0.6);
+  // Fewer sample-gradients than the failure-free run would use.
+  EXPECT_LT(cost.sample_grads, 10 * 4 * 5 * 16);
+  EXPECT_GT(cost.sample_grads, 0);
+}
+
+TEST(FailureInjectionTest, FullCohortCrashIsNoOpRound) {
+  Fixture f;
+  SgdLocalUpdate update(1, 8, 0.1f);
+  // dropout_rate close to 1: most rounds lose everyone.
+  FedAvgConfig cfg{.rounds = 3, .participation = 1.0f, .dropout_rate = 0.999f};
+  CostMeter cost;
+  Rng rng(3);
+  const auto init = nn::state_of(*f.model);
+  int callbacks = 0;
+  const auto state = run_fedavg(*f.model, init, f.clients, update, cfg, rng, cost,
+                                [&](int, const nn::ModelState&) { ++callbacks; });
+  EXPECT_EQ(callbacks, 3);  // every round reports, even lost ones
+  EXPECT_EQ(cost.rounds, 3);
+  // With near-certain total failure the state is (almost surely) unchanged.
+  EXPECT_NEAR(nn::l2_norm(nn::subtract(state, init)), 0.0, 1e-9);
+}
+
+TEST(FailureInjectionTest, ZeroDropoutMatchesBaseline) {
+  Fixture f;
+  SgdLocalUpdate update(2, 8, 0.1f);
+  CostMeter cost1, cost2;
+  Rng rng1(7), rng2(7);
+  const auto init = nn::state_of(*f.model);
+  FedAvgConfig plain{.rounds = 2, .participation = 1.0f};
+  FedAvgConfig with_zero{.rounds = 2, .participation = 1.0f, .dropout_rate = 0.0f};
+  const auto a = run_fedavg(*f.model, init, f.clients, update, plain, rng1, cost1);
+  const auto b = run_fedavg(*f.model, init, f.clients, update, with_zero, rng2, cost2);
+  EXPECT_NEAR(nn::l2_norm(nn::subtract(a, b)), 0.0, 1e-9);
+}
+
+TEST(FailureInjectionTest, ConfigValidation) {
+  Fixture f;
+  SgdLocalUpdate update(1, 8, 0.1f);
+  CostMeter cost;
+  Rng rng(3);
+  FedAvgConfig bad{.rounds = 1, .participation = 1.0f, .dropout_rate = 1.0f};
+  EXPECT_THROW(
+      run_fedavg(*f.model, nn::state_of(*f.model), f.clients, update, bad, rng, cost),
+      std::invalid_argument);
+  bad.dropout_rate = -0.1f;
+  EXPECT_THROW(
+      run_fedavg(*f.model, nn::state_of(*f.model), f.clients, update, bad, rng, cost),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quickdrop::fl

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fl/client_update.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+#include "nn/state.h"
+
+namespace quickdrop::fl {
+namespace {
+
+data::TrainTest tiny_data() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 20;
+  spec.test_per_class = 10;
+  spec.noise = 0.3f;
+  spec.seed = 95;
+  return data::make_synthetic(spec);
+}
+
+std::unique_ptr<nn::Sequential> tiny_net() {
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 8;
+  cfg.num_classes = 3;
+  cfg.width = 8;
+  cfg.depth = 1;
+  Rng rng(96);
+  return nn::make_convnet(cfg, rng);
+}
+
+TEST(FedProxTest, ReducesLoss) {
+  const auto tt = tiny_data();
+  auto model = tiny_net();
+  const double before = metrics::mean_loss(*model, tt.train);
+  FedProxLocalUpdate update(10, 16, 0.1f, 0.01f);
+  CostMeter cost;
+  Rng rng(1);
+  update.run(*model, tt.train, 0, 0, rng, cost);
+  EXPECT_LT(metrics::mean_loss(*model, tt.train), before);
+  EXPECT_EQ(cost.sample_grads, 10 * 16);
+}
+
+TEST(FedProxTest, ZeroMuMatchesPlainSgd) {
+  const auto tt = tiny_data();
+  auto a = tiny_net();
+  auto b = tiny_net();
+  nn::load_state(*b, nn::state_of(*a));  // identical start
+
+  FedProxLocalUpdate prox(5, 16, 0.1f, 0.0f);
+  SgdLocalUpdate plain(5, 16, 0.1f);
+  CostMeter cost;
+  Rng rng1(7), rng2(7);
+  prox.run(*a, tt.train, 0, 0, rng1, cost);
+  plain.run(*b, tt.train, 0, 0, rng2, cost);
+  EXPECT_NEAR(nn::l2_norm(nn::subtract(nn::state_of(*a), nn::state_of(*b))), 0.0, 1e-9);
+}
+
+TEST(FedProxTest, LargeMuAnchorsToGlobal) {
+  const auto tt = tiny_data();
+  auto free_model = tiny_net();
+  auto anchored = tiny_net();
+  nn::load_state(*anchored, nn::state_of(*free_model));
+  const auto start = nn::state_of(*free_model);
+
+  FedProxLocalUpdate loose(10, 16, 0.05f, 0.0f);
+  FedProxLocalUpdate tight(10, 16, 0.05f, 10.0f);
+  CostMeter cost;
+  Rng rng1(9), rng2(9);
+  loose.run(*free_model, tt.train, 0, 0, rng1, cost);
+  tight.run(*anchored, tt.train, 0, 0, rng2, cost);
+  const double drift_loose = nn::l2_norm(nn::subtract(nn::state_of(*free_model), start));
+  const double drift_tight = nn::l2_norm(nn::subtract(nn::state_of(*anchored), start));
+  EXPECT_LT(drift_tight, 0.5 * drift_loose);
+}
+
+TEST(FedProxTest, Validation) {
+  EXPECT_THROW(FedProxLocalUpdate(0, 16, 0.1f, 0.1f), std::invalid_argument);
+  EXPECT_THROW(FedProxLocalUpdate(5, 16, 0.1f, -0.1f), std::invalid_argument);
+}
+
+TEST(FedProxTest, EmptyDatasetIsNoOp) {
+  auto model = tiny_net();
+  const auto before = nn::state_of(*model);
+  FedProxLocalUpdate update(5, 16, 0.1f, 0.1f);
+  CostMeter cost;
+  Rng rng(1);
+  const data::Dataset empty(Shape{1, 8, 8}, 3);
+  update.run(*model, empty, 0, 0, rng, cost);
+  EXPECT_NEAR(nn::l2_norm(nn::subtract(nn::state_of(*model), before)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace quickdrop::fl

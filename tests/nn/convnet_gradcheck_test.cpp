@@ -1,0 +1,85 @@
+// End-to-end gradient checks through the full ConvNet stack — every layer
+// type composed, first and second order. This is the exact differentiation
+// path QuickDrop's distillation exercises.
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "nn/convnet.h"
+
+namespace quickdrop::nn {
+namespace {
+
+std::unique_ptr<Sequential> micro_convnet() {
+  ConvNetConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 4;
+  cfg.num_classes = 2;
+  cfg.width = 2;
+  cfg.depth = 1;
+  Rng rng(5);
+  return make_convnet(cfg, rng);
+}
+
+Tensor micro_input() {
+  Rng rng(9);
+  return Tensor::randn({2, 1, 4, 4}, rng, 0.7f);
+}
+
+TEST(ConvNetGradcheckTest, LossGradWrtInputPixels) {
+  auto net = micro_convnet();
+  const auto f = [&](const std::vector<ag::Var>& v) {
+    return ag::cross_entropy(net->forward(v[0]), {0, 1});
+  };
+  EXPECT_LT(ag::max_gradient_error(f, {micro_input()}, 1e-2f), 2e-2);
+}
+
+TEST(ConvNetGradcheckTest, LossGradWrtEveryParameter) {
+  auto net = micro_convnet();
+  const Tensor x = micro_input();
+  auto params = net->parameters();
+  // Wrap each parameter as the differentiated input by temporarily loading
+  // candidate values into the live parameter storage.
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const Tensor original = params[p].value().clone();
+    // Analytic gradient of the live parameter leaf.
+    const ag::Var loss = ag::cross_entropy(net->forward(ag::Var::constant(x)), {0, 1});
+    const auto g = ag::grad(loss, {params[p]});
+    // Numeric gradient by central differences on the storage.
+    double max_err = 0.0;
+    for (std::int64_t i = 0; i < original.numel(); ++i) {
+      const float eps = 1e-2f;
+      params[p].mutable_value().copy_from(original);
+      params[p].mutable_value().at(i) += eps;
+      const double plus = static_cast<double>(
+          ag::cross_entropy(net->forward(ag::Var::constant(x)), {0, 1}).value().item());
+      params[p].mutable_value().copy_from(original);
+      params[p].mutable_value().at(i) -= eps;
+      const double minus = static_cast<double>(
+          ag::cross_entropy(net->forward(ag::Var::constant(x)), {0, 1}).value().item());
+      params[p].mutable_value().copy_from(original);
+      const double numeric = (plus - minus) / (2.0 * eps);
+      max_err = std::max(max_err,
+                         std::abs(numeric - static_cast<double>(g[0].value().at(i))));
+    }
+    EXPECT_LT(max_err, 2e-2) << "parameter " << p;
+  }
+}
+
+TEST(ConvNetGradcheckTest, SecondOrderThroughFullNet) {
+  // d/dx of <dLoss/dparams, probe> — the distillation derivative — checked
+  // numerically through conv, norm, relu, pool and linear at once.
+  auto net = micro_convnet();
+  const auto params = net->parameters();
+  const auto f = [&](const std::vector<ag::Var>& v) {
+    const ag::Var loss = ag::cross_entropy(net->forward(v[0]), {0, 1});
+    const auto grads =
+        ag::grad(loss, std::span<const ag::Var>(params), {.create_graph = true});
+    ag::Var acc = ag::scalar(0.0f);
+    for (const auto& g : grads) acc = ag::add(acc, ag::sum_all(ag::square(g)));
+    return acc;
+  };
+  EXPECT_LT(ag::max_gradient_error(f, {micro_input()}, 1e-2f), 5e-2);
+}
+
+}  // namespace
+}  // namespace quickdrop::nn

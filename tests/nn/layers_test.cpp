@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "nn/convnet.h"
+#include "nn/layers.h"
+
+namespace quickdrop::nn {
+namespace {
+
+Tensor seq_tensor(Shape shape, float start = 0.1f, float step = 0.23f) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t.at(i) = start + step * static_cast<float>(i % 11);
+  return t;
+}
+
+TEST(LinearTest, OutputShapeAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  const auto out = layer.forward_tensor(Tensor::zeros({2, 4}));
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+  // Zero input -> output equals the (zero-initialized) bias.
+  EXPECT_FLOAT_EQ(out.value().at(0), 0.0f);
+}
+
+TEST(LinearTest, KnownValue) {
+  Rng rng(1);
+  Linear layer(2, 1, rng);
+  layer.weight().mutable_value() = Tensor({1, 2}, {2.0f, -1.0f});
+  layer.bias().mutable_value() = Tensor({1}, {0.5f});
+  const auto out = layer.forward_tensor(Tensor({1, 2}, {3.0f, 4.0f}));
+  EXPECT_FLOAT_EQ(out.value().item(), 2.0f * 3.0f - 4.0f + 0.5f);
+}
+
+TEST(LinearTest, RejectsBadInputRank) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  EXPECT_THROW(layer.forward_tensor(Tensor::zeros({4})), std::invalid_argument);
+}
+
+TEST(LinearTest, GradcheckThroughLayer) {
+  Rng rng(3);
+  Linear layer(3, 2, rng);
+  const auto f = [&](const std::vector<ag::Var>& v) {
+    return ag::mean_all(ag::square(layer.forward(v[0])));
+  };
+  EXPECT_LT(ag::max_gradient_error(f, {seq_tensor({2, 3})}), 1e-2);
+}
+
+TEST(Conv2dTest, OutputShape) {
+  Rng rng(1);
+  Conv2d conv(2, 5, 3, 1, 1, rng);
+  const auto out = conv.forward_tensor(Tensor::zeros({2, 2, 6, 6}));
+  EXPECT_EQ(out.shape(), (Shape{2, 5, 6, 6}));
+}
+
+TEST(Conv2dTest, StrideReducesResolution) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 2, rng);
+  const auto out = conv.forward_tensor(Tensor::zeros({1, 1, 8, 8}));
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 4, 4}));
+}
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 1, 0, 1, rng);
+  conv.weight().mutable_value() = Tensor({1, 1}, {1.0f});
+  const Tensor x = seq_tensor({1, 1, 3, 3});
+  const auto out = conv.forward_tensor(x).value();
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(out.at(i), x.at(i));
+}
+
+TEST(Conv2dTest, BoxFilterKnownValue) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, 0, 1, rng);
+  conv.weight().mutable_value() = Tensor::ones({1, 9});
+  const Tensor x = Tensor::ones({1, 1, 3, 3});
+  EXPECT_FLOAT_EQ(conv.forward_tensor(x).value().item(), 9.0f);
+}
+
+TEST(Conv2dTest, RejectsChannelMismatch) {
+  Rng rng(1);
+  Conv2d conv(3, 4, 3, 1, 1, rng);
+  EXPECT_THROW(conv.forward_tensor(Tensor::zeros({1, 2, 6, 6})), std::invalid_argument);
+}
+
+TEST(Conv2dTest, GradcheckThroughLayer) {
+  Rng rng(5);
+  Conv2d conv(1, 2, 3, 1, 1, rng);
+  const auto f = [&](const std::vector<ag::Var>& v) {
+    return ag::mean_all(ag::square(conv.forward(v[0])));
+  };
+  EXPECT_LT(ag::max_gradient_error(f, {seq_tensor({1, 1, 4, 4})}), 1e-2);
+}
+
+TEST(InstanceNormTest, NormalizesPerChannel) {
+  InstanceNorm2d norm(2);
+  Rng rng(7);
+  const Tensor x = Tensor::randn({2, 2, 4, 4}, rng, 3.0f);
+  const Tensor y = norm.forward_tensor(x).value();
+  // With gamma=1, beta=0 the per-(n,c) mean is ~0 and variance ~1.
+  for (int n = 0; n < 2; ++n) {
+    for (int c = 0; c < 2; ++c) {
+      double mean = 0, var = 0;
+      for (int p = 0; p < 16; ++p) mean += y.at((n * 2 + c) * 16 + p);
+      mean /= 16;
+      for (int p = 0; p < 16; ++p) {
+        const double d = y.at((n * 2 + c) * 16 + p) - mean;
+        var += d * d;
+      }
+      var /= 16;
+      EXPECT_NEAR(mean, 0.0, 1e-4);
+      EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+  }
+}
+
+TEST(InstanceNormTest, AffineParametersApply) {
+  InstanceNorm2d norm(1);
+  auto params = norm.parameters();
+  params[0].mutable_value().fill(2.0f);  // gamma
+  params[1].mutable_value().fill(5.0f);  // beta
+  Rng rng(7);
+  const Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  const Tensor y = norm.forward_tensor(x).value();
+  double mean = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) mean += y.at(i);
+  EXPECT_NEAR(mean / static_cast<double>(y.numel()), 5.0, 1e-3);
+}
+
+TEST(InstanceNormTest, GradcheckThroughLayer) {
+  InstanceNorm2d norm(2);
+  const auto f = [&](const std::vector<ag::Var>& v) {
+    return ag::mean_all(ag::square(norm.forward(v[0])));
+  };
+  EXPECT_LT(ag::max_gradient_error(f, {seq_tensor({1, 2, 2, 2}, 0.3f, 0.41f)}, 1e-3f), 3e-2);
+}
+
+TEST(AvgPoolTest, KnownValues) {
+  AvgPool2d pool(2);
+  const Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(pool.forward_tensor(x).value().item(), 2.5f);
+}
+
+TEST(AvgPoolTest, ShapeAndIndivisibleThrows) {
+  AvgPool2d pool(2);
+  EXPECT_EQ(pool.forward_tensor(Tensor::zeros({2, 3, 8, 8})).shape(), (Shape{2, 3, 4, 4}));
+  EXPECT_THROW(pool.forward_tensor(Tensor::zeros({1, 1, 5, 4})), std::invalid_argument);
+}
+
+TEST(AvgPoolTest, PoolingIsExactMeanPerWindow) {
+  AvgPool2d pool(2);
+  Tensor x({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) x.at(i) = static_cast<float>(i);
+  const Tensor y = pool.forward_tensor(x).value();
+  EXPECT_FLOAT_EQ(y.at(0), (0 + 1 + 4 + 5) / 4.0f);
+  EXPECT_FLOAT_EQ(y.at(3), (10 + 11 + 14 + 15) / 4.0f);
+}
+
+TEST(FlattenTest, Shape) {
+  Flatten flatten;
+  EXPECT_EQ(flatten.forward_tensor(Tensor::zeros({2, 3, 4, 5})).shape(), (Shape{2, 60}));
+}
+
+TEST(ReluTest, Values) {
+  ReLU relu;
+  const auto y = relu.forward_tensor(Tensor({3}, {-1.0f, 0.0f, 2.0f})).value();
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 2.0f);
+}
+
+TEST(SequentialTest, ChainsAndCollectsParameters) {
+  Rng rng(1);
+  Sequential net;
+  net.add(std::make_unique<Linear>(4, 8, rng)).add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Linear>(8, 2, rng));
+  EXPECT_EQ(net.parameters().size(), 4u);
+  EXPECT_EQ(net.num_parameters(), 4 * 8 + 8 + 8 * 2 + 2);
+  EXPECT_EQ(net.forward_tensor(Tensor::zeros({3, 4})).shape(), (Shape{3, 2}));
+}
+
+}  // namespace
+}  // namespace quickdrop::nn

@@ -1,0 +1,42 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace quickdrop {
+namespace {
+
+TEST(ShapeTest, NumelOfScalarIsOne) { EXPECT_EQ(numel({}), 1); }
+
+TEST(ShapeTest, NumelProduct) { EXPECT_EQ(numel({2, 3, 4}), 24); }
+
+TEST(ShapeTest, NumelRejectsNegative) { EXPECT_THROW(numel({2, -1}), std::invalid_argument); }
+
+TEST(ShapeTest, ContiguousStrides) {
+  const auto s = contiguous_strides({2, 3, 4});
+  EXPECT_EQ(s, (std::vector<std::int64_t>{12, 4, 1}));
+}
+
+TEST(ShapeTest, BroadcastEqualShapes) {
+  EXPECT_EQ(broadcast_shapes({2, 3}, {2, 3}), (Shape{2, 3}));
+}
+
+TEST(ShapeTest, BroadcastWithOnes) {
+  EXPECT_EQ(broadcast_shapes({4, 1, 3}, {2, 1}), (Shape{4, 2, 3}));
+  EXPECT_EQ(broadcast_shapes({}, {5}), (Shape{5}));
+}
+
+TEST(ShapeTest, BroadcastIncompatibleThrows) {
+  EXPECT_THROW(broadcast_shapes({2, 3}, {2, 4}), std::invalid_argument);
+}
+
+TEST(ShapeTest, BroadcastableTo) {
+  EXPECT_TRUE(broadcastable_to({1, 3}, {2, 3}));
+  EXPECT_TRUE(broadcastable_to({}, {2, 3}));
+  EXPECT_FALSE(broadcastable_to({2}, {2, 3}));  // trailing alignment: 2 vs 3
+  EXPECT_FALSE(broadcastable_to({2, 3, 4}, {3, 4}));
+}
+
+TEST(ShapeTest, ToString) { EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]"); }
+
+}  // namespace
+}  // namespace quickdrop

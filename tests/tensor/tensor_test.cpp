@@ -1,0 +1,88 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace quickdrop {
+namespace {
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t.item(), 0.0f);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FromValuesChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, CopiesAliasStorage) {
+  Tensor a({2});
+  Tensor b = a;
+  b.at(0) = 5.0f;
+  EXPECT_FLOAT_EQ(a.at(0), 5.0f);
+  EXPECT_TRUE(a.same_storage(b));
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a.clone();
+  b.at(0) = 9.0f;
+  EXPECT_FLOAT_EQ(a.at(0), 1.0f);
+  EXPECT_FALSE(a.same_storage(b));
+}
+
+TEST(TensorTest, ReshapedSharesStorage) {
+  Tensor a({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor b = a.reshaped({3, 2});
+  EXPECT_TRUE(a.same_storage(b));
+  EXPECT_EQ(b.shape(), (Shape{3, 2}));
+  EXPECT_THROW(a.reshaped({4}), std::invalid_argument);
+}
+
+TEST(TensorTest, InPlaceOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.add_(b, 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(a.at(2), 18.0f);
+  a.scale_(2.0f);
+  EXPECT_FLOAT_EQ(a.at(0), 12.0f);
+  a.copy_from(b);
+  EXPECT_FLOAT_EQ(a.at(1), 20.0f);
+}
+
+TEST(TensorTest, InPlaceOpsRejectShapeMismatch) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+  EXPECT_THROW(a.copy_from(b), std::invalid_argument);
+}
+
+TEST(TensorTest, ItemRequiresSingleElement) {
+  Tensor t({2});
+  EXPECT_THROW(static_cast<void>(t.item()), std::logic_error);
+}
+
+TEST(TensorTest, Aggregates) {
+  Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.5f);
+  EXPECT_FLOAT_EQ(t.max_abs(), 4.0f);
+}
+
+TEST(TensorTest, RandnHasRoughlyUnitVariance) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({10000}, rng);
+  double sum2 = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) sum2 += t.at(i) * t.at(i);
+  EXPECT_NEAR(sum2 / static_cast<double>(t.numel()), 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace quickdrop

@@ -1,0 +1,69 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace quickdrop {
+namespace {
+
+std::vector<char*> make_argv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(CliTest, ParsesEqualsForm) {
+  std::vector<std::string> args = {"prog", "--clients=10", "--alpha=0.1", "--name=hello"};
+  auto argv = make_argv(args);
+  CliFlags flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.get_int("clients", 0), 10);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.0), 0.1);
+  EXPECT_EQ(flags.get_string("name", ""), "hello");
+}
+
+TEST(CliTest, ParsesSpaceForm) {
+  std::vector<std::string> args = {"prog", "--clients", "20"};
+  auto argv = make_argv(args);
+  CliFlags flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.get_int("clients", 0), 20);
+}
+
+TEST(CliTest, BareFlagIsTrue) {
+  std::vector<std::string> args = {"prog", "--verbose"};
+  auto argv = make_argv(args);
+  CliFlags flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(CliTest, DefaultsWhenAbsent) {
+  std::vector<std::string> args = {"prog"};
+  auto argv = make_argv(args);
+  CliFlags flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_FALSE(flags.get_bool("missing2", false));
+}
+
+TEST(CliTest, RejectsPositionalArgs) {
+  std::vector<std::string> args = {"prog", "oops"};
+  auto argv = make_argv(args);
+  EXPECT_THROW(CliFlags(static_cast<int>(argv.size()), argv.data()), std::invalid_argument);
+}
+
+TEST(CliTest, DetectsUnusedFlags) {
+  std::vector<std::string> args = {"prog", "--used=1", "--typo=2"};
+  auto argv = make_argv(args);
+  CliFlags flags(static_cast<int>(argv.size()), argv.data());
+  flags.get_int("used", 0);
+  EXPECT_EQ(flags.unused(), std::vector<std::string>{"typo"});
+  EXPECT_THROW(flags.check_unused(), std::invalid_argument);
+}
+
+TEST(CliTest, CheckUnusedPassesWhenAllConsumed) {
+  std::vector<std::string> args = {"prog", "--a=1"};
+  auto argv = make_argv(args);
+  CliFlags flags(static_cast<int>(argv.size()), argv.data());
+  flags.get_int("a", 0);
+  EXPECT_NO_THROW(flags.check_unused());
+}
+
+}  // namespace
+}  // namespace quickdrop

@@ -1,0 +1,129 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace quickdrop {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += a.next_u64() != b.next_u64();
+  EXPECT_GT(differing, 10);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 2);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(RngTest, NormalMomentsReasonable) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SplitStreamsIndependentOfParentUsage) {
+  Rng parent1(9), parent2(9);
+  parent2.next_u64();  // consume from one parent only
+  Rng c1 = parent1.split(123);
+  Rng c2 = parent2.split(123);
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(RngTest, SplitWithDifferentTagsDiffer) {
+  Rng parent(9);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  const auto s = rng.sample_without_replacement(10, 7);
+  EXPECT_EQ(s.size(), 7u);
+  std::set<int> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 7u);
+  for (const int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsBadK) {
+  Rng rng(5);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+  EXPECT_THROW(rng.sample_without_replacement(3, -1), std::invalid_argument);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(5);
+  auto p = rng.permutation(20);
+  std::sort(p.begin(), p.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(13);
+  for (const float alpha : {0.1f, 1.0f, 10.0f}) {
+    const auto v = rng.dirichlet(alpha, 10);
+    const float sum = std::accumulate(v.begin(), v.end(), 0.0f);
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+    for (const float x : v) EXPECT_GT(x, 0.0f);
+  }
+}
+
+TEST(RngTest, DirichletLowAlphaIsSkewed) {
+  // With alpha=0.05 the mass should concentrate on few coordinates; with
+  // alpha=100 it should be near-uniform.
+  Rng rng(17);
+  double max_low = 0, max_high = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    const auto low = rng.dirichlet(0.05f, 10);
+    const auto high = rng.dirichlet(100.0f, 10);
+    max_low += *std::max_element(low.begin(), low.end());
+    max_high += *std::max_element(high.begin(), high.end());
+  }
+  EXPECT_GT(max_low / trials, 0.6);
+  EXPECT_LT(max_high / trials, 0.2);
+}
+
+TEST(RngTest, DirichletRejectsBadParams) {
+  Rng rng(1);
+  EXPECT_THROW(rng.dirichlet(0.0f, 3), std::invalid_argument);
+  EXPECT_THROW(rng.dirichlet(1.0f, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quickdrop

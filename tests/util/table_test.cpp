@@ -1,0 +1,39 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace quickdrop {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"x"});
+  EXPECT_NE(t.render().find("| x |   |"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(fmt_double(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_percent(0.1234), "12.34%");
+  EXPECT_EQ(fmt_percent(0.5, 1), "50.0%");
+}
+
+}  // namespace
+}  // namespace quickdrop

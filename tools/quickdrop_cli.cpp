@@ -1,0 +1,287 @@
+// quickdrop_cli — end-to-end federated unlearning from the command line.
+//
+//   quickdrop_cli train   --dataset cifar10 --clients 10 --alpha 0.1
+//                         --rounds 30 --scale 10 --out model.qdcp
+//   quickdrop_cli eval    --checkpoint model.qdcp
+//   quickdrop_cli unlearn --checkpoint model.qdcp --class 9 --out fixed.qdcp
+//   quickdrop_cli unlearn --checkpoint model.qdcp --client 3 --out fixed.qdcp
+//   quickdrop_cli relearn --checkpoint fixed.qdcp --class 9 --out back.qdcp
+//   quickdrop_cli inspect --checkpoint model.qdcp
+//
+// Checkpoints are self-describing: train embeds the federation configuration
+// (dataset, clients, partition, seeds, model geometry) in the checkpoint
+// metadata, and the other commands rebuild the identical federation from it —
+// the synthetic data rides along in the file, so unlearning never touches the
+// original training data.
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/quickdrop.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+namespace {
+
+/// Federation parameters, embeddable in checkpoint metadata.
+struct FedSpec {
+  std::string dataset = "cifar10";
+  int clients = 10;
+  double alpha = 0.1;
+  bool iid = false;
+  int rounds = 30;
+  int local_steps = 5;
+  int batch = 32;
+  double train_lr = 0.05;
+  int scale = 10;
+  int width = 16;
+  int depth = 2;
+  std::uint64_t seed = 42;
+
+  static FedSpec from_flags(qd::CliFlags& flags) {
+    FedSpec s;
+    s.dataset = flags.get_string("dataset", s.dataset);
+    s.clients = flags.get_int("clients", s.clients);
+    s.alpha = flags.get_double("alpha", s.alpha);
+    s.iid = flags.get_bool("iid", s.iid);
+    s.rounds = flags.get_int("rounds", s.rounds);
+    s.local_steps = flags.get_int("local-steps", s.local_steps);
+    s.batch = flags.get_int("batch", s.batch);
+    s.train_lr = flags.get_double("train-lr", s.train_lr);
+    s.scale = flags.get_int("scale", s.scale);
+    s.width = flags.get_int("width", s.width);
+    s.depth = flags.get_int("depth", s.depth);
+    s.seed = static_cast<std::uint64_t>(flags.get_int("seed", static_cast<int>(s.seed)));
+    return s;
+  }
+
+  [[nodiscard]] std::map<std::string, std::string> to_metadata() const {
+    return {{"dataset", dataset},
+            {"clients", std::to_string(clients)},
+            {"alpha", qd::fmt_double(alpha, 6)},
+            {"iid", iid ? "1" : "0"},
+            {"rounds", std::to_string(rounds)},
+            {"local_steps", std::to_string(local_steps)},
+            {"batch", std::to_string(batch)},
+            {"train_lr", qd::fmt_double(train_lr, 6)},
+            {"scale", std::to_string(scale)},
+            {"width", std::to_string(width)},
+            {"depth", std::to_string(depth)},
+            {"seed", std::to_string(seed)}};
+  }
+
+  static FedSpec from_metadata(const std::map<std::string, std::string>& m) {
+    FedSpec s;
+    auto get = [&](const char* key) -> const std::string& {
+      const auto it = m.find(key);
+      if (it == m.end()) {
+        throw std::invalid_argument(std::string("checkpoint metadata missing '") + key + "'");
+      }
+      return it->second;
+    };
+    s.dataset = get("dataset");
+    s.clients = std::stoi(get("clients"));
+    s.alpha = std::stod(get("alpha"));
+    s.iid = get("iid") == "1";
+    s.rounds = std::stoi(get("rounds"));
+    s.local_steps = std::stoi(get("local_steps"));
+    s.batch = std::stoi(get("batch"));
+    s.train_lr = std::stod(get("train_lr"));
+    s.scale = std::stoi(get("scale"));
+    s.width = std::stoi(get("width"));
+    s.depth = std::stoi(get("depth"));
+    s.seed = std::stoull(get("seed"));
+    return s;
+  }
+};
+
+/// Live federation rebuilt from a FedSpec.
+struct Federation {
+  FedSpec spec;
+  qd::data::TrainTest data;
+  qd::fl::ModelFactory factory;
+  std::unique_ptr<qd::core::QuickDrop> quickdrop;
+  std::unique_ptr<qd::nn::Module> eval_model;
+};
+
+Federation build(const FedSpec& spec) {
+  Federation fed{.spec = spec,
+                 .data = qd::data::make_synthetic(qd::data::spec_by_name(spec.dataset)),
+                 .factory = {},
+                 .quickdrop = nullptr,
+                 .eval_model = nullptr};
+  qd::Rng prng(spec.seed ^ 0x9A97);
+  const auto partition =
+      spec.iid ? qd::data::iid_partition(fed.data.train, spec.clients, prng)
+               : qd::data::dirichlet_partition(fed.data.train, spec.clients,
+                                               static_cast<float>(spec.alpha), prng);
+  auto clients = qd::data::materialize(fed.data.train, partition);
+
+  qd::nn::ConvNetConfig net;
+  net.in_channels = static_cast<int>(fed.data.train.image_shape()[0]);
+  net.image_size = static_cast<int>(fed.data.train.image_shape()[1]);
+  net.num_classes = fed.data.train.num_classes();
+  net.width = spec.width;
+  net.depth = spec.depth;
+  net.validate();
+  auto mrng = std::make_shared<qd::Rng>(spec.seed ^ 0xDEED);
+  fed.factory = [mrng, net] { return qd::nn::make_convnet(net, *mrng); };
+
+  qd::core::QuickDropConfig cfg;
+  cfg.fl_rounds = spec.rounds;
+  cfg.local_steps = spec.local_steps;
+  cfg.batch_size = spec.batch;
+  cfg.train_lr = static_cast<float>(spec.train_lr);
+  cfg.scale = spec.scale;
+  cfg.unlearn_lr = 0.05f;
+  cfg.recover_lr = 0.03f;
+  cfg.max_unlearn_rounds = 4;  // verified unlearning
+  fed.quickdrop = std::make_unique<qd::core::QuickDrop>(fed.factory, std::move(clients), cfg,
+                                                        spec.seed);
+  fed.eval_model = fed.factory();
+  return fed;
+}
+
+void print_eval(Federation& fed, const qd::nn::ModelState& state) {
+  qd::nn::load_state(*fed.eval_model, state);
+  std::printf("test accuracy: %s\n",
+              qd::fmt_percent(qd::metrics::accuracy(*fed.eval_model, fed.data.test)).c_str());
+  const auto pc = qd::metrics::per_class_accuracy(*fed.eval_model, fed.data.test);
+  std::printf("per class:");
+  for (std::size_t c = 0; c < pc.size(); ++c) {
+    std::printf(" c%zu=%s", c, qd::fmt_percent(pc[c], 1).c_str());
+  }
+  std::printf("\n");
+}
+
+qd::core::UnlearningRequest request_from_flags(qd::CliFlags& flags) {
+  const int class_id = flags.get_int("class", -1);
+  const int client_id = flags.get_int("client", -1);
+  if ((class_id >= 0) == (client_id >= 0)) {
+    throw std::invalid_argument("specify exactly one of --class or --client");
+  }
+  return class_id >= 0 ? qd::core::UnlearningRequest::for_class(class_id)
+                       : qd::core::UnlearningRequest::for_client(client_id);
+}
+
+int cmd_train(qd::CliFlags& flags) {
+  const auto spec = FedSpec::from_flags(flags);
+  const auto out = flags.get_string("out", "model.qdcp");
+  flags.check_unused();
+  auto fed = build(spec);
+  std::printf("training %d clients on %s for %d rounds (scale s=%d)...\n", spec.clients,
+              spec.dataset.c_str(), spec.rounds, spec.scale);
+  const auto state = fed.quickdrop->train();
+  print_eval(fed, state);
+  auto cp = qd::core::make_checkpoint(state, fed.quickdrop->stores());
+  cp.metadata = spec.to_metadata();
+  qd::core::save_checkpoint(cp, out);
+  std::printf("checkpoint written to %s\n", out.c_str());
+  return 0;
+}
+
+/// Loads the checkpoint and rebuilds the matching federation (no training).
+std::pair<Federation, qd::core::Checkpoint> load(qd::CliFlags& flags) {
+  const auto path = flags.get_string("checkpoint", "model.qdcp");
+  auto cp = qd::core::load_checkpoint(path);
+  auto fed = build(FedSpec::from_metadata(cp.metadata));
+  fed.quickdrop->load_stores(qd::core::restore_stores(cp));
+  return {std::move(fed), std::move(cp)};
+}
+
+int cmd_eval(qd::CliFlags& flags) {
+  auto [fed, cp] = load(flags);
+  flags.check_unused();
+  print_eval(fed, cp.global);
+  return 0;
+}
+
+int cmd_inspect(qd::CliFlags& flags) {
+  const auto path = flags.get_string("checkpoint", "model.qdcp");
+  flags.check_unused();
+  const auto cp = qd::core::load_checkpoint(path);
+  std::printf("checkpoint %s\n", path.c_str());
+  for (const auto& [key, value] : cp.metadata) std::printf("  %s = %s\n", key.c_str(), value.c_str());
+  std::printf("  model parameters: %lld tensors, %lld bytes\n",
+              static_cast<long long>(cp.global.size()),
+              static_cast<long long>(qd::nn::state_bytes(cp.global)));
+  std::int64_t synth = 0;
+  for (const auto& client : cp.clients) {
+    for (const auto& t : client.synthetic) synth += t.dim(0) > 0 ? t.dim(0) : 0;
+  }
+  std::printf("  clients: %zu, synthetic samples: %lld\n", cp.clients.size(),
+              static_cast<long long>(synth));
+  return 0;
+}
+
+int cmd_unlearn(qd::CliFlags& flags) {
+  auto [fed, cp] = load(flags);
+  const auto request = request_from_flags(flags);
+  const auto out = flags.get_string("out", "unlearned.qdcp");
+  flags.check_unused();
+  std::printf("before unlearning %s:\n", request.to_string().c_str());
+  print_eval(fed, cp.global);
+  qd::core::PhaseStats us, rs;
+  const auto state = fed.quickdrop->unlearn(cp.global, request, &us, &rs);
+  std::printf("after unlearning (%.2fs unlearn + %.2fs recovery):\n", us.seconds, rs.seconds);
+  print_eval(fed, state);
+  auto new_cp = qd::core::make_checkpoint(state, fed.quickdrop->stores());
+  new_cp.metadata = cp.metadata;
+  qd::core::save_checkpoint(new_cp, out);
+  std::printf("checkpoint written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_relearn(qd::CliFlags& flags) {
+  auto [fed, cp] = load(flags);
+  const auto request = request_from_flags(flags);
+  const auto out = flags.get_string("out", "relearned.qdcp");
+  flags.check_unused();
+  qd::core::PhaseStats stats;
+  const auto state = fed.quickdrop->relearn(cp.global, request, &stats);
+  std::printf("after relearning %s (%.2fs):\n", request.to_string().c_str(), stats.seconds);
+  print_eval(fed, state);
+  auto new_cp = qd::core::make_checkpoint(state, fed.quickdrop->stores());
+  new_cp.metadata = cp.metadata;
+  qd::core::save_checkpoint(new_cp, out);
+  std::printf("checkpoint written to %s\n", out.c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: quickdrop_cli <train|eval|unlearn|relearn|inspect> [--flags]\n"
+               "  train   --dataset D --clients N --rounds R --scale S --out FILE\n"
+               "  eval    --checkpoint FILE\n"
+               "  unlearn --checkpoint FILE (--class C | --client I) --out FILE\n"
+               "  relearn --checkpoint FILE (--class C | --client I) --out FILE\n"
+               "  inspect --checkpoint FILE\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    qd::CliFlags flags(argc - 1, argv + 1);
+    if (command == "train") return cmd_train(flags);
+    if (command == "eval") return cmd_eval(flags);
+    if (command == "unlearn") return cmd_unlearn(flags);
+    if (command == "relearn") return cmd_relearn(flags);
+    if (command == "inspect") return cmd_inspect(flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
