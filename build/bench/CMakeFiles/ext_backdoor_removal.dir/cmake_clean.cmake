@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_backdoor_removal.dir/ext_backdoor_removal.cpp.o"
+  "CMakeFiles/ext_backdoor_removal.dir/ext_backdoor_removal.cpp.o.d"
+  "ext_backdoor_removal"
+  "ext_backdoor_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_backdoor_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

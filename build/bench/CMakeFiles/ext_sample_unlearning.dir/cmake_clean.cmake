@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sample_unlearning.dir/ext_sample_unlearning.cpp.o"
+  "CMakeFiles/ext_sample_unlearning.dir/ext_sample_unlearning.cpp.o.d"
+  "ext_sample_unlearning"
+  "ext_sample_unlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sample_unlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

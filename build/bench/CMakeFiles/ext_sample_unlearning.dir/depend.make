@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_sample_unlearning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_unlearning_curve.cpp" "bench/CMakeFiles/fig2_unlearning_curve.dir/fig2_unlearning_curve.cpp.o" "gcc" "bench/CMakeFiles/fig2_unlearning_curve.dir/fig2_unlearning_curve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/qd_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/qd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/qd_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/qd_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/qd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/qd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/qd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/qd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

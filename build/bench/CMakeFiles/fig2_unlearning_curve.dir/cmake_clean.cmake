@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_unlearning_curve.dir/fig2_unlearning_curve.cpp.o"
+  "CMakeFiles/fig2_unlearning_curve.dir/fig2_unlearning_curve.cpp.o.d"
+  "fig2_unlearning_curve"
+  "fig2_unlearning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_unlearning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

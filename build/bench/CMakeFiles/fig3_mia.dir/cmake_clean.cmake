@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mia.dir/fig3_mia.cpp.o"
+  "CMakeFiles/fig3_mia.dir/fig3_mia.cpp.o.d"
+  "fig3_mia"
+  "fig3_mia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

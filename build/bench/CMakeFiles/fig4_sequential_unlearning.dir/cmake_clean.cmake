@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sequential_unlearning.dir/fig4_sequential_unlearning.cpp.o"
+  "CMakeFiles/fig4_sequential_unlearning.dir/fig4_sequential_unlearning.cpp.o.d"
+  "fig4_sequential_unlearning"
+  "fig4_sequential_unlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sequential_unlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

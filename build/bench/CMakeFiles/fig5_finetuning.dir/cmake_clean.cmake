@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_finetuning.dir/fig5_finetuning.cpp.o"
+  "CMakeFiles/fig5_finetuning.dir/fig5_finetuning.cpp.o.d"
+  "fig5_finetuning"
+  "fig5_finetuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_finetuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_bench_common.dir/common/world.cpp.o"
+  "CMakeFiles/qd_bench_common.dir/common/world.cpp.o.d"
+  "libqd_bench_common.a"
+  "libqd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

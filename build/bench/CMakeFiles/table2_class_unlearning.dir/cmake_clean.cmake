@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_class_unlearning.dir/table2_class_unlearning.cpp.o"
+  "CMakeFiles/table2_class_unlearning.dir/table2_class_unlearning.cpp.o.d"
+  "table2_class_unlearning"
+  "table2_class_unlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_class_unlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_large_network.dir/table3_large_network.cpp.o"
+  "CMakeFiles/table3_large_network.dir/table3_large_network.cpp.o.d"
+  "table3_large_network"
+  "table3_large_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_large_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

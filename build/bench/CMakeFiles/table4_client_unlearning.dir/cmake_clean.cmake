@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_client_unlearning.dir/table4_client_unlearning.cpp.o"
+  "CMakeFiles/table4_client_unlearning.dir/table4_client_unlearning.cpp.o.d"
+  "table4_client_unlearning"
+  "table4_client_unlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_client_unlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_relearning.dir/table5_relearning.cpp.o"
+  "CMakeFiles/table5_relearning.dir/table5_relearning.cpp.o.d"
+  "table5_relearning"
+  "table5_relearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_relearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_dd_overhead.dir/table6_dd_overhead.cpp.o"
+  "CMakeFiles/table6_dd_overhead.dir/table6_dd_overhead.cpp.o.d"
+  "table6_dd_overhead"
+  "table6_dd_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_dd_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

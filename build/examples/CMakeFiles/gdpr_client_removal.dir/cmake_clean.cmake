@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdpr_client_removal.dir/gdpr_client_removal.cpp.o"
+  "CMakeFiles/gdpr_client_removal.dir/gdpr_client_removal.cpp.o.d"
+  "gdpr_client_removal"
+  "gdpr_client_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdpr_client_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gdpr_client_removal.
+# This may be replaced when dependencies are built.

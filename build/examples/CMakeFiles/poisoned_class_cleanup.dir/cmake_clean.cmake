@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisoned_class_cleanup.dir/poisoned_class_cleanup.cpp.o"
+  "CMakeFiles/poisoned_class_cleanup.dir/poisoned_class_cleanup.cpp.o.d"
+  "poisoned_class_cleanup"
+  "poisoned_class_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisoned_class_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

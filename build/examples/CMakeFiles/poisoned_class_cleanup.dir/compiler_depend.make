@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for poisoned_class_cleanup.
+# This may be replaced when dependencies are built.

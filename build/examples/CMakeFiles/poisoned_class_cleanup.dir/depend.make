@@ -1,0 +1,2 @@
+# Empty dependencies file for poisoned_class_cleanup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_attack.dir/backdoor.cpp.o"
+  "CMakeFiles/qd_attack.dir/backdoor.cpp.o.d"
+  "CMakeFiles/qd_attack.dir/mia.cpp.o"
+  "CMakeFiles/qd_attack.dir/mia.cpp.o.d"
+  "libqd_attack.a"
+  "libqd_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

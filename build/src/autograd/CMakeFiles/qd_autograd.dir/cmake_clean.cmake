@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_autograd.dir/gradcheck.cpp.o"
+  "CMakeFiles/qd_autograd.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/qd_autograd.dir/ops.cpp.o"
+  "CMakeFiles/qd_autograd.dir/ops.cpp.o.d"
+  "CMakeFiles/qd_autograd.dir/var.cpp.o"
+  "CMakeFiles/qd_autograd.dir/var.cpp.o.d"
+  "libqd_autograd.a"
+  "libqd_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/federaser.cpp" "src/baselines/CMakeFiles/qd_baselines.dir/federaser.cpp.o" "gcc" "src/baselines/CMakeFiles/qd_baselines.dir/federaser.cpp.o.d"
+  "/root/repo/src/baselines/fump.cpp" "src/baselines/CMakeFiles/qd_baselines.dir/fump.cpp.o" "gcc" "src/baselines/CMakeFiles/qd_baselines.dir/fump.cpp.o.d"
+  "/root/repo/src/baselines/harness.cpp" "src/baselines/CMakeFiles/qd_baselines.dir/harness.cpp.o" "gcc" "src/baselines/CMakeFiles/qd_baselines.dir/harness.cpp.o.d"
+  "/root/repo/src/baselines/method.cpp" "src/baselines/CMakeFiles/qd_baselines.dir/method.cpp.o" "gcc" "src/baselines/CMakeFiles/qd_baselines.dir/method.cpp.o.d"
+  "/root/repo/src/baselines/quickdrop_method.cpp" "src/baselines/CMakeFiles/qd_baselines.dir/quickdrop_method.cpp.o" "gcc" "src/baselines/CMakeFiles/qd_baselines.dir/quickdrop_method.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/baselines/CMakeFiles/qd_baselines.dir/registry.cpp.o" "gcc" "src/baselines/CMakeFiles/qd_baselines.dir/registry.cpp.o.d"
+  "/root/repo/src/baselines/simple_methods.cpp" "src/baselines/CMakeFiles/qd_baselines.dir/simple_methods.cpp.o" "gcc" "src/baselines/CMakeFiles/qd_baselines.dir/simple_methods.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/qd_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/qd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/qd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/qd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/qd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

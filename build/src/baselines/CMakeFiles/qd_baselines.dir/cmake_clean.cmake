@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_baselines.dir/federaser.cpp.o"
+  "CMakeFiles/qd_baselines.dir/federaser.cpp.o.d"
+  "CMakeFiles/qd_baselines.dir/fump.cpp.o"
+  "CMakeFiles/qd_baselines.dir/fump.cpp.o.d"
+  "CMakeFiles/qd_baselines.dir/harness.cpp.o"
+  "CMakeFiles/qd_baselines.dir/harness.cpp.o.d"
+  "CMakeFiles/qd_baselines.dir/method.cpp.o"
+  "CMakeFiles/qd_baselines.dir/method.cpp.o.d"
+  "CMakeFiles/qd_baselines.dir/quickdrop_method.cpp.o"
+  "CMakeFiles/qd_baselines.dir/quickdrop_method.cpp.o.d"
+  "CMakeFiles/qd_baselines.dir/registry.cpp.o"
+  "CMakeFiles/qd_baselines.dir/registry.cpp.o.d"
+  "CMakeFiles/qd_baselines.dir/simple_methods.cpp.o"
+  "CMakeFiles/qd_baselines.dir/simple_methods.cpp.o.d"
+  "libqd_baselines.a"
+  "libqd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/qd_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/qd_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/distillation.cpp" "src/core/CMakeFiles/qd_core.dir/distillation.cpp.o" "gcc" "src/core/CMakeFiles/qd_core.dir/distillation.cpp.o.d"
+  "/root/repo/src/core/distribution_matching.cpp" "src/core/CMakeFiles/qd_core.dir/distribution_matching.cpp.o" "gcc" "src/core/CMakeFiles/qd_core.dir/distribution_matching.cpp.o.d"
+  "/root/repo/src/core/finetune.cpp" "src/core/CMakeFiles/qd_core.dir/finetune.cpp.o" "gcc" "src/core/CMakeFiles/qd_core.dir/finetune.cpp.o.d"
+  "/root/repo/src/core/quickdrop.cpp" "src/core/CMakeFiles/qd_core.dir/quickdrop.cpp.o" "gcc" "src/core/CMakeFiles/qd_core.dir/quickdrop.cpp.o.d"
+  "/root/repo/src/core/sample_level.cpp" "src/core/CMakeFiles/qd_core.dir/sample_level.cpp.o" "gcc" "src/core/CMakeFiles/qd_core.dir/sample_level.cpp.o.d"
+  "/root/repo/src/core/synthetic_store.cpp" "src/core/CMakeFiles/qd_core.dir/synthetic_store.cpp.o" "gcc" "src/core/CMakeFiles/qd_core.dir/synthetic_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/qd_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/qd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/qd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/qd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/qd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

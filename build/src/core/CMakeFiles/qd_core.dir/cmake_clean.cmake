@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/qd_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/qd_core.dir/distillation.cpp.o"
+  "CMakeFiles/qd_core.dir/distillation.cpp.o.d"
+  "CMakeFiles/qd_core.dir/distribution_matching.cpp.o"
+  "CMakeFiles/qd_core.dir/distribution_matching.cpp.o.d"
+  "CMakeFiles/qd_core.dir/finetune.cpp.o"
+  "CMakeFiles/qd_core.dir/finetune.cpp.o.d"
+  "CMakeFiles/qd_core.dir/quickdrop.cpp.o"
+  "CMakeFiles/qd_core.dir/quickdrop.cpp.o.d"
+  "CMakeFiles/qd_core.dir/sample_level.cpp.o"
+  "CMakeFiles/qd_core.dir/sample_level.cpp.o.d"
+  "CMakeFiles/qd_core.dir/synthetic_store.cpp.o"
+  "CMakeFiles/qd_core.dir/synthetic_store.cpp.o.d"
+  "libqd_core.a"
+  "libqd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqd_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_data.dir/dataset.cpp.o"
+  "CMakeFiles/qd_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/qd_data.dir/partition.cpp.o"
+  "CMakeFiles/qd_data.dir/partition.cpp.o.d"
+  "CMakeFiles/qd_data.dir/synthetic.cpp.o"
+  "CMakeFiles/qd_data.dir/synthetic.cpp.o.d"
+  "libqd_data.a"
+  "libqd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_fl.dir/client_update.cpp.o"
+  "CMakeFiles/qd_fl.dir/client_update.cpp.o.d"
+  "CMakeFiles/qd_fl.dir/fedavg.cpp.o"
+  "CMakeFiles/qd_fl.dir/fedavg.cpp.o.d"
+  "libqd_fl.a"
+  "libqd_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_metrics.dir/evaluate.cpp.o"
+  "CMakeFiles/qd_metrics.dir/evaluate.cpp.o.d"
+  "libqd_metrics.a"
+  "libqd_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

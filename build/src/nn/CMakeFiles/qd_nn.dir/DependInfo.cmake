@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/convnet.cpp" "src/nn/CMakeFiles/qd_nn.dir/convnet.cpp.o" "gcc" "src/nn/CMakeFiles/qd_nn.dir/convnet.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/qd_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/qd_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/qd_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/qd_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/qd_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/qd_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/state.cpp" "src/nn/CMakeFiles/qd_nn.dir/state.cpp.o" "gcc" "src/nn/CMakeFiles/qd_nn.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/qd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/qd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_nn.dir/convnet.cpp.o"
+  "CMakeFiles/qd_nn.dir/convnet.cpp.o.d"
+  "CMakeFiles/qd_nn.dir/layers.cpp.o"
+  "CMakeFiles/qd_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/qd_nn.dir/module.cpp.o"
+  "CMakeFiles/qd_nn.dir/module.cpp.o.d"
+  "CMakeFiles/qd_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/qd_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/qd_nn.dir/state.cpp.o"
+  "CMakeFiles/qd_nn.dir/state.cpp.o.d"
+  "libqd_nn.a"
+  "libqd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

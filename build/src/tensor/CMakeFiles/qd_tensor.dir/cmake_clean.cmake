@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/qd_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/qd_tensor.dir/shape.cpp.o"
+  "CMakeFiles/qd_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/qd_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/qd_tensor.dir/tensor.cpp.o.d"
+  "libqd_tensor.a"
+  "libqd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_util.dir/cli.cpp.o"
+  "CMakeFiles/qd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/qd_util.dir/logging.cpp.o"
+  "CMakeFiles/qd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/qd_util.dir/rng.cpp.o"
+  "CMakeFiles/qd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/qd_util.dir/table.cpp.o"
+  "CMakeFiles/qd_util.dir/table.cpp.o.d"
+  "libqd_util.a"
+  "libqd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/checkpoint_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/checkpoint_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/distillation_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/distillation_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/distribution_matching_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/distribution_matching_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/quickdrop_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/quickdrop_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sample_level_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sample_level_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/synthetic_store_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/synthetic_store_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

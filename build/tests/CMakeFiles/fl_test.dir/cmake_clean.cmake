@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_test.dir/fl/failure_injection_test.cpp.o"
+  "CMakeFiles/fl_test.dir/fl/failure_injection_test.cpp.o.d"
+  "CMakeFiles/fl_test.dir/fl/fedavg_test.cpp.o"
+  "CMakeFiles/fl_test.dir/fl/fedavg_test.cpp.o.d"
+  "CMakeFiles/fl_test.dir/fl/fedprox_test.cpp.o"
+  "CMakeFiles/fl_test.dir/fl/fedprox_test.cpp.o.d"
+  "fl_test"
+  "fl_test.pdb"
+  "fl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/convnet_gradcheck_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/convnet_gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/convnet_gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/convnet_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/convnet_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/convnet_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/optimizer_state_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/optimizer_state_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/optimizer_state_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/qd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/qd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/qd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

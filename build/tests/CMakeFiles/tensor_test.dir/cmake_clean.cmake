@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_test.dir/tensor/kernels_test.cpp.o"
+  "CMakeFiles/tensor_test.dir/tensor/kernels_test.cpp.o.d"
+  "CMakeFiles/tensor_test.dir/tensor/shape_test.cpp.o"
+  "CMakeFiles/tensor_test.dir/tensor/shape_test.cpp.o.d"
+  "CMakeFiles/tensor_test.dir/tensor/tensor_test.cpp.o"
+  "CMakeFiles/tensor_test.dir/tensor/tensor_test.cpp.o.d"
+  "tensor_test"
+  "tensor_test.pdb"
+  "tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

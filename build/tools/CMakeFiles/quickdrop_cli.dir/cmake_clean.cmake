@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quickdrop_cli.dir/quickdrop_cli.cpp.o"
+  "CMakeFiles/quickdrop_cli.dir/quickdrop_cli.cpp.o.d"
+  "quickdrop_cli"
+  "quickdrop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quickdrop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
