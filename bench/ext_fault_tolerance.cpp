@@ -1,0 +1,103 @@
+// Extension experiment: fault tolerance of the federation runtime.
+//
+// Sweeps the total fault intensity (a fixed mix of crashes, stragglers,
+// corrupted uploads and stale echoes) and reports how the defended runtime
+// (update validation + norm-outlier quarantine + quorum/retry) degrades:
+// final test accuracy, unlearning quality on a class request, and the
+// survival counters from CostMeter. The headline claim is graceful
+// degradation — corrupted uploads never reach the aggregate, so accuracy
+// decays smoothly with client availability instead of collapsing.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/quickdrop.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  const int clients = flags.get_int("clients", 6);
+  const int rounds = flags.get_int("rounds", 10);
+  const int width = flags.get_int("width", 12);
+  flags.check_unused();
+
+  std::printf("=== Extension: fault-tolerant federation under increasing fault rates ===\n\n");
+  auto spec = qd::data::mnist_like_spec();
+  const auto dataset = qd::data::make_synthetic(spec);
+  qd::Rng prng(81);
+  const auto client_data = qd::data::materialize(
+      dataset.train, qd::data::iid_partition(dataset.train, clients, prng));
+
+  qd::nn::ConvNetConfig net;
+  net.in_channels = spec.channels;
+  net.image_size = spec.image_size;
+  net.num_classes = spec.num_classes;
+  net.width = width;
+  net.depth = 1;
+
+  std::printf("%-8s %-9s %-9s %-9s %7s %7s %7s %7s %5s %8s\n", "faults", "acc", "forget",
+              "retain", "crash", "strag", "quar", "retry", "lost", "backoff");
+  for (const float level : {0.0f, 0.1f, 0.2f, 0.3f}) {
+    // A fixed fault mix scaled by `level`: availability faults dominate,
+    // with a tail of corrupted and stale uploads.
+    qd::fl::FaultRates rates;
+    rates.crash = 0.40f * level;
+    rates.straggler = 0.15f * level;
+    rates.corrupt_nan = 0.15f * level;
+    rates.corrupt_inf = 0.10f * level;
+    rates.exploded_norm = 0.10f * level;
+    rates.stale_update = 0.10f * level;
+
+    qd::core::QuickDropConfig config;
+    config.fl_rounds = rounds;
+    config.local_steps = 4;
+    config.batch_size = 32;
+    config.train_lr = 0.1f;
+    config.scale = 10;
+    config.unlearn_lr = 0.05f;
+    config.recover_lr = 0.03f;
+    config.faults = qd::fl::FaultPlan(83, rates);
+    config.defense.norm_outlier_multiplier = 8.0f;
+    config.defense.min_quorum = 0.34f;
+    config.defense.max_round_attempts = 3;
+
+    auto mrng = std::make_shared<qd::Rng>(82);
+    qd::fl::ModelFactory factory = [mrng, net] { return qd::nn::make_convnet(net, *mrng); };
+    qd::core::QuickDrop qdrop(factory, client_data, config, 84);
+    const auto trained = qdrop.train();
+    const auto unlearned = qdrop.unlearn(trained, qd::core::UnlearningRequest::for_class(1));
+
+    auto model = factory();
+    qd::nn::load_state(*model, trained);
+    const double acc = qd::metrics::accuracy(*model, dataset.test);
+    qd::nn::load_state(*model, unlearned);
+    const double forget = qd::metrics::accuracy_on_classes(*model, dataset.test, {1});
+    double retain_sum = 0.0;
+    const auto pc = qd::metrics::per_class_accuracy(*model, dataset.test);
+    for (std::size_t c = 0; c < pc.size(); ++c) {
+      if (c != 1) retain_sum += pc[c];
+    }
+    const double retain = retain_sum / static_cast<double>(pc.size() - 1);
+
+    const auto& cost = qdrop.training_stats().cost;
+    std::printf("%-8s %-9s %-9s %-9s %7lld %7lld %7lld %7lld %5lld %7.1fs\n",
+                qd::fmt_percent(level).c_str(), qd::fmt_percent(acc).c_str(),
+                qd::fmt_percent(forget).c_str(), qd::fmt_percent(retain).c_str(),
+                static_cast<long long>(cost.crashed_clients),
+                static_cast<long long>(cost.straggler_timeouts),
+                static_cast<long long>(cost.quarantined_updates),
+                static_cast<long long>(cost.retried_rounds),
+                static_cast<long long>(cost.lost_rounds), cost.sim_backoff_seconds);
+  }
+  std::printf("\nexpected: accuracy decays gently with fault intensity while forget-class\n"
+              "accuracy stays near zero — quarantine keeps poisoned uploads out of the\n"
+              "aggregate, and quorum retries absorb availability dips.\n");
+  return 0;
+}

@@ -8,6 +8,19 @@ cd "$REPO"
 
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
 
+# Sanitizer pass: rebuild the fault-tolerance-critical suites (fl + core)
+# with ASan/UBSan and run the binaries directly. Catches lifetime and UB
+# bugs that the fault-injection paths could otherwise hide.
+SAN_BUILD="${BUILD}-asan"
+{
+  cmake -B "$SAN_BUILD" -S . -DQUICKDROP_SANITIZE="address;undefined" &&
+  cmake --build "$SAN_BUILD" -j --target fl_test core_test util_test &&
+  "$SAN_BUILD"/tests/fl_test &&
+  "$SAN_BUILD"/tests/core_test &&
+  "$SAN_BUILD"/tests/util_test
+} 2>&1 | tee sanitizer_output.txt
+echo "sanitizer pass exit: ${PIPESTATUS[0]}" | tee -a sanitizer_output.txt
+
 : > bench_output.txt
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

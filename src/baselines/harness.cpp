@@ -1,5 +1,6 @@
 #include "baselines/harness.h"
 
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace quickdrop::baselines {
@@ -29,6 +30,9 @@ TrainedFederation train_federation(fl::ModelFactory factory,
   const int num_clients = fed.quickdrop->num_clients();
 
   const Timer timer;
+  // The client callback only fires for updates that passed the resilient
+  // engine's validation, so quarantined (NaN/outlier) uploads can never
+  // poison the FedEraser historical record.
   fed.global = fed.quickdrop->train(
       /*callback=*/{},
       /*client_callback=*/[&](int round, int client, const nn::ModelState& local,
@@ -43,6 +47,13 @@ TrainedFederation train_federation(fl::ModelFactory factory,
         h.updates.back()[static_cast<std::size_t>(client)] = nn::subtract(local, global_before);
       });
   fed.train_seconds = timer.seconds();
+  const auto& cost = fed.quickdrop->training_stats().cost;
+  if (cost.total_faults() > 0 || cost.lost_rounds > 0) {
+    QD_LOG_WARN << "shared training survived faults: " << cost.crashed_clients << " crashes, "
+                << cost.straggler_timeouts << " stragglers, " << cost.quarantined_updates
+                << " quarantined updates, " << cost.retried_rounds << " retried and "
+                << cost.lost_rounds << " lost rounds";
+  }
   return fed;
 }
 

@@ -8,7 +8,17 @@
 namespace quickdrop::core {
 namespace {
 
-constexpr std::uint64_t kMagic = 0x51444350'00000002ULL;  // "QDCP" v2
+constexpr std::uint64_t kMagic = 0x51444350'00000003ULL;  // "QDCP" v3
+
+/// FNV-1a over a byte range; the checkpoint's integrity checksum.
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 class Writer {
  public:
@@ -25,6 +35,10 @@ class Writer {
     const auto offset = bytes_.size();
     bytes_.resize(offset + t.data().size() * sizeof(float));
     std::memcpy(bytes_.data() + offset, t.data().data(), t.data().size() * sizeof(float));
+  }
+  void blob(std::span<const std::uint8_t> b) {
+    u64(b.size());
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
   }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
@@ -65,6 +79,16 @@ class Reader {
     std::memcpy(t.data().data(), bytes_.data() + pos_, nbytes);
     pos_ += nbytes;
     return t;
+  }
+  std::vector<std::uint8_t> blob() {
+    const auto size = u64();
+    if (size > 1 << 20 || pos_ + size > bytes_.size()) {
+      throw std::invalid_argument("checkpoint: bad blob");
+    }
+    std::vector<std::uint8_t> b(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + size));
+    pos_ += static_cast<std::size_t>(size);
+    return b;
   }
   [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
 
@@ -126,11 +150,32 @@ std::vector<std::uint8_t> serialize_checkpoint(const Checkpoint& cp) {
       w.tensor(client.augmentation[static_cast<std::size_t>(c)]);
     }
   }
-  return w.take();
+  w.u64(cp.cursor.has_value() ? 1 : 0);
+  if (cp.cursor) {
+    w.string(cp.cursor->phase);
+    w.u64(static_cast<std::uint64_t>(cp.cursor->rounds_done));
+    w.blob(cp.cursor->rng_state);
+  }
+  auto bytes = w.take();
+  // Trailing integrity checksum: detects bit flips that would otherwise
+  // decode into silently-wrong tensors.
+  const std::uint64_t checksum = fnv1a(bytes);
+  for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(checksum >> (8 * i)));
+  return bytes;
 }
 
 Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes) {
-  Reader r(bytes);
+  if (bytes.size() < 16) throw std::invalid_argument("checkpoint: truncated");
+  const auto payload = bytes.first(bytes.size() - 8);
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(bytes[bytes.size() - 8 + static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (fnv1a(payload) != stored) {
+    throw std::invalid_argument("checkpoint: checksum mismatch (truncated or corrupted)");
+  }
+  Reader r(payload);
   if (r.u64() != kMagic) throw std::invalid_argument("checkpoint: bad magic/version");
   Checkpoint cp;
   const auto metadata_count = r.u64();
@@ -156,6 +201,21 @@ Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes) {
       client.augmentation.push_back(r.tensor());
     }
     cp.clients.push_back(std::move(client));
+  }
+  const auto has_cursor = r.u64();
+  if (has_cursor > 1) throw std::invalid_argument("checkpoint: bad cursor flag");
+  if (has_cursor == 1) {
+    RoundCursor cursor;
+    cursor.phase = r.string();
+    cursor.rounds_done = static_cast<int>(r.u64());
+    if (cursor.rounds_done < 0 || cursor.rounds_done > 1 << 24) {
+      throw std::invalid_argument("checkpoint: bad cursor round");
+    }
+    cursor.rng_state = r.blob();
+    if (cursor.rng_state.size() != Rng::kSerializedSize) {
+      throw std::invalid_argument("checkpoint: bad cursor rng state");
+    }
+    cp.cursor = std::move(cursor);
   }
   if (!r.done()) throw std::invalid_argument("checkpoint: trailing bytes");
   return cp;

@@ -8,13 +8,26 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/synthetic_store.h"
 #include "nn/state.h"
+#include "util/rng.h"
 
 namespace quickdrop::core {
+
+/// Position of an interrupted multi-round phase, persisted so a killed run
+/// can resume from the last completed round instead of from scratch. The
+/// checkpoint's `global` is the state after `rounds_done` rounds; `rng_state`
+/// is the phase RNG (util/rng.h Rng::serialize) as it stood entering round
+/// `rounds_done`.
+struct RoundCursor {
+  std::string phase;      ///< "train", "unlearn", "recover", "relearn", ...
+  int rounds_done = 0;    ///< rounds completed == next round index to execute
+  std::vector<std::uint8_t> rng_state;
+};
 
 /// Everything needed to serve unlearning requests later.
 struct Checkpoint {
@@ -31,13 +44,18 @@ struct Checkpoint {
     std::vector<Tensor> augmentation;  // same indexing
   };
   std::vector<ClientStore> clients;
+  /// Present while a phase is mid-flight (partial checkpoint written by the
+  /// orchestrator every k rounds); absent in finished checkpoints.
+  std::optional<RoundCursor> cursor;
 };
 
 /// Extracts a checkpointable snapshot from live stores.
 Checkpoint make_checkpoint(const nn::ModelState& global,
                            const std::vector<SyntheticStore>& stores);
 
-/// Binary round-trip. Throws std::invalid_argument on malformed input.
+/// Binary round-trip. The blob ends in an FNV-1a checksum over the payload,
+/// so truncation *and* bit flips are both detected. Throws
+/// std::invalid_argument on malformed or corrupted input.
 std::vector<std::uint8_t> serialize_checkpoint(const Checkpoint& checkpoint);
 Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes);
 

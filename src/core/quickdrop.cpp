@@ -25,15 +25,28 @@ QuickDrop::QuickDrop(fl::ModelFactory factory, std::vector<data::Dataset> client
 }
 
 nn::ModelState QuickDrop::train(const fl::RoundCallback& callback,
-                                const fl::ClientStateCallback& client_callback) {
+                                const fl::ClientStateCallback& client_callback,
+                                const fl::RoundCursorCallback& cursor_callback,
+                                const TrainResume* resume) {
   const Timer timer;
   DistillingLocalUpdate update(stores_, config_.local_steps, config_.batch_size,
                                config_.train_lr, config_.distill);
   fl::FedAvgConfig fed{.rounds = config_.fl_rounds, .participation = config_.participation};
+  fed.faults = config_.faults;
+  fed.defense = config_.defense;
+  nn::ModelState start = initial_state_;
   Rng fed_rng = rng_.split(0xF1);
+  if (resume) {
+    if (resume->rounds_done < 0 || resume->rounds_done > config_.fl_rounds) {
+      throw std::invalid_argument("QuickDrop::train: resume cursor out of range");
+    }
+    fed.start_round = resume->rounds_done;
+    start = resume->global;
+    fed_rng = Rng::deserialize(resume->rng_state);
+  }
   nn::ModelState global =
-      fl::run_fedavg(*scratch_model_, initial_state_, client_train_, update, fed, fed_rng,
-                     training_stats_.cost, callback, client_callback);
+      fl::run_fedavg(*scratch_model_, std::move(start), client_train_, update, fed, fed_rng,
+                     training_stats_.cost, callback, client_callback, cursor_callback);
   distill_seconds_ = update.distill_seconds();
 
   // Optional fine-tuning of every client's synthetic store (§3.3.2).
@@ -134,6 +147,8 @@ nn::ModelState QuickDrop::run_phase(const nn::ModelState& start,
   fl::SgdLocalUpdate update(config_.unlearn_local_steps, config_.unlearn_batch_size, lr,
                             direction);
   fl::FedAvgConfig fed{.rounds = rounds, .participation = participation};
+  fed.faults = config_.faults;
+  fed.defense = config_.defense;
   fl::CostMeter cost;
   Rng phase_rng = rng_.split(0xE0 + static_cast<std::uint64_t>(cost.rounds));
   nn::ModelState result =

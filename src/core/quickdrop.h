@@ -45,6 +45,12 @@ struct QuickDropConfig {
   int relearn_rounds = 3;
   float unlearn_lr = 0.02f;
   float recover_lr = 0.01f;
+
+  /// Fault schedule applied to every FedAvg phase (train/unlearn/recover/
+  /// relearn; round indices restart per phase). Default: no faults.
+  fl::FaultPlan faults;
+  /// Server-side defenses (update validation, quorum/retry) for every phase.
+  fl::DefenseConfig defense;
   /// Relearning trains on the (synthetic) forget set ONLY, so it must be
   /// gentle enough not to catastrophically forget the retained classes.
   float relearn_lr = 0.02f;
@@ -60,6 +66,15 @@ struct PhaseStats {
   int rounds = 0;
 };
 
+/// Resume point for an interrupted train() run: the cursor of the last
+/// completed FL round (see core/checkpoint.h RoundCursor). The synthetic
+/// stores as of that round must be restored separately via load_stores().
+struct TrainResume {
+  nn::ModelState global;  ///< global state after `rounds_done` rounds
+  int rounds_done = 0;
+  std::vector<std::uint8_t> rng_state;  ///< phase RNG entering the next round
+};
+
 class QuickDrop {
  public:
   /// `client_train` holds each client's local dataset D_i.
@@ -69,9 +84,15 @@ class QuickDrop {
   /// Steps 1-2: FL training with in-situ distillation, then optional
   /// fine-tuning. Returns the trained global model state. `client_callback`
   /// observes per-client local states (e.g. to record FedEraser history in a
-  /// shared training run).
+  /// shared training run). `cursor_callback` fires after every completed FL
+  /// round with the engine RNG, enabling partial checkpoints; pass `resume`
+  /// (with the matching stores loaded) to continue a killed run from its
+  /// last completed round — the result is bit-identical to an uninterrupted
+  /// run with the same seed.
   nn::ModelState train(const fl::RoundCallback& callback = {},
-                       const fl::ClientStateCallback& client_callback = {});
+                       const fl::ClientStateCallback& client_callback = {},
+                       const fl::RoundCursorCallback& cursor_callback = {},
+                       const TrainResume* resume = nullptr);
 
   /// The (random-initialization) state FL training started from.
   [[nodiscard]] nn::ModelState initial_state() const;

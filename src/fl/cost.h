@@ -24,6 +24,23 @@ struct CostMeter {
   std::int64_t bytes_up = 0;
   std::int64_t bytes_down = 0;
 
+  // Fault-tolerance accounting (see fl/resilient.h).
+  /// Clients that crashed before uploading (no compute, no exchange).
+  std::int64_t crashed_clients = 0;
+  /// Clients whose upload missed the simulated round deadline (compute spent,
+  /// download counted, upload discarded).
+  std::int64_t straggler_timeouts = 0;
+  /// Uploaded updates rejected by server-side validation (non-finite values
+  /// or norm outliers); the exchange still happened.
+  std::int64_t quarantined_updates = 0;
+  /// Round attempts re-run because the surviving cohort missed quorum.
+  std::int64_t retried_rounds = 0;
+  /// Rounds abandoned with no valid update after all attempts (global state
+  /// carried over unchanged).
+  std::int64_t lost_rounds = 0;
+  /// Simulated seconds spent backing off before round retries.
+  double sim_backoff_seconds = 0.0;
+
   void add_training(std::int64_t samples) { sample_grads += samples; }
   void add_distillation(std::int64_t samples) { distill_sample_grads += samples; }
   void add_exchange(std::int64_t up, std::int64_t down) {
@@ -33,6 +50,10 @@ struct CostMeter {
 
   [[nodiscard]] std::int64_t total() const { return sample_grads + distill_sample_grads; }
   [[nodiscard]] std::int64_t total_bytes() const { return bytes_up + bytes_down; }
+  /// Total fault events observed across clients and rounds.
+  [[nodiscard]] std::int64_t total_faults() const {
+    return crashed_clients + straggler_timeouts + quarantined_updates;
+  }
 
   CostMeter& operator+=(const CostMeter& other) {
     sample_grads += other.sample_grads;
@@ -40,6 +61,12 @@ struct CostMeter {
     rounds += other.rounds;
     bytes_up += other.bytes_up;
     bytes_down += other.bytes_down;
+    crashed_clients += other.crashed_clients;
+    straggler_timeouts += other.straggler_timeouts;
+    quarantined_updates += other.quarantined_updates;
+    retried_rounds += other.retried_rounds;
+    lost_rounds += other.lost_rounds;
+    sim_backoff_seconds += other.sim_backoff_seconds;
     return *this;
   }
 };

@@ -1,0 +1,134 @@
+#include "fl/faults.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace quickdrop::fl {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kCorruptNan: return "corrupt-nan";
+    case FaultKind::kCorruptInf: return "corrupt-inf";
+    case FaultKind::kExplodedNorm: return "exploded-norm";
+    case FaultKind::kStaleUpdate: return "stale-update";
+  }
+  return "?";
+}
+
+void FaultRates::validate() const {
+  const float rates[] = {crash, straggler, corrupt_nan, corrupt_inf, exploded_norm, stale_update};
+  for (const float r : rates) {
+    if (!std::isfinite(r) || r < 0.0f) {
+      throw std::invalid_argument("FaultRates: rates must be finite and non-negative");
+    }
+  }
+  if (total() > 1.0f) throw std::invalid_argument("FaultRates: rates sum to more than 1");
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultRates rates) : seed_(seed), rates_(rates) {
+  rates_.validate();
+}
+
+FaultPlan FaultPlan::bernoulli_crash(std::uint64_t seed, float rate) {
+  FaultRates rates;
+  rates.crash = rate;
+  return FaultPlan(seed, rates);
+}
+
+void FaultPlan::inject(int round, int client, FaultKind kind) {
+  scripted_[{round, client}] = kind;
+}
+
+FaultKind FaultPlan::fault_for(int round, int attempt, int client) const {
+  if (attempt == 0) {
+    const auto it = scripted_.find({round, client});
+    if (it != scripted_.end()) return it->second;
+  }
+  if (rates_.total() <= 0.0f) return FaultKind::kNone;
+  // One hashed draw per triple: stable under call order and repetition.
+  const std::uint64_t tag = mix64(seed_ ^ mix64(static_cast<std::uint64_t>(round) * 0x9E3779B97F4A7C15ULL +
+                                                static_cast<std::uint64_t>(attempt) * 0xBF58476D1CE4E5B9ULL +
+                                                static_cast<std::uint64_t>(client)));
+  const float u = static_cast<float>(tag >> 40) * (1.0f / 16777216.0f);
+  float edge = rates_.crash;
+  if (u < edge) return FaultKind::kCrash;
+  edge += rates_.straggler;
+  if (u < edge) return FaultKind::kStraggler;
+  edge += rates_.corrupt_nan;
+  if (u < edge) return FaultKind::kCorruptNan;
+  edge += rates_.corrupt_inf;
+  if (u < edge) return FaultKind::kCorruptInf;
+  edge += rates_.exploded_norm;
+  if (u < edge) return FaultKind::kExplodedNorm;
+  edge += rates_.stale_update;
+  if (u < edge) return FaultKind::kStaleUpdate;
+  return FaultKind::kNone;
+}
+
+void apply_corruption(FaultKind kind, nn::ModelState& upload, const nn::ModelState& round_start,
+                      Rng& rng) {
+  switch (kind) {
+    case FaultKind::kNone:
+    case FaultKind::kCrash:
+    case FaultKind::kStraggler:
+      return;
+    case FaultKind::kCorruptNan:
+    case FaultKind::kCorruptInf: {
+      const float poison = kind == FaultKind::kCorruptNan
+                               ? std::numeric_limits<float>::quiet_NaN()
+                               : std::numeric_limits<float>::infinity();
+      // Damage a handful of entries in a random parameter tensor — a realistic
+      // partial corruption, not a wall of NaNs.
+      if (upload.empty()) return;
+      auto& t = upload[static_cast<std::size_t>(
+          rng.uniform_u64(static_cast<std::uint64_t>(upload.size())))];
+      const auto data = t.data();
+      const std::int64_t n = static_cast<std::int64_t>(data.size());
+      if (n == 0) return;
+      const int hits = 1 + static_cast<int>(rng.uniform_u64(3));
+      for (int i = 0; i < hits; ++i) {
+        data[static_cast<std::size_t>(rng.uniform_u64(static_cast<std::uint64_t>(n)))] = poison;
+      }
+      return;
+    }
+    case FaultKind::kExplodedNorm: {
+      const float factor = 1e6f * (1.0f + rng.uniform());
+      for (auto& t : upload) t.scale_(factor);
+      return;
+    }
+    case FaultKind::kStaleUpdate: {
+      upload.clear();
+      upload.reserve(round_start.size());
+      for (const auto& t : round_start) upload.push_back(t.clone());
+      return;
+    }
+  }
+}
+
+void DefenseConfig::validate() const {
+  if (!std::isfinite(norm_outlier_multiplier) || norm_outlier_multiplier < 0.0f ||
+      !std::isfinite(max_update_norm) || max_update_norm < 0.0f ||
+      !std::isfinite(min_quorum) || min_quorum < 0.0f || min_quorum > 1.0f ||
+      max_round_attempts < 1 || !std::isfinite(retry_backoff_seconds) ||
+      retry_backoff_seconds < 0.0f) {
+    throw std::invalid_argument("DefenseConfig: bad settings");
+  }
+}
+
+}  // namespace quickdrop::fl

@@ -1,5 +1,6 @@
 #include "fl/fedavg.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace quickdrop::fl {
@@ -8,64 +9,27 @@ nn::ModelState run_fedavg(nn::Module& model, nn::ModelState global,
                           const std::vector<data::Dataset>& client_data, ClientUpdate& update,
                           const FedAvgConfig& config, Rng& rng, CostMeter& cost,
                           const RoundCallback& callback,
-                          const ClientStateCallback& client_callback) {
-  if (config.rounds < 0 || config.participation <= 0.0f || config.participation > 1.0f ||
-      config.dropout_rate < 0.0f || config.dropout_rate >= 1.0f) {
+                          const ClientStateCallback& client_callback,
+                          const RoundCursorCallback& cursor_callback) {
+  // NaN fails every comparison, so explicit isfinite guards are required on
+  // top of the range checks.
+  if (config.rounds < 0 || !std::isfinite(config.participation) ||
+      config.participation <= 0.0f || config.participation > 1.0f ||
+      !std::isfinite(config.dropout_rate) || config.dropout_rate < 0.0f ||
+      config.dropout_rate >= 1.0f) {
     throw std::invalid_argument("run_fedavg: bad config");
   }
-  std::vector<int> eligible;
-  for (std::size_t i = 0; i < client_data.size(); ++i) {
-    if (!client_data[i].empty()) eligible.push_back(static_cast<int>(i));
+  ResilientConfig resilient;
+  resilient.rounds = config.rounds;
+  resilient.participation = config.participation;
+  resilient.faults = config.faults;
+  resilient.defense = config.defense;
+  resilient.start_round = config.start_round;
+  if (config.dropout_rate > 0.0f && !config.faults.any()) {
+    resilient.faults = FaultPlan::bernoulli_crash(rng.next_u64(), config.dropout_rate);
   }
-  if (eligible.empty()) throw std::invalid_argument("run_fedavg: no client has data");
-
-  for (int round = 0; round < config.rounds; ++round) {
-    // Sample this round's cohort.
-    std::vector<int> cohort = eligible;
-    if (config.participation < 1.0f) {
-      const int k = std::max(1, static_cast<int>(static_cast<float>(eligible.size()) *
-                                                 config.participation));
-      const auto picks = rng.sample_without_replacement(static_cast<int>(eligible.size()), k);
-      cohort.clear();
-      for (const int p : picks) cohort.push_back(eligible[static_cast<std::size_t>(p)]);
-    }
-
-    // Failure injection: survivors only.
-    if (config.dropout_rate > 0.0f) {
-      std::vector<int> survivors;
-      for (const int c : cohort) {
-        if (rng.uniform() >= config.dropout_rate) survivors.push_back(c);
-      }
-      cohort = std::move(survivors);
-      if (cohort.empty()) {  // everyone crashed: the round is lost
-        ++cost.rounds;
-        if (callback) callback(round, global);
-        continue;
-      }
-    }
-
-    std::int64_t cohort_samples = 0;
-    for (const int c : cohort) cohort_samples += client_data[static_cast<std::size_t>(c)].size();
-
-    std::vector<nn::ModelState> states;
-    std::vector<float> weights;
-    states.reserve(cohort.size());
-    for (const int c : cohort) {
-      nn::load_state(model, global);
-      Rng client_rng = rng.split(static_cast<std::uint64_t>(round) * 100003ULL +
-                                 static_cast<std::uint64_t>(c));
-      update.run(model, client_data[static_cast<std::size_t>(c)], round, c, client_rng, cost);
-      states.push_back(nn::state_of(model));
-      cost.add_exchange(nn::state_bytes(states.back()), nn::state_bytes(global));
-      if (client_callback) client_callback(round, c, states.back(), global);
-      weights.push_back(static_cast<float>(client_data[static_cast<std::size_t>(c)].size()) /
-                        static_cast<float>(cohort_samples));
-    }
-    global = nn::weighted_average(states, weights);
-    ++cost.rounds;
-    if (callback) callback(round, global);
-  }
-  return global;
+  return run_resilient(model, std::move(global), client_data, update, resilient, rng, cost,
+                       callback, client_callback, cursor_callback);
 }
 
 std::int64_t total_samples(const std::vector<data::Dataset>& client_data) {

@@ -1,5 +1,9 @@
 // FedAvg round execution — the shared engine for FL training, SGA unlearning
 // rounds, recovery rounds, relearning rounds and all baselines.
+//
+// run_fedavg is a façade over the fault-tolerant engine in fl/resilient.h:
+// fault injection, server-side update validation, quorum/retry and
+// round-level resume all ride through FedAvgConfig.
 #pragma once
 
 #include <functional>
@@ -9,6 +13,7 @@
 #include "data/dataset.h"
 #include "fl/client_update.h"
 #include "fl/cost.h"
+#include "fl/resilient.h"
 #include "nn/state.h"
 
 namespace quickdrop::fl {
@@ -17,33 +22,30 @@ namespace quickdrop::fl {
 /// not matter — the runner immediately loads a state — but shapes must match.
 using ModelFactory = std::function<std::unique_ptr<nn::Module>()>;
 
-/// Invoked after each aggregation with the round index and new global state.
-using RoundCallback = std::function<void(int round, const nn::ModelState& state)>;
-
-/// Invoked after each client's local update with the client's resulting local
-/// state and the global state it started from. FedEraser uses this to record
-/// historical parameter updates during training.
-using ClientStateCallback = std::function<void(int round, int client,
-                                               const nn::ModelState& local_state,
-                                               const nn::ModelState& global_before)>;
-
 /// Configuration of a block of FedAvg rounds.
 struct FedAvgConfig {
   int rounds = 1;
   /// Fraction of eligible clients sampled per round (1.0 = all). Clients
   /// with empty datasets are never eligible.
   float participation = 1.0f;
-  /// Failure injection: each sampled client independently drops out of the
-  /// round with this probability (straggler/crash simulation). The server
-  /// aggregates over survivors; if the whole cohort fails, the round is a
-  /// no-op (the global state carries over).
+  /// Legacy failure injection: each sampled client independently crashes
+  /// with this probability. Convenience knob — when > 0 and `faults` is
+  /// empty, it is translated into FaultPlan::bernoulli_crash seeded from the
+  /// round RNG. Prefer `faults` for anything richer.
   float dropout_rate = 0.0f;
+  /// Deterministic fault schedule (crashes, stragglers, corrupted uploads).
+  FaultPlan faults;
+  /// Server-side defenses: update validation, quorum/retry policy.
+  DefenseConfig defense;
+  /// First round index to execute (round-level resume; see
+  /// fl/resilient.h and core/checkpoint.h RoundCursor).
+  int start_round = 0;
 };
 
 /// Runs `config.rounds` rounds of FedAvg (Algorithm 1's outer loop):
 /// each sampled client loads the global state into `model`, applies `update`,
 /// and the server aggregates the resulting states weighted by |Z_i|/|Z| over
-/// this round's participants. Returns the final global state.
+/// this round's accepted participants. Returns the final global state.
 ///
 /// `model` is scratch storage reused across clients; its parameters are
 /// overwritten. `client_data` holds each client's dataset *for this phase*
@@ -52,7 +54,8 @@ nn::ModelState run_fedavg(nn::Module& model, nn::ModelState global,
                           const std::vector<data::Dataset>& client_data, ClientUpdate& update,
                           const FedAvgConfig& config, Rng& rng, CostMeter& cost,
                           const RoundCallback& callback = {},
-                          const ClientStateCallback& client_callback = {});
+                          const ClientStateCallback& client_callback = {},
+                          const RoundCursorCallback& cursor_callback = {});
 
 /// Total samples across client datasets.
 std::int64_t total_samples(const std::vector<data::Dataset>& client_data);

@@ -1,0 +1,192 @@
+#include "fl/resilient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace quickdrop::fl {
+namespace {
+
+/// One upload that reached the server in time.
+struct Delivery {
+  int client = 0;
+  nn::ModelState state;
+  double update_norm = 0.0;
+};
+
+/// Median of the finite update norms (0 when none are finite).
+double finite_median_norm(const std::vector<Delivery>& delivered) {
+  std::vector<double> norms;
+  norms.reserve(delivered.size());
+  for (const auto& d : delivered) {
+    if (std::isfinite(d.update_norm)) norms.push_back(d.update_norm);
+  }
+  if (norms.empty()) return 0.0;
+  const auto mid = norms.size() / 2;
+  std::nth_element(norms.begin(), norms.begin() + static_cast<std::ptrdiff_t>(mid), norms.end());
+  return norms[mid];
+}
+
+/// Why a delivery was quarantined, or nullptr if it is acceptable.
+const char* rejection_reason(const Delivery& d, const DefenseConfig& defense,
+                             double median_norm) {
+  if (defense.validate_finite && !nn::all_finite(d.state)) return "non-finite values";
+  if (defense.max_update_norm > 0.0f &&
+      !(d.update_norm <= static_cast<double>(defense.max_update_norm))) {
+    return "update norm above absolute cap";
+  }
+  if (defense.norm_outlier_multiplier > 0.0f && median_norm > 0.0 &&
+      !(d.update_norm <= static_cast<double>(defense.norm_outlier_multiplier) * median_norm)) {
+    return "update norm outlier";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
+                             const std::vector<data::Dataset>& client_data, ClientUpdate& update,
+                             const ResilientConfig& config, Rng& rng, CostMeter& cost,
+                             const RoundCallback& callback,
+                             const ClientStateCallback& client_callback,
+                             const RoundCursorCallback& cursor_callback) {
+  if (config.rounds < 0 || !std::isfinite(config.participation) ||
+      config.participation <= 0.0f || config.participation > 1.0f ||
+      config.start_round < 0 || config.start_round > config.rounds) {
+    throw std::invalid_argument("run_resilient: bad config");
+  }
+  config.defense.validate();
+  std::vector<int> eligible;
+  for (std::size_t i = 0; i < client_data.size(); ++i) {
+    if (!client_data[i].empty()) eligible.push_back(static_cast<int>(i));
+  }
+  if (eligible.empty()) throw std::invalid_argument("run_resilient: no client has data");
+
+  for (int round = config.start_round; round < config.rounds; ++round) {
+    for (int attempt = 0; attempt < config.defense.max_round_attempts; ++attempt) {
+      if (attempt > 0) {
+        ++cost.retried_rounds;
+        cost.sim_backoff_seconds += static_cast<double>(config.defense.retry_backoff_seconds) *
+                                    static_cast<double>(1LL << (attempt - 1));
+        QD_LOG_WARN << "round " << round << ": retrying (attempt " << attempt + 1 << "/"
+                    << config.defense.max_round_attempts << ") after quorum failure";
+      }
+
+      // Sample this attempt's cohort.
+      std::vector<int> cohort = eligible;
+      if (config.participation < 1.0f) {
+        const int k = std::max(1, static_cast<int>(static_cast<float>(eligible.size()) *
+                                                   config.participation));
+        const auto picks = rng.sample_without_replacement(static_cast<int>(eligible.size()), k);
+        cohort.clear();
+        for (const int p : picks) cohort.push_back(eligible[static_cast<std::size_t>(p)]);
+      }
+      const int sampled = static_cast<int>(cohort.size());
+
+      // Client phase: run local updates, apply injected faults.
+      std::vector<Delivery> delivered;
+      delivered.reserve(cohort.size());
+      for (const int c : cohort) {
+        const FaultKind fault = config.faults.fault_for(round, attempt, c);
+        if (fault == FaultKind::kCrash) {
+          ++cost.crashed_clients;
+          QD_LOG_DEBUG << "round " << round << ": client " << c << " crashed before upload";
+          continue;
+        }
+        nn::load_state(model, global);
+        Rng client_rng = rng.split(static_cast<std::uint64_t>(round) * 100003ULL +
+                                   static_cast<std::uint64_t>(c));
+        update.run(model, client_data[static_cast<std::size_t>(c)], round, c, client_rng, cost);
+        nn::ModelState state = nn::state_of(model);
+        if (fault == FaultKind::kStraggler) {
+          // Compute was spent and the model was downloaded, but the upload
+          // missed the simulated round deadline.
+          ++cost.straggler_timeouts;
+          cost.add_exchange(0, nn::state_bytes(global));
+          QD_LOG_WARN << "round " << round << ": client " << c
+                      << " straggled past the round deadline; update discarded";
+          continue;
+        }
+        if (fault != FaultKind::kNone) {
+          Rng fault_rng = Rng(config.faults.seed() ^ 0xFA017C0DEULL)
+                              .split(static_cast<std::uint64_t>(round) * 611953ULL +
+                                     static_cast<std::uint64_t>(c));
+          apply_corruption(fault, state, global, fault_rng);
+        }
+        cost.add_exchange(nn::state_bytes(state), nn::state_bytes(global));
+        Delivery d;
+        d.client = c;
+        d.state = std::move(state);
+        delivered.push_back(std::move(d));
+      }
+
+      // Server phase: validate deliveries before they touch the aggregate.
+      for (auto& d : delivered) d.update_norm = nn::l2_norm(nn::subtract(d.state, global));
+      const double median_norm = finite_median_norm(delivered);
+      std::vector<Delivery> accepted;
+      accepted.reserve(delivered.size());
+      for (auto& d : delivered) {
+        // The outlier rule needs a crowd to define "normal"; with fewer than
+        // 3 deliveries only the absolute checks apply.
+        const char* reason =
+            rejection_reason(d, config.defense, delivered.size() >= 3 ? median_norm : 0.0);
+        if (reason != nullptr) {
+          ++cost.quarantined_updates;
+          QD_LOG_WARN << "round " << round << ": quarantined update from client " << d.client
+                      << " (" << reason << ")";
+          continue;
+        }
+        if (client_callback) client_callback(round, d.client, d.state, global);
+        accepted.push_back(std::move(d));
+      }
+
+      // Quorum: how many valid updates does this round need?
+      const int required =
+          std::max(1, config.defense.min_quorum > 0.0f
+                          ? static_cast<int>(std::ceil(static_cast<double>(config.defense.min_quorum) *
+                                                       static_cast<double>(sampled)))
+                          : 1);
+      if (static_cast<int>(accepted.size()) < required) {
+        if (attempt + 1 < config.defense.max_round_attempts) continue;  // retry
+        // Out of attempts: the round is lost, the global state carries over.
+        ++cost.rounds;
+        ++cost.lost_rounds;
+        QD_LOG_WARN << "round " << round << ": lost (" << accepted.size() << "/" << required
+                    << " valid updates after " << config.defense.max_round_attempts
+                    << " attempt(s))";
+        break;
+      }
+
+      std::int64_t accepted_samples = 0;
+      for (const auto& d : accepted) {
+        accepted_samples += client_data[static_cast<std::size_t>(d.client)].size();
+      }
+      std::vector<nn::ModelState> states;
+      std::vector<float> weights;
+      states.reserve(accepted.size());
+      weights.reserve(accepted.size());
+      for (auto& d : accepted) {
+        weights.push_back(
+            static_cast<float>(client_data[static_cast<std::size_t>(d.client)].size()) /
+            static_cast<float>(accepted_samples));
+        states.push_back(std::move(d.state));
+      }
+      global = nn::weighted_average(states, weights);
+      if (!nn::all_finite(global)) {
+        // Validation rejects non-finite uploads and finite ones cannot
+        // aggregate to NaN/Inf unless the weights overflow — either way the
+        // invariant is broken and continuing would poison every later round.
+        throw std::runtime_error("run_resilient: aggregated global state is non-finite");
+      }
+      ++cost.rounds;
+      break;
+    }
+    if (callback) callback(round, global);
+    if (cursor_callback) cursor_callback(round, global, rng);
+  }
+  return global;
+}
+
+}  // namespace quickdrop::fl

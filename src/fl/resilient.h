@@ -1,0 +1,78 @@
+// Fault-tolerant federation round engine.
+//
+// Executes blocks of FedAvg-style rounds while surviving the fault model of
+// fl/faults.h: crashed clients are skipped, stragglers' late uploads are
+// discarded, and corrupted uploads are quarantined by a server-side
+// validation pass (finiteness + norm-outlier checks). A quorum policy can
+// retry a round with fresh sampling when too few valid updates arrive, with
+// exponential-backoff accounting. The aggregated global state is guaranteed
+// all-finite every round. Round-level resume is supported via `start_round`
+// plus a per-round cursor callback that exposes the engine RNG for
+// checkpointing (see core/checkpoint.h RoundCursor).
+//
+// fl/fedavg.h::run_fedavg is a thin façade over this engine.
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "fl/client_update.h"
+#include "fl/cost.h"
+#include "fl/faults.h"
+#include "nn/state.h"
+
+namespace quickdrop::fl {
+
+/// Invoked after each aggregation with the round index and new global state.
+using RoundCallback = std::function<void(int round, const nn::ModelState& state)>;
+
+/// Invoked after each client's local update with the client's resulting local
+/// state and the global state it started from. Only fires for updates that
+/// passed server-side validation (a quarantined upload must not leak into
+/// e.g. FedEraser's historical record). FedEraser uses this to record
+/// historical parameter updates during training.
+using ClientStateCallback = std::function<void(int round, int client,
+                                               const nn::ModelState& local_state,
+                                               const nn::ModelState& global_before)>;
+
+/// Invoked after every *completed* round (aggregated or lost) with the new
+/// global state and the engine RNG as it stands entering the next round.
+/// Serializing (state, rng) yields a cursor from which the run can be resumed
+/// bit-identically via `ResilientConfig::start_round`.
+using RoundCursorCallback =
+    std::function<void(int completed_round, const nn::ModelState& state, const Rng& rng)>;
+
+/// Configuration of a block of resilient rounds.
+struct ResilientConfig {
+  int rounds = 1;
+  /// Fraction of eligible clients sampled per round (1.0 = all). Clients
+  /// with empty datasets are never eligible.
+  float participation = 1.0f;
+  /// Fault schedule (default: none).
+  FaultPlan faults;
+  /// Server-side defenses (default: finiteness validation only, one attempt
+  /// per round, no quorum).
+  DefenseConfig defense;
+  /// First round index to execute (resume support): rounds
+  /// [start_round, rounds) run. The caller must supply the global state and
+  /// RNG captured by the cursor of round start_round - 1.
+  int start_round = 0;
+};
+
+/// Runs rounds [config.start_round, config.rounds) of fault-tolerant FedAvg:
+/// each sampled client loads the global state into `model`, applies `update`,
+/// and the server validates + aggregates surviving states weighted by
+/// |Z_i|/|Z| over accepted participants. A round with no acceptable update
+/// after all attempts is lost (the global state carries over). Returns the
+/// final global state, which is always all-finite.
+///
+/// `model` is scratch storage reused across clients; its parameters are
+/// overwritten.
+nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
+                             const std::vector<data::Dataset>& client_data, ClientUpdate& update,
+                             const ResilientConfig& config, Rng& rng, CostMeter& cost,
+                             const RoundCallback& callback = {},
+                             const ClientStateCallback& client_callback = {},
+                             const RoundCursorCallback& cursor_callback = {});
+
+}  // namespace quickdrop::fl

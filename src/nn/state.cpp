@@ -58,6 +58,15 @@ double l2_norm(const ModelState& state) {
   return std::sqrt(acc);
 }
 
+bool all_finite(const ModelState& state) {
+  for (const auto& t : state) {
+    for (const float v : t.data()) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
 ModelState weighted_average(std::span<const ModelState> states, std::span<const float> weights) {
   if (states.empty() || states.size() != weights.size()) {
     throw std::invalid_argument("weighted_average: need one weight per state");

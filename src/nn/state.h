@@ -38,6 +38,11 @@ ModelState subtract(const ModelState& a, const ModelState& b);
 /// Euclidean norm over all entries.
 double l2_norm(const ModelState& state);
 
+/// True when every entry of every tensor is finite (no NaN/Inf). The
+/// resilient FL engine uses this to quarantine corrupted client uploads and
+/// to enforce that aggregated global states stay finite.
+bool all_finite(const ModelState& state);
+
 /// Sum_i weights[i] * states[i]; weights need not be normalized by callers —
 /// they are used as given (FedAvg passes |D_i|/|D|).
 ModelState weighted_average(std::span<const ModelState> states, std::span<const float> weights);

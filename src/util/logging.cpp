@@ -1,7 +1,9 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 namespace quickdrop {
 namespace {
@@ -20,6 +22,24 @@ const char* level_name(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+
+LogLevel log_level_from_name(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  throw std::invalid_argument("unknown log level '" + name + "'");
+}
+
+void set_log_level_from_env() {
+  const char* env = std::getenv("QUICKDROP_LOG_LEVEL");
+  if (env == nullptr) return;
+  try {
+    set_log_level(log_level_from_name(env));
+  } catch (const std::invalid_argument&) {
+    // A bad env var must not take the process down; keep the current level.
+  }
+}
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {

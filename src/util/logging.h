@@ -12,6 +12,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses "debug" | "info" | "warn" | "error" (case-sensitive). Throws
+/// std::invalid_argument on anything else.
+LogLevel log_level_from_name(const std::string& name);
+
+/// Applies the QUICKDROP_LOG_LEVEL environment variable, if set and valid
+/// (invalid values are ignored). Called by the CLI at startup.
+void set_log_level_from_env();
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);
 

@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace quickdrop {
@@ -119,6 +120,45 @@ float Rng::gamma(float shape) {
     const float u = std::max(uniform(), 1e-12f);
     if (std::log(u) < 0.5f * x * x + d - d * v + d * std::log(v)) return d * v;
   }
+}
+
+std::vector<std::uint8_t> Rng::serialize() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kSerializedSize);
+  auto put_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  put_u64(seed_);
+  for (const auto s : s_) put_u64(s);
+  put_u64(have_cached_normal_ ? 1 : 0);
+  std::uint32_t cached_bits = 0;
+  std::memcpy(&cached_bits, &cached_normal_, sizeof(cached_bits));
+  put_u64(cached_bits);
+  return bytes;
+}
+
+Rng Rng::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSerializedSize) {
+    throw std::invalid_argument("Rng::deserialize: bad blob size");
+  }
+  std::size_t pos = 0;
+  auto get_u64 = [&]() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  };
+  Rng rng(0);
+  rng.seed_ = get_u64();
+  for (auto& s : rng.s_) s = get_u64();
+  const auto flag = get_u64();
+  if (flag > 1) throw std::invalid_argument("Rng::deserialize: bad cached-normal flag");
+  rng.have_cached_normal_ = flag == 1;
+  const auto cached_bits = static_cast<std::uint32_t>(get_u64());
+  std::memcpy(&rng.cached_normal_, &cached_bits, sizeof(cached_bits));
+  return rng;
 }
 
 std::vector<float> Rng::dirichlet(float alpha, int k) {

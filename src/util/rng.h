@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace quickdrop {
@@ -60,6 +61,18 @@ class Rng {
   /// Samples from a symmetric Dirichlet(alpha) distribution of dimension k.
   /// Each entry is positive and the entries sum to 1.
   std::vector<float> dirichlet(float alpha, int k);
+
+  /// Captures the full generator state (including the construction seed that
+  /// anchors tagged splits) as a fixed-size binary blob, so a paused
+  /// computation can be resumed with an identical random stream.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Rebuilds a generator from serialize() output. Throws
+  /// std::invalid_argument on malformed input.
+  static Rng deserialize(std::span<const std::uint8_t> bytes);
+
+  /// Size in bytes of a serialize() blob.
+  static constexpr std::size_t kSerializedSize = 8 * 6 + 8;
 
  private:
   /// Gamma(shape, 1) sample via Marsaglia-Tsang; used by dirichlet().

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include "core/checkpoint.h"
 #include "core/quickdrop.h"
@@ -122,6 +124,85 @@ TEST(CheckpointTest, RejectsCorruptInput) {
   EXPECT_THROW(deserialize_checkpoint(bytes), std::invalid_argument);
 }
 
+TEST(CheckpointTest, TruncationDetectedAtAnyLength) {
+  // A partially written file (killed process, full disk) must never parse.
+  Fixture f;
+  const auto bytes = serialize_checkpoint(make_checkpoint(f.global, f.stores));
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{8}, std::size_t{15}, std::size_t{16}, bytes.size() / 4,
+        bytes.size() / 2, bytes.size() - 8, bytes.size() - 1}) {
+    EXPECT_THROW(deserialize_checkpoint(std::span(bytes.data(), keep)), std::invalid_argument)
+        << "prefix of " << keep << " bytes parsed";
+  }
+}
+
+TEST(CheckpointTest, BitFlipAnywhereDetected) {
+  // Bit flips inside the float payload are valid floats, so only the
+  // trailing checksum can catch them.
+  Fixture f;
+  const auto original = serialize_checkpoint(make_checkpoint(f.global, f.stores));
+  for (const std::size_t pos : {std::size_t{3}, original.size() / 3, original.size() / 2,
+                                original.size() - 20, original.size() - 1}) {
+    auto bytes = original;
+    bytes[pos] ^= 0x10;
+    EXPECT_THROW(deserialize_checkpoint(bytes), std::invalid_argument)
+        << "flip at byte " << pos << " parsed";
+  }
+  EXPECT_NO_THROW(deserialize_checkpoint(original));
+}
+
+TEST(CheckpointTest, LoadCorruptFileThrows) {
+  Fixture f;
+  const std::string path = testing::TempDir() + "/qd_checkpoint_corrupt.bin";
+  save_checkpoint(make_checkpoint(f.global, f.stores), path);
+  auto bytes = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in), {});
+  }();
+  // Truncated file.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(load_checkpoint(path), std::invalid_argument);
+  // Bit-flipped file.
+  bytes[bytes.size() / 2] ^= 0x04;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(load_checkpoint(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RoundCursorRoundTrip) {
+  Fixture f;
+  auto cp = make_checkpoint(f.global, f.stores);
+  cp.cursor = RoundCursor{.phase = "train", .rounds_done = 7, .rng_state = Rng(55).serialize()};
+  const auto back = deserialize_checkpoint(serialize_checkpoint(cp));
+  ASSERT_TRUE(back.cursor.has_value());
+  EXPECT_EQ(back.cursor->phase, "train");
+  EXPECT_EQ(back.cursor->rounds_done, 7);
+  EXPECT_EQ(back.cursor->rng_state, cp.cursor->rng_state);
+  // The restored RNG continues the exact stream.
+  Rng a = Rng::deserialize(back.cursor->rng_state);
+  Rng b(55);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(CheckpointTest, CursorlessCheckpointHasNoCursor) {
+  Fixture f;
+  const auto back = deserialize_checkpoint(serialize_checkpoint(make_checkpoint(f.global, f.stores)));
+  EXPECT_FALSE(back.cursor.has_value());
+}
+
+TEST(CheckpointTest, CursorWithBadRngStateRejected) {
+  Fixture f;
+  auto cp = make_checkpoint(f.global, f.stores);
+  cp.cursor = RoundCursor{.phase = "train", .rounds_done = 1, .rng_state = {1, 2, 3}};
+  EXPECT_THROW(deserialize_checkpoint(serialize_checkpoint(cp)), std::invalid_argument);
+}
+
 TEST(CheckpointTest, FileRoundTrip) {
   Fixture f;
   const std::string path = testing::TempDir() + "/qd_checkpoint_test.bin";
@@ -236,6 +317,106 @@ TEST(CheckpointTest, LoadStoresRejectsWrongClientCount) {
   QuickDropConfig cfg;
   QuickDrop qd(factory, {f.tt.train}, cfg, 69);
   EXPECT_THROW(qd.load_stores({}), std::invalid_argument);
+}
+
+TEST(CheckpointTest, ResumedTrainingMatchesUninterruptedRun) {
+  // Acceptance: kill training after round k, checkpoint (global + stores +
+  // RoundCursor), restore into a fresh coordinator and resume — the final
+  // global state and synthetic stores match the uninterrupted run bitwise.
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 24;
+  spec.test_per_class = 2;
+  spec.noise = 0.3f;
+  spec.seed = 71;
+  const auto tt = data::make_synthetic(spec);
+  Rng prng(72);
+  std::vector<data::Dataset> clients;
+  {
+    std::vector<int> even, odd;
+    for (int i = 0; i < tt.train.size(); ++i) (i % 2 == 0 ? even : odd).push_back(i);
+    clients = {tt.train.subset(even), tt.train.subset(odd)};
+  }
+  nn::ConvNetConfig net;
+  net.in_channels = 1;
+  net.image_size = 8;
+  net.num_classes = 3;
+  net.width = 6;
+  net.depth = 1;
+  const auto make_factory = [net] {
+    auto shared = std::make_shared<Rng>(73);
+    return fl::ModelFactory([shared, net] { return nn::make_convnet(net, *shared); });
+  };
+  QuickDropConfig cfg;
+  cfg.fl_rounds = 6;
+  cfg.local_steps = 3;
+  cfg.batch_size = 16;
+  cfg.train_lr = 0.1f;
+  cfg.scale = 12;
+  {
+    fl::FaultRates rates;
+    rates.crash = 0.15f;
+    cfg.faults = fl::FaultPlan(77, rates);
+  }
+
+  QuickDrop uninterrupted(make_factory(), clients, cfg, 74);
+  const auto final_full = uninterrupted.train();
+
+  // The "killed" run: checkpoint after round 2 (3 completed rounds).
+  QuickDrop killed(make_factory(), clients, cfg, 74);
+  std::vector<std::uint8_t> bytes;
+  killed.train({}, {},
+               [&](int round, const nn::ModelState& g, const Rng& rng) {
+                 if (round != 2) return;
+                 auto cp = make_checkpoint(g, killed.stores());
+                 cp.cursor = RoundCursor{
+                     .phase = "train", .rounds_done = round + 1, .rng_state = rng.serialize()};
+                 bytes = serialize_checkpoint(cp);
+               });
+  ASSERT_FALSE(bytes.empty());
+
+  // "Restart": fresh coordinator, restore stores + cursor, resume.
+  QuickDrop resumed(make_factory(), clients, cfg, 74);
+  const auto loaded = deserialize_checkpoint(bytes);
+  ASSERT_TRUE(loaded.cursor.has_value());
+  resumed.load_stores(restore_stores(loaded));
+  TrainResume resume{.global = loaded.global,
+                     .rounds_done = loaded.cursor->rounds_done,
+                     .rng_state = loaded.cursor->rng_state};
+  const auto final_resumed = resumed.train({}, {}, {}, &resume);
+
+  ASSERT_EQ(final_resumed.size(), final_full.size());
+  for (std::size_t i = 0; i < final_full.size(); ++i) {
+    for (std::int64_t j = 0; j < final_full[i].numel(); ++j) {
+      ASSERT_EQ(final_resumed[i].at(j), final_full[i].at(j)) << "tensor " << i << " entry " << j;
+    }
+  }
+  // In-situ distillation state must line up too, or later unlearning
+  // requests would diverge after a resume.
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    expect_stores_equal(resumed.stores()[i], uninterrupted.stores()[i]);
+  }
+}
+
+TEST(CheckpointTest, TrainRejectsOutOfRangeResumeCursor) {
+  Fixture f;
+  nn::ConvNetConfig net;
+  net.in_channels = 1;
+  net.image_size = 8;
+  net.num_classes = 3;
+  net.width = 4;
+  net.depth = 1;
+  auto shared = std::make_shared<Rng>(75);
+  fl::ModelFactory factory = [shared, net] { return nn::make_convnet(net, *shared); };
+  QuickDropConfig cfg;
+  cfg.fl_rounds = 2;
+  QuickDrop qd(factory, {f.tt.train}, cfg, 76);
+  TrainResume resume{.global = qd.initial_state(),
+                     .rounds_done = 3,  // > fl_rounds
+                     .rng_state = Rng(1).serialize()};
+  EXPECT_THROW(qd.train({}, {}, {}, &resume), std::invalid_argument);
 }
 
 TEST(CheckpointTest, RestoredStoreServesUnlearningData) {

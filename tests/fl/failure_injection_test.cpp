@@ -1,7 +1,9 @@
 // Failure-injection tests: FedAvg must stay correct when sampled clients
-// crash mid-round.
+// crash mid-round, and the resilient engine must contain richer faults
+// (stragglers, corrupted uploads) behind server-side validation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "data/partition.h"
@@ -102,6 +104,212 @@ TEST(FailureInjectionTest, ConfigValidation) {
   EXPECT_THROW(
       run_fedavg(*f.model, nn::state_of(*f.model), f.clients, update, bad, rng, cost),
       std::invalid_argument);
+}
+
+TEST(FailureInjectionTest, NonFiniteConfigRejected) {
+  // Regression: NaN participation/dropout_rate used to slip past the range
+  // checks (NaN compares false against every bound).
+  Fixture f;
+  SgdLocalUpdate update(1, 8, 0.1f);
+  CostMeter cost;
+  Rng rng(3);
+  FedAvgConfig bad{.rounds = 1, .participation = std::nanf(""), .dropout_rate = 0.0f};
+  EXPECT_THROW(
+      run_fedavg(*f.model, nn::state_of(*f.model), f.clients, update, bad, rng, cost),
+      std::invalid_argument);
+  bad.participation = 1.0f;
+  bad.dropout_rate = std::nanf("");
+  EXPECT_THROW(
+      run_fedavg(*f.model, nn::state_of(*f.model), f.clients, update, bad, rng, cost),
+      std::invalid_argument);
+}
+
+void expect_states_bitwise_equal(const nn::ModelState& a, const nn::ModelState& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].numel(), b[i].numel());
+    for (std::int64_t j = 0; j < a[i].numel(); ++j) {
+      ASSERT_EQ(a[i].at(j), b[i].at(j)) << "tensor " << i << " entry " << j;
+    }
+  }
+}
+
+FaultRates mixed_rates() {
+  FaultRates rates;
+  rates.crash = 0.1f;
+  rates.straggler = 0.05f;
+  rates.corrupt_nan = 0.1f;
+  rates.corrupt_inf = 0.05f;
+  rates.exploded_norm = 0.05f;
+  rates.stale_update = 0.05f;
+  return rates;
+}
+
+TEST(FailureInjectionTest, SameSeedAndPlanAreBitwiseDeterministic) {
+  // Acceptance: same seed + same FaultPlan => bitwise-identical final state.
+  Fixture f;
+  FedAvgConfig cfg{.rounds = 6, .participation = 0.75f};
+  cfg.faults = FaultPlan(41, mixed_rates());
+  cfg.defense.norm_outlier_multiplier = 8.0f;
+  cfg.defense.min_quorum = 0.5f;
+  cfg.defense.max_round_attempts = 3;
+  const auto init = nn::state_of(*f.model);
+  nn::ModelState results[2];
+  CostMeter costs[2];
+  for (int i = 0; i < 2; ++i) {
+    SgdLocalUpdate update(2, 8, 0.1f);
+    Rng rng(17);
+    results[i] = run_fedavg(*f.model, init, f.clients, update, cfg, rng, costs[i]);
+  }
+  expect_states_bitwise_equal(results[0], results[1]);
+  EXPECT_EQ(costs[0].crashed_clients, costs[1].crashed_clients);
+  EXPECT_EQ(costs[0].quarantined_updates, costs[1].quarantined_updates);
+  EXPECT_EQ(costs[0].sample_grads, costs[1].sample_grads);
+}
+
+TEST(FailureInjectionTest, PoisonedUploadsAreQuarantinedAndGlobalStaysFinite) {
+  // Acceptance: with corruption faults on, the aggregated global state is
+  // all-finite after every round and each rejection is recorded.
+  Fixture f;
+  FaultRates rates;
+  rates.corrupt_nan = 0.2f;
+  rates.corrupt_inf = 0.1f;
+  FedAvgConfig cfg{.rounds = 8, .participation = 1.0f};
+  cfg.faults = FaultPlan(23, rates);
+  SgdLocalUpdate update(2, 8, 0.1f);
+  CostMeter cost;
+  Rng rng(9);
+  int rounds_seen = 0;
+  const auto state = run_fedavg(*f.model, nn::state_of(*f.model), f.clients, update, cfg, rng,
+                                cost, [&](int, const nn::ModelState& g) {
+                                  ++rounds_seen;
+                                  EXPECT_TRUE(nn::all_finite(g));
+                                });
+  EXPECT_EQ(rounds_seen, 8);
+  EXPECT_TRUE(nn::all_finite(state));
+  // Every corrupt draw in the schedule maps to exactly one quarantine entry
+  // (participation 1.0, single attempt per round => the schedule is the run).
+  std::int64_t expected = 0;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const FaultKind k = cfg.faults.fault_for(r, 0, c);
+      expected += k == FaultKind::kCorruptNan || k == FaultKind::kCorruptInf;
+    }
+  }
+  EXPECT_GT(expected, 0);
+  EXPECT_EQ(cost.quarantined_updates, expected);
+}
+
+TEST(FailureInjectionTest, ExplodedNormCaughtByOutlierRule) {
+  Fixture f;
+  FedAvgConfig cfg{.rounds = 2, .participation = 1.0f};
+  cfg.faults.inject(0, 1, FaultKind::kExplodedNorm);
+  cfg.defense.norm_outlier_multiplier = 8.0f;
+  FedAvgConfig undefended = cfg;
+  undefended.defense.norm_outlier_multiplier = 0.0f;
+  SgdLocalUpdate update1(2, 8, 0.1f), update2(2, 8, 0.1f);
+  CostMeter cost1, cost2;
+  Rng rng1(9), rng2(9);
+  const auto init = nn::state_of(*f.model);
+  const auto defended = run_fedavg(*f.model, init, f.clients, update1, cfg, rng1, cost1);
+  const auto poisoned = run_fedavg(*f.model, init, f.clients, update2, undefended, rng2, cost2);
+  EXPECT_EQ(cost1.quarantined_updates, 1);
+  EXPECT_EQ(cost2.quarantined_updates, 0);
+  // Undefended, the exploded update dominates the average.
+  EXPECT_LT(nn::l2_norm(defended), 1e3);
+  EXPECT_GT(nn::l2_norm(poisoned), 1e4);
+}
+
+TEST(FailureInjectionTest, QuorumFailureRetriesAndRecoversRound) {
+  // Acceptance: a scripted first-attempt wipeout retries once and then the
+  // run proceeds exactly like a fault-free one.
+  Fixture f;
+  FedAvgConfig cfg{.rounds = 3, .participation = 1.0f};
+  for (int c = 0; c < 4; ++c) cfg.faults.inject(1, c, FaultKind::kCrash);
+  cfg.defense.min_quorum = 0.5f;
+  cfg.defense.max_round_attempts = 2;
+  cfg.defense.retry_backoff_seconds = 2.0f;
+  FedAvgConfig clean{.rounds = 3, .participation = 1.0f};
+  SgdLocalUpdate update1(2, 8, 0.1f), update2(2, 8, 0.1f);
+  CostMeter cost1, cost2;
+  Rng rng1(13), rng2(13);
+  const auto init = nn::state_of(*f.model);
+  const auto retried = run_fedavg(*f.model, init, f.clients, update1, cfg, rng1, cost1);
+  const auto baseline = run_fedavg(*f.model, init, f.clients, update2, clean, rng2, cost2);
+  EXPECT_EQ(cost1.retried_rounds, 1);
+  EXPECT_EQ(cost1.lost_rounds, 0);
+  EXPECT_EQ(cost1.crashed_clients, 4);
+  EXPECT_DOUBLE_EQ(cost1.sim_backoff_seconds, 2.0);
+  expect_states_bitwise_equal(retried, baseline);
+}
+
+TEST(FailureInjectionTest, QuorumExhaustionLosesRoundAndCarriesGlobalOver) {
+  Fixture f;
+  FedAvgConfig cfg{.rounds = 1, .participation = 1.0f};
+  for (int c = 0; c < 4; ++c) cfg.faults.inject(0, c, FaultKind::kCrash);
+  SgdLocalUpdate update(2, 8, 0.1f);
+  CostMeter cost;
+  Rng rng(13);
+  const auto init = nn::state_of(*f.model);
+  const auto state = run_fedavg(*f.model, init, f.clients, update, cfg, rng, cost);
+  EXPECT_EQ(cost.lost_rounds, 1);
+  EXPECT_EQ(cost.rounds, 1);
+  expect_states_bitwise_equal(state, init);
+}
+
+TEST(FailureInjectionTest, StragglerSpendsComputeButIsNotAggregated) {
+  Fixture f;
+  FedAvgConfig straggle{.rounds = 1, .participation = 1.0f};
+  straggle.faults.inject(0, 2, FaultKind::kStraggler);
+  FedAvgConfig crash{.rounds = 1, .participation = 1.0f};
+  crash.faults.inject(0, 2, FaultKind::kCrash);
+  SgdLocalUpdate update1(2, 8, 0.1f), update2(2, 8, 0.1f);
+  CostMeter cost1, cost2;
+  Rng rng1(13), rng2(13);
+  const auto init = nn::state_of(*f.model);
+  const auto a = run_fedavg(*f.model, init, f.clients, update1, straggle, rng1, cost1);
+  const auto b = run_fedavg(*f.model, init, f.clients, update2, crash, rng2, cost2);
+  // Identical aggregate (the late upload is discarded either way) ...
+  expect_states_bitwise_equal(a, b);
+  EXPECT_EQ(cost1.straggler_timeouts, 1);
+  EXPECT_EQ(cost2.crashed_clients, 1);
+  // ... but the straggler burned local compute and a model download.
+  EXPECT_GT(cost1.sample_grads, cost2.sample_grads);
+  EXPECT_GT(cost1.bytes_down, cost2.bytes_down);
+}
+
+TEST(FailureInjectionTest, ResumeFromCursorMatchesUninterruptedRun) {
+  // Acceptance: kill after round k, resume from the (state, rng) cursor,
+  // land on a bitwise-identical final state.
+  Fixture f;
+  FedAvgConfig cfg{.rounds = 6, .participation = 0.75f};
+  cfg.faults = FaultPlan(41, mixed_rates());
+  cfg.defense.min_quorum = 0.25f;
+  cfg.defense.max_round_attempts = 2;
+  const auto init = nn::state_of(*f.model);
+
+  SgdLocalUpdate update1(2, 8, 0.1f);
+  CostMeter cost1;
+  Rng rng1(29);
+  nn::ModelState cursor_state;
+  std::vector<std::uint8_t> cursor_rng;
+  const auto full = run_fedavg(*f.model, init, f.clients, update1, cfg, rng1, cost1, {}, {},
+                               [&](int round, const nn::ModelState& g, const Rng& r) {
+                                 if (round == 2) {  // "crash" after 3 completed rounds
+                                   cursor_state = g;
+                                   cursor_rng = r.serialize();
+                                 }
+                               });
+  ASSERT_FALSE(cursor_rng.empty());
+
+  SgdLocalUpdate update2(2, 8, 0.1f);
+  CostMeter cost2;
+  Rng rng2 = Rng::deserialize(cursor_rng);
+  FedAvgConfig resume = cfg;
+  resume.start_round = 3;
+  const auto resumed =
+      run_fedavg(*f.model, cursor_state, f.clients, update2, resume, rng2, cost2);
+  expect_states_bitwise_equal(resumed, full);
 }
 
 }  // namespace

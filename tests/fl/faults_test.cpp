@@ -1,0 +1,193 @@
+// FaultPlan / corruption / DefenseConfig unit tests (see fl/faults.h).
+#include "fl/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "tensor/tensor.h"
+
+namespace quickdrop::fl {
+namespace {
+
+nn::ModelState make_state(float fill) {
+  nn::ModelState state;
+  state.push_back(Tensor({3, 4}));
+  state.push_back(Tensor({5}));
+  for (auto& t : state) {
+    for (std::int64_t i = 0; i < t.numel(); ++i) t.at(i) = fill + static_cast<float>(i) * 0.1f;
+  }
+  return state;
+}
+
+TEST(FaultRatesTest, ValidateRejectsBadRates) {
+  FaultRates ok;
+  ok.crash = 0.5f;
+  ok.straggler = 0.5f;
+  EXPECT_NO_THROW(ok.validate());
+  FaultRates negative;
+  negative.corrupt_nan = -0.1f;
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+  FaultRates nan_rate;
+  nan_rate.crash = std::nanf("");
+  EXPECT_THROW(nan_rate.validate(), std::invalid_argument);
+  FaultRates overflow;
+  overflow.crash = 0.6f;
+  overflow.stale_update = 0.6f;
+  EXPECT_THROW(overflow.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, DefaultPlanInjectsNothing) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) EXPECT_EQ(plan.fault_for(r, 0, c), FaultKind::kNone);
+  }
+}
+
+TEST(FaultPlanTest, DeterministicAndOrderIndependent) {
+  FaultRates rates;
+  rates.crash = 0.2f;
+  rates.straggler = 0.1f;
+  rates.corrupt_nan = 0.1f;
+  const FaultPlan a(99, rates), b(99, rates);
+  // Query b in reverse order and repeatedly: answers must still match a.
+  std::map<std::pair<int, int>, FaultKind> from_a;
+  for (int r = 0; r < 10; ++r) {
+    for (int c = 0; c < 8; ++c) from_a[{r, c}] = a.fault_for(r, 0, c);
+  }
+  for (int r = 9; r >= 0; --r) {
+    for (int c = 7; c >= 0; --c) {
+      EXPECT_EQ(b.fault_for(r, 0, c), (from_a[{r, c}])) << "r=" << r << " c=" << c;
+      EXPECT_EQ(b.fault_for(r, 0, c), (from_a[{r, c}])) << "repeat call changed the answer";
+    }
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsGiveDifferentSchedules) {
+  FaultRates rates;
+  rates.crash = 0.5f;
+  const FaultPlan a(1, rates), b(2, rates);
+  int differing = 0;
+  for (int r = 0; r < 20; ++r) {
+    for (int c = 0; c < 10; ++c) differing += a.fault_for(r, 0, c) != b.fault_for(r, 0, c);
+  }
+  EXPECT_GT(differing, 20);
+}
+
+TEST(FaultPlanTest, BernoulliCrashMatchesRate) {
+  const FaultPlan plan = FaultPlan::bernoulli_crash(7, 0.3f);
+  int crashes = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const FaultKind k = plan.fault_for(i / 10, 0, i % 10);
+    ASSERT_TRUE(k == FaultKind::kNone || k == FaultKind::kCrash);
+    crashes += k == FaultKind::kCrash;
+  }
+  EXPECT_NEAR(static_cast<double>(crashes) / trials, 0.3, 0.03);
+}
+
+TEST(FaultPlanTest, RateBandsCoverEveryKind) {
+  FaultRates rates;
+  rates.crash = rates.straggler = rates.corrupt_nan = 0.15f;
+  rates.corrupt_inf = rates.exploded_norm = rates.stale_update = 0.15f;
+  const FaultPlan plan(3, rates);
+  std::map<FaultKind, int> seen;
+  for (int r = 0; r < 100; ++r) {
+    for (int c = 0; c < 10; ++c) ++seen[plan.fault_for(r, 0, c)];
+  }
+  for (const FaultKind k :
+       {FaultKind::kNone, FaultKind::kCrash, FaultKind::kStraggler, FaultKind::kCorruptNan,
+        FaultKind::kCorruptInf, FaultKind::kExplodedNorm, FaultKind::kStaleUpdate}) {
+    EXPECT_GT(seen[k], 0) << fault_kind_name(k);
+  }
+}
+
+TEST(FaultPlanTest, ScriptedFaultFiresOnFirstAttemptOnly) {
+  FaultPlan plan;
+  plan.inject(2, 1, FaultKind::kCrash);
+  EXPECT_TRUE(plan.any());
+  EXPECT_EQ(plan.fault_for(2, 0, 1), FaultKind::kCrash);
+  // Retries re-sample a healthy cohort: the script does not re-fire.
+  EXPECT_EQ(plan.fault_for(2, 1, 1), FaultKind::kNone);
+  EXPECT_EQ(plan.fault_for(2, 0, 0), FaultKind::kNone);
+  EXPECT_EQ(plan.fault_for(1, 0, 1), FaultKind::kNone);
+}
+
+TEST(FaultPlanTest, ScriptedFaultOverridesRandomSchedule) {
+  FaultRates rates;
+  rates.crash = 1.0f;
+  FaultPlan plan(5, rates);
+  plan.inject(0, 0, FaultKind::kStaleUpdate);
+  EXPECT_EQ(plan.fault_for(0, 0, 0), FaultKind::kStaleUpdate);
+  EXPECT_EQ(plan.fault_for(0, 0, 1), FaultKind::kCrash);
+}
+
+TEST(FaultKindTest, NamesAreStable) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kNone), "none");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kCrash), "crash");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kStraggler), "straggler");
+}
+
+TEST(ApplyCorruptionTest, NanAndInfMakeStateNonFinite) {
+  for (const FaultKind kind : {FaultKind::kCorruptNan, FaultKind::kCorruptInf}) {
+    auto upload = make_state(1.0f);
+    const auto round_start = make_state(0.0f);
+    Rng rng(11);
+    apply_corruption(kind, upload, round_start, rng);
+    EXPECT_FALSE(nn::all_finite(upload)) << fault_kind_name(kind);
+  }
+}
+
+TEST(ApplyCorruptionTest, ExplodedNormStaysFiniteButHuge) {
+  auto upload = make_state(1.0f);
+  const auto round_start = make_state(0.0f);
+  const double before = nn::l2_norm(upload);
+  Rng rng(11);
+  apply_corruption(FaultKind::kExplodedNorm, upload, round_start, rng);
+  EXPECT_TRUE(nn::all_finite(upload));
+  EXPECT_GT(nn::l2_norm(upload), 1e5 * before);
+}
+
+TEST(ApplyCorruptionTest, StaleUpdateEchoesRoundStart) {
+  auto upload = make_state(1.0f);
+  const auto round_start = make_state(0.0f);
+  Rng rng(11);
+  apply_corruption(FaultKind::kStaleUpdate, upload, round_start, rng);
+  EXPECT_NEAR(nn::l2_norm(nn::subtract(upload, round_start)), 0.0, 0.0);
+}
+
+TEST(ApplyCorruptionTest, BenignKindsAreNoOps) {
+  for (const FaultKind kind : {FaultKind::kNone, FaultKind::kCrash, FaultKind::kStraggler}) {
+    auto upload = make_state(1.0f);
+    const auto untouched = make_state(1.0f);
+    const auto round_start = make_state(0.0f);
+    Rng rng(11);
+    apply_corruption(kind, upload, round_start, rng);
+    EXPECT_NEAR(nn::l2_norm(nn::subtract(upload, untouched)), 0.0, 0.0);
+  }
+}
+
+TEST(DefenseConfigTest, ValidateRejectsBadSettings) {
+  DefenseConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+  DefenseConfig attempts;
+  attempts.max_round_attempts = 0;
+  EXPECT_THROW(attempts.validate(), std::invalid_argument);
+  DefenseConfig quorum;
+  quorum.min_quorum = 1.5f;
+  EXPECT_THROW(quorum.validate(), std::invalid_argument);
+  quorum.min_quorum = -0.5f;
+  EXPECT_THROW(quorum.validate(), std::invalid_argument);
+  DefenseConfig outlier;
+  outlier.norm_outlier_multiplier = -1.0f;
+  EXPECT_THROW(outlier.validate(), std::invalid_argument);
+  DefenseConfig backoff;
+  backoff.retry_backoff_seconds = std::nanf("");
+  EXPECT_THROW(backoff.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quickdrop::fl

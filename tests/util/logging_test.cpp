@@ -1,0 +1,95 @@
+// Leveled-logging tests: level filtering, name parsing, env override.
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace quickdrop {
+namespace {
+
+/// Restores the global log level on scope exit so tests cannot leak a level
+/// into each other (gtest runs them in one process).
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(LoggingTest, DefaultLevelIsInfo) {
+  // Nothing in the test binary changes the level before this suite runs,
+  // and LevelGuard restores it everywhere else.
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SetAndGetRoundTrip) {
+  LevelGuard guard;
+  for (const LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(LoggingTest, FromNameParsesAllLevels) {
+  EXPECT_EQ(log_level_from_name("debug"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_name("info"), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_name("warn"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_name("error"), LogLevel::kError);
+  EXPECT_THROW(log_level_from_name("verbose"), std::invalid_argument);
+  EXPECT_THROW(log_level_from_name(""), std::invalid_argument);
+  EXPECT_THROW(log_level_from_name("WARN"), std::invalid_argument);  // case-sensitive
+}
+
+TEST(LoggingTest, MessagesAtOrAboveThresholdAreEmitted) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  QD_LOG_WARN << "above threshold " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[WARN] above threshold 42"), std::string::npos) << out;
+}
+
+TEST(LoggingTest, MessagesBelowThresholdAreSilent) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  QD_LOG_WARN << "should not appear";
+  QD_LOG_INFO << "nor this";
+  QD_LOG_DEBUG << "nor this";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LoggingTest, DebugLevelEmitsEverything) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  QD_LOG_DEBUG << "d";
+  QD_LOG_ERROR << "e";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[DEBUG] d"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] e"), std::string::npos);
+}
+
+TEST(LoggingTest, EnvOverrideAppliesValidLevels) {
+  LevelGuard guard;
+  ASSERT_EQ(setenv("QUICKDROP_LOG_LEVEL", "error", 1), 0);
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  unsetenv("QUICKDROP_LOG_LEVEL");
+}
+
+TEST(LoggingTest, EnvOverrideIgnoresGarbage) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  ASSERT_EQ(setenv("QUICKDROP_LOG_LEVEL", "loudest", 1), 0);
+  set_log_level_from_env();  // must not throw, must not change the level
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  unsetenv("QUICKDROP_LOG_LEVEL");
+  set_log_level_from_env();  // unset: no-op
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace quickdrop

@@ -125,5 +125,43 @@ TEST(RngTest, DirichletRejectsBadParams) {
   EXPECT_THROW(rng.dirichlet(1.0f, 0), std::invalid_argument);
 }
 
+TEST(RngTest, SerializeRoundTripContinuesStream) {
+  Rng rng(21);
+  for (int i = 0; i < 37; ++i) rng.next_u64();  // advance mid-stream
+  const auto blob = rng.serialize();
+  EXPECT_EQ(blob.size(), Rng::kSerializedSize);
+  Rng restored = Rng::deserialize(blob);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(restored.next_u64(), rng.next_u64());
+}
+
+TEST(RngTest, SerializePreservesCachedNormal) {
+  // Box-Muller caches the second sample; a round trip mid-pair must not
+  // drop it or the resumed stream would be offset by one normal draw.
+  Rng rng(22);
+  rng.normal();  // consumes one of the pair, caches the other
+  Rng restored = Rng::deserialize(rng.serialize());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(restored.normal(), rng.normal());
+}
+
+TEST(RngTest, SerializePreservesSplitAnchor) {
+  // Tagged splits are anchored to the construction seed, which must survive
+  // the round trip — resumed runs re-derive identical per-client streams.
+  Rng original(23);
+  original.next_u64();
+  Rng restored = Rng::deserialize(original.serialize());
+  Rng a = original.split(991), b = restored.split(991);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DeserializeRejectsMalformedBlobs) {
+  Rng rng(24);
+  auto blob = rng.serialize();
+  EXPECT_THROW(Rng::deserialize(std::span(blob.data(), blob.size() - 1)),
+               std::invalid_argument);
+  EXPECT_THROW(Rng::deserialize({}), std::invalid_argument);
+  blob[8 * 5] = 0xFF;  // cached-normal flag must be 0 or 1
+  EXPECT_THROW(Rng::deserialize(blob), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace quickdrop

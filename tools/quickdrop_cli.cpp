@@ -8,13 +8,20 @@
 //   quickdrop_cli relearn --checkpoint fixed.qdcp --class 9 --out back.qdcp
 //   quickdrop_cli inspect --checkpoint model.qdcp
 //
+// Fault tolerance: `train` accepts --fault-crash/--fault-straggler/
+// --fault-corrupt/--fault-stale rates plus --quorum/--max-attempts defenses
+// (all persisted in the checkpoint metadata), --checkpoint-every K to write a
+// resumable partial checkpoint every K rounds, and --resume to continue a
+// killed run from its last completed round.
+//
 // Checkpoints are self-describing: train embeds the federation configuration
-// (dataset, clients, partition, seeds, model geometry) in the checkpoint
-// metadata, and the other commands rebuild the identical federation from it —
-// the synthetic data rides along in the file, so unlearning never touches the
-// original training data.
+// (dataset, clients, partition, seeds, model geometry, fault model) in the
+// checkpoint metadata, and the other commands rebuild the identical
+// federation from it — the synthetic data rides along in the file, so
+// unlearning never touches the original training data.
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -25,6 +32,7 @@
 #include "metrics/evaluate.h"
 #include "nn/convnet.h"
 #include "util/cli.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 namespace qd = quickdrop;
@@ -46,6 +54,17 @@ struct FedSpec {
   int depth = 2;
   std::uint64_t seed = 42;
 
+  // Fault model & defenses (fl/faults.h), persisted so resumed runs and
+  // later unlearn/relearn phases replay the identical scenario.
+  double fault_crash = 0.0;
+  double fault_straggler = 0.0;
+  double fault_corrupt = 0.0;  ///< split evenly across NaN/Inf/exploded-norm
+  double fault_stale = 0.0;
+  std::uint64_t fault_seed = 7;
+  double quorum = 0.0;
+  int max_attempts = 1;
+  double outlier_mult = 8.0;
+
   static FedSpec from_flags(qd::CliFlags& flags) {
     FedSpec s;
     s.dataset = flags.get_string("dataset", s.dataset);
@@ -60,6 +79,15 @@ struct FedSpec {
     s.width = flags.get_int("width", s.width);
     s.depth = flags.get_int("depth", s.depth);
     s.seed = static_cast<std::uint64_t>(flags.get_int("seed", static_cast<int>(s.seed)));
+    s.fault_crash = flags.get_double("fault-crash", s.fault_crash);
+    s.fault_straggler = flags.get_double("fault-straggler", s.fault_straggler);
+    s.fault_corrupt = flags.get_double("fault-corrupt", s.fault_corrupt);
+    s.fault_stale = flags.get_double("fault-stale", s.fault_stale);
+    s.fault_seed =
+        static_cast<std::uint64_t>(flags.get_int("fault-seed", static_cast<int>(s.fault_seed)));
+    s.quorum = flags.get_double("quorum", s.quorum);
+    s.max_attempts = flags.get_int("max-attempts", s.max_attempts);
+    s.outlier_mult = flags.get_double("outlier-mult", s.outlier_mult);
     return s;
   }
 
@@ -75,7 +103,15 @@ struct FedSpec {
             {"scale", std::to_string(scale)},
             {"width", std::to_string(width)},
             {"depth", std::to_string(depth)},
-            {"seed", std::to_string(seed)}};
+            {"seed", std::to_string(seed)},
+            {"fault_crash", qd::fmt_double(fault_crash, 6)},
+            {"fault_straggler", qd::fmt_double(fault_straggler, 6)},
+            {"fault_corrupt", qd::fmt_double(fault_corrupt, 6)},
+            {"fault_stale", qd::fmt_double(fault_stale, 6)},
+            {"fault_seed", std::to_string(fault_seed)},
+            {"quorum", qd::fmt_double(quorum, 6)},
+            {"max_attempts", std::to_string(max_attempts)},
+            {"outlier_mult", qd::fmt_double(outlier_mult, 6)}};
   }
 
   static FedSpec from_metadata(const std::map<std::string, std::string>& m) {
@@ -86,6 +122,12 @@ struct FedSpec {
         throw std::invalid_argument(std::string("checkpoint metadata missing '") + key + "'");
       }
       return it->second;
+    };
+    // Fault keys default when absent so pre-fault-runtime metadata still
+    // loads.
+    auto get_or = [&](const char* key, const std::string& fallback) {
+      const auto it = m.find(key);
+      return it == m.end() ? fallback : it->second;
     };
     s.dataset = get("dataset");
     s.clients = std::stoi(get("clients"));
@@ -99,6 +141,14 @@ struct FedSpec {
     s.width = std::stoi(get("width"));
     s.depth = std::stoi(get("depth"));
     s.seed = std::stoull(get("seed"));
+    s.fault_crash = std::stod(get_or("fault_crash", "0"));
+    s.fault_straggler = std::stod(get_or("fault_straggler", "0"));
+    s.fault_corrupt = std::stod(get_or("fault_corrupt", "0"));
+    s.fault_stale = std::stod(get_or("fault_stale", "0"));
+    s.fault_seed = std::stoull(get_or("fault_seed", "7"));
+    s.quorum = std::stod(get_or("quorum", "0"));
+    s.max_attempts = std::stoi(get_or("max_attempts", "1"));
+    s.outlier_mult = std::stod(get_or("outlier_mult", "8"));
     return s;
   }
 };
@@ -144,6 +194,17 @@ Federation build(const FedSpec& spec) {
   cfg.unlearn_lr = 0.05f;
   cfg.recover_lr = 0.03f;
   cfg.max_unlearn_rounds = 4;  // verified unlearning
+  qd::fl::FaultRates rates;
+  rates.crash = static_cast<float>(spec.fault_crash);
+  rates.straggler = static_cast<float>(spec.fault_straggler);
+  rates.corrupt_nan = static_cast<float>(spec.fault_corrupt / 3.0);
+  rates.corrupt_inf = static_cast<float>(spec.fault_corrupt / 3.0);
+  rates.exploded_norm = static_cast<float>(spec.fault_corrupt / 3.0);
+  rates.stale_update = static_cast<float>(spec.fault_stale);
+  cfg.faults = qd::fl::FaultPlan(spec.fault_seed, rates);
+  cfg.defense.norm_outlier_multiplier = static_cast<float>(spec.outlier_mult);
+  cfg.defense.min_quorum = static_cast<float>(spec.quorum);
+  cfg.defense.max_round_attempts = spec.max_attempts;
   fed.quickdrop = std::make_unique<qd::core::QuickDrop>(fed.factory, std::move(clients), cfg,
                                                         spec.seed);
   fed.eval_model = fed.factory();
@@ -173,14 +234,64 @@ qd::core::UnlearningRequest request_from_flags(qd::CliFlags& flags) {
 }
 
 int cmd_train(qd::CliFlags& flags) {
-  const auto spec = FedSpec::from_flags(flags);
+  auto spec = FedSpec::from_flags(flags);
   const auto out = flags.get_string("out", "model.qdcp");
+  const int checkpoint_every = flags.get_int("checkpoint-every", 0);
+  const bool resume = flags.get_bool("resume", false);
   flags.check_unused();
+
+  // --resume: pick up the partial checkpoint written by --checkpoint-every.
+  std::optional<qd::core::Checkpoint> partial;
+  if (resume) {
+    auto cp = qd::core::load_checkpoint(out);
+    if (!cp.cursor || cp.cursor->phase != "train") {
+      throw std::invalid_argument("--resume: " + out + " holds no in-flight training cursor");
+    }
+    spec = FedSpec::from_metadata(cp.metadata);  // the interrupted run's config wins
+    partial = std::move(cp);
+  }
+
   auto fed = build(spec);
-  std::printf("training %d clients on %s for %d rounds (scale s=%d)...\n", spec.clients,
-              spec.dataset.c_str(), spec.rounds, spec.scale);
-  const auto state = fed.quickdrop->train();
+  qd::core::TrainResume resume_point;
+  const qd::core::TrainResume* resume_ptr = nullptr;
+  if (partial) {
+    fed.quickdrop->load_stores(qd::core::restore_stores(*partial));
+    resume_point.global = partial->global;
+    resume_point.rounds_done = partial->cursor->rounds_done;
+    resume_point.rng_state = partial->cursor->rng_state;
+    resume_ptr = &resume_point;
+    std::printf("resuming training from round %d/%d...\n", resume_point.rounds_done,
+                spec.rounds);
+  } else {
+    std::printf("training %d clients on %s for %d rounds (scale s=%d)...\n", spec.clients,
+                spec.dataset.c_str(), spec.rounds, spec.scale);
+  }
+
+  qd::fl::RoundCursorCallback cursor_cb;
+  if (checkpoint_every > 0) {
+    cursor_cb = [&](int round, const qd::nn::ModelState& state, const qd::Rng& rng) {
+      const int done = round + 1;
+      if (done % checkpoint_every != 0 || done >= spec.rounds) return;
+      auto cp = qd::core::make_checkpoint(state, fed.quickdrop->stores());
+      cp.metadata = spec.to_metadata();
+      cp.cursor = qd::core::RoundCursor{"train", done, rng.serialize()};
+      qd::core::save_checkpoint(cp, out);
+      std::printf("  partial checkpoint at round %d -> %s\n", done, out.c_str());
+    };
+  }
+
+  const auto state = fed.quickdrop->train({}, {}, cursor_cb, resume_ptr);
   print_eval(fed, state);
+  const auto& cost = fed.quickdrop->training_stats().cost;
+  if (cost.total_faults() > 0 || cost.lost_rounds > 0) {
+    std::printf(
+        "faults survived: %lld crashes, %lld stragglers, %lld quarantined, %lld retried "
+        "rounds, %lld lost rounds\n",
+        static_cast<long long>(cost.crashed_clients),
+        static_cast<long long>(cost.straggler_timeouts),
+        static_cast<long long>(cost.quarantined_updates),
+        static_cast<long long>(cost.retried_rounds), static_cast<long long>(cost.lost_rounds));
+  }
   auto cp = qd::core::make_checkpoint(state, fed.quickdrop->stores());
   cp.metadata = spec.to_metadata();
   qd::core::save_checkpoint(cp, out);
@@ -219,6 +330,10 @@ int cmd_inspect(qd::CliFlags& flags) {
   }
   std::printf("  clients: %zu, synthetic samples: %lld\n", cp.clients.size(),
               static_cast<long long>(synth));
+  if (cp.cursor) {
+    std::printf("  in-flight phase '%s': %d round(s) completed (resume with --resume)\n",
+                cp.cursor->phase.c_str(), cp.cursor->rounds_done);
+  }
   return 0;
 }
 
@@ -260,10 +375,14 @@ int usage() {
   std::fprintf(stderr,
                "usage: quickdrop_cli <train|eval|unlearn|relearn|inspect> [--flags]\n"
                "  train   --dataset D --clients N --rounds R --scale S --out FILE\n"
+               "          [--fault-crash P] [--fault-straggler P] [--fault-corrupt P]\n"
+               "          [--fault-stale P] [--fault-seed S] [--quorum F] [--max-attempts N]\n"
+               "          [--outlier-mult M] [--checkpoint-every K] [--resume]\n"
                "  eval    --checkpoint FILE\n"
                "  unlearn --checkpoint FILE (--class C | --client I) --out FILE\n"
                "  relearn --checkpoint FILE (--class C | --client I) --out FILE\n"
-               "  inspect --checkpoint FILE\n");
+               "  inspect --checkpoint FILE\n"
+               "  common: --log-level debug|info|warn|error (or QUICKDROP_LOG_LEVEL)\n");
   return 2;
 }
 
@@ -273,7 +392,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    qd::set_log_level_from_env();
     qd::CliFlags flags(argc - 1, argv + 1);
+    const auto log_level = flags.get_string("log-level", "");
+    if (!log_level.empty()) qd::set_log_level(qd::log_level_from_name(log_level));
     if (command == "train") return cmd_train(flags);
     if (command == "eval") return cmd_eval(flags);
     if (command == "unlearn") return cmd_unlearn(flags);
