@@ -1,18 +1,47 @@
 // google-benchmark microbenchmarks of the substrate: tensor kernels, autograd
 // forward/backward, one distillation matching step and one SGA round — the
-// unit costs behind every table.
+// unit costs behind every table. The *Threads benchmarks sweep the global
+// pool size (1/2/4/hardware) for the parallelized kernels; results land in
+// BENCH_micro_ops.json (see main below) for machine consumption.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/distillation.h"
 #include "data/synthetic.h"
 #include "fl/client_update.h"
 #include "nn/convnet.h"
 #include "tensor/kernels.h"
+#include "util/thread_pool.h"
 
 namespace qd = quickdrop;
 namespace k = quickdrop::kernels;
 
 namespace {
+
+// Thread counts to sweep: 1/2/4 plus the hardware default, deduplicated.
+std::vector<std::int64_t> thread_sweep() {
+  std::vector<std::int64_t> counts{1, 2, 4};
+  const auto hw = static_cast<std::int64_t>(std::max(1u, std::thread::hardware_concurrency()));
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) counts.push_back(hw);
+  return counts;
+}
+
+void thread_args(benchmark::internal::Benchmark* b) {
+  for (const auto t : thread_sweep()) b->Arg(t);
+}
+
+// Pins the pool to `threads` for one benchmark run, restoring on scope exit
+// so the sweep order can't leak into other benchmarks.
+struct PoolScope {
+  int saved = qd::num_threads();
+  explicit PoolScope(std::int64_t threads) { qd::set_num_threads(static_cast<int>(threads)); }
+  ~PoolScope() { qd::set_num_threads(saved); }
+};
 
 void BM_MatMul(benchmark::State& state) {
   const auto n = state.range(0);
@@ -92,6 +121,52 @@ void BM_DistillMatchStep(benchmark::State& state) {
 }
 BENCHMARK(BM_DistillMatchStep);
 
+// --- Thread sweeps of the parallelized kernels (acceptance: matmul >= 3x at
+// --- 4 threads for n >= 256 on a multicore host).
+
+void BM_MatMulThreads(benchmark::State& state) {
+  const PoolScope pool(state.range(1));
+  const auto n = state.range(0);
+  qd::Rng rng(1);
+  const auto a = qd::Tensor::randn({n, n}, rng);
+  const auto b = qd::Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(k::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->ArgNames({"n", "threads"})
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      for (const std::int64_t n : {256, 384}) {
+        for (const auto t : thread_sweep()) b->Args({n, t});
+      }
+    });
+
+void BM_Im2ColThreads(benchmark::State& state) {
+  const PoolScope pool(state.range(0));
+  qd::Rng rng(1);
+  const auto x = qd::Tensor::randn({32, 16, 24, 24}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(k::im2col(x, 3, 1, 1));
+}
+BENCHMARK(BM_Im2ColThreads)->ArgNames({"threads"})->Apply(thread_args);
+
+void BM_ConvForwardBackwardThreads(benchmark::State& state) {
+  // One full conv-net forward + backward (the per-sample-gradient unit cost):
+  // exercises matmul, im2col, col2im and reduce_sum_to together.
+  const PoolScope pool(state.range(0));
+  qd::Rng rng(1);
+  auto net = qd::nn::make_convnet(bench_net(), rng);
+  const auto x = qd::Tensor::randn({32, 3, 12, 12}, rng);
+  std::vector<int> labels(32);
+  for (int i = 0; i < 32; ++i) labels[static_cast<std::size_t>(i)] = i % 10;
+  const auto params = net->parameters();
+  for (auto _ : state) {
+    const auto loss = qd::ag::cross_entropy(net->forward_tensor(x), labels);
+    benchmark::DoNotOptimize(qd::ag::grad(loss, std::span<const qd::ag::Var>(params)));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ConvForwardBackwardThreads)->ArgNames({"threads"})->Apply(thread_args);
+
 void BM_SgaUnlearnStep(benchmark::State& state) {
   // One SGA ascent step on a QuickDrop-sized synthetic forget batch.
   qd::Rng rng(1);
@@ -107,4 +182,25 @@ BENCHMARK(BM_SgaUnlearnStep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default machine-readable report: unless the caller
+// already passed --benchmark_out, results are written to
+// BENCH_micro_ops.json in the working directory.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    has_out |= std::strncmp(argv[i], "--benchmark_out", 15) == 0;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_micro_ops.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

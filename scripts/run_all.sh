@@ -21,6 +21,19 @@ SAN_BUILD="${BUILD}-asan"
 } 2>&1 | tee sanitizer_output.txt
 echo "sanitizer pass exit: ${PIPESTATUS[0]}" | tee -a sanitizer_output.txt
 
+# ThreadSanitizer pass: rebuild the suites that exercise the thread pool,
+# parallel kernels and concurrent client rounds, and run them with an
+# oversubscribed pool so worker interleavings actually happen.
+TSAN_BUILD="${BUILD}-tsan"
+{
+  cmake -B "$TSAN_BUILD" -S . -DQUICKDROP_SANITIZE="thread" &&
+  cmake --build "$TSAN_BUILD" -j --target util_test tensor_test fl_test &&
+  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/util_test &&
+  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/tensor_test &&
+  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/fl_test
+} 2>&1 | tee tsan_output.txt
+echo "tsan pass exit: ${PIPESTATUS[0]}" | tee -a tsan_output.txt
+
 : > bench_output.txt
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

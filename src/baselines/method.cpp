@@ -15,6 +15,7 @@ nn::ModelState UnlearningMethod::run_rounds(TrainedFederation& fed, const nn::Mo
   fl::FedAvgConfig fedcfg{
       .rounds = rounds,
       .participation = participation < 0.0f ? config_.participation : participation};
+  fedcfg.client_model_factory = fed.factory;
   fl::CostMeter cost;
   Rng rng(0xBA5E0000ULL + rng_tag);
   nn::ModelState result =

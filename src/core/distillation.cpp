@@ -108,6 +108,7 @@ void DistillingLocalUpdate::run(nn::Module& model, const data::Dataset& dataset,
   std::vector<int> pool(static_cast<std::size_t>(dataset.size()));
   for (int i = 0; i < dataset.size(); ++i) pool[static_cast<std::size_t>(i)] = i;
 
+  double local_seconds = 0.0;
   for (int t = 0; t < local_steps_; ++t) {
     const auto rows = data::Dataset::sample_batch_indices(pool, batch_size_, rng);
     // Group the batch rows per class: per-class gradients feed the matching
@@ -162,13 +163,15 @@ void DistillingLocalUpdate::run(nn::Module& model, const data::Dataset& dataset,
           }
         }
       }
-      distill_seconds_ += dd_timer.seconds();
+      local_seconds += dd_timer.seconds();
     }
 
     // FL model update with the reused real gradient (Algorithm 2 line 17).
     nn::Sgd optimizer(params, model_lr_);
     optimizer.step_tensors(model_grad, nn::UpdateDirection::kDescent);
   }
+  const std::lock_guard<std::mutex> lock(seconds_mu_);
+  distill_seconds_ += local_seconds;
 }
 
 }  // namespace quickdrop::core

@@ -8,6 +8,7 @@
 // to the synthetic pixels.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "core/synthetic_store.h"
@@ -51,6 +52,9 @@ class DistillingLocalUpdate final : public fl::ClientUpdate {
   int batch_size_;
   float model_lr_;
   DistillConfig distill_;
+  /// run() may execute concurrently for distinct clients; the per-client
+  /// stores are disjoint, but this cross-client total needs a guard.
+  std::mutex seconds_mu_;
   double distill_seconds_ = 0.0;
 };
 

@@ -34,6 +34,12 @@ nn::ModelState QuickDrop::train(const fl::RoundCallback& callback,
   fl::FedAvgConfig fed{.rounds = config_.fl_rounds, .participation = config_.participation};
   fed.faults = config_.faults;
   fed.defense = config_.defense;
+  // Concurrent clients, except when fine-tuning follows: finetune_store
+  // re-initializes models from the shared factory RNG, and the number of
+  // factory calls the parallel engine makes depends on the thread count —
+  // running serially here keeps that stream position (and therefore the
+  // fine-tuned stores) bit-identical at any thread count.
+  if (config_.finetune.outer_steps == 0) fed.client_model_factory = factory_;
   nn::ModelState start = initial_state_;
   Rng fed_rng = rng_.split(0xF1);
   if (resume) {
@@ -149,6 +155,7 @@ nn::ModelState QuickDrop::run_phase(const nn::ModelState& start,
   fl::FedAvgConfig fed{.rounds = rounds, .participation = participation};
   fed.faults = config_.faults;
   fed.defense = config_.defense;
+  fed.client_model_factory = factory_;
   fl::CostMeter cost;
   Rng phase_rng = rng_.split(0xE0 + static_cast<std::uint64_t>(cost.rounds));
   nn::ModelState result =

@@ -187,6 +187,7 @@ nn::ModelState SampleLevelQuickDrop::train(const fl::RoundCallback& callback) {
   SubsetDistillingUpdate update(stores_, config_.local_steps, config_.batch_size,
                                 config_.train_lr, config_.distill);
   fl::FedAvgConfig fed{.rounds = config_.fl_rounds, .participation = config_.participation};
+  fed.client_model_factory = factory_;
   fl::CostMeter cost;
   Rng fed_rng = rng_.split(0xF2);
   return fl::run_fedavg(*scratch_model_, nn::state_of(*scratch_model_), client_train_, update,
@@ -231,6 +232,7 @@ nn::ModelState SampleLevelQuickDrop::unlearn(const nn::ModelState& state,
     const Timer timer;
     fl::SgdLocalUpdate update(config_.unlearn_local_steps, config_.unlearn_batch_size, lr, dir);
     fl::FedAvgConfig fed{.rounds = rounds, .participation = 1.0f};
+    fed.client_model_factory = factory_;
     fl::CostMeter cost;
     Rng phase_rng = rng_.split(0xE5);
     auto result = fl::run_fedavg(*scratch_model_, start, data, update, fed, phase_rng, cost);

@@ -6,6 +6,9 @@
 // strategies behind this interface.
 #pragma once
 
+#include <functional>
+#include <memory>
+
 #include "data/dataset.h"
 #include "fl/cost.h"
 #include "nn/module.h"
@@ -13,6 +16,10 @@
 #include "util/rng.h"
 
 namespace quickdrop::fl {
+
+/// Builds a fresh model of the experiment's architecture. Parameter values do
+/// not matter — the runner immediately loads a state — but shapes must match.
+using ModelFactory = std::function<std::unique_ptr<nn::Module>()>;
 
 /// One client's local work within a round.
 class ClientUpdate {
@@ -22,6 +29,13 @@ class ClientUpdate {
   /// Performs local steps on `model` using the client's `dataset`.
   /// `round`/`client_id` identify the invocation (for RNG splitting and
   /// telemetry); `cost` accumulates gradient computations.
+  ///
+  /// Thread safety: when the resilient engine runs clients concurrently
+  /// (ResilientConfig::client_model_factory), run() is invoked from multiple
+  /// threads with distinct `model`/`rng`/`cost` instances and distinct
+  /// `client_id`s. Implementations may mutate per-client state (it is never
+  /// shared between concurrent calls) but must guard any state shared across
+  /// clients.
   virtual void run(nn::Module& model, const data::Dataset& dataset, int round, int client_id,
                    Rng& rng, CostMeter& cost) = 0;
 };

@@ -18,10 +18,6 @@
 
 namespace quickdrop::fl {
 
-/// Builds a fresh model of the experiment's architecture. Parameter values do
-/// not matter — the runner immediately loads a state — but shapes must match.
-using ModelFactory = std::function<std::unique_ptr<nn::Module>()>;
-
 /// Configuration of a block of FedAvg rounds.
 struct FedAvgConfig {
   int rounds = 1;
@@ -40,6 +36,9 @@ struct FedAvgConfig {
   /// First round index to execute (round-level resume; see
   /// fl/resilient.h and core/checkpoint.h RoundCursor).
   int start_round = 0;
+  /// Optional: enables concurrent client execution (see
+  /// ResilientConfig::client_model_factory). Empty = serial clients.
+  ModelFactory client_model_factory;
 };
 
 /// Runs `config.rounds` rounds of FedAvg (Algorithm 1's outer loop):

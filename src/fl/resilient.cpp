@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace quickdrop::fl {
 namespace {
@@ -64,6 +66,10 @@ nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
   }
   if (eligible.empty()) throw std::invalid_argument("run_resilient: no client has data");
 
+  // Per-worker scratch models for the concurrent client phase, built lazily
+  // (serially, on this thread) and reused across rounds.
+  std::vector<std::unique_ptr<nn::Module>> worker_models;
+
   for (int round = config.start_round; round < config.rounds; ++round) {
     for (int attempt = 0; attempt < config.defense.max_round_attempts; ++attempt) {
       if (attempt > 0) {
@@ -85,29 +91,38 @@ nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
       }
       const int sampled = static_cast<int>(cohort.size());
 
-      // Client phase: run local updates, apply injected faults.
-      std::vector<Delivery> delivered;
-      delivered.reserve(cohort.size());
-      for (const int c : cohort) {
+      // Client phase: run local updates, apply injected faults. Client c's
+      // work depends only on (round, attempt, c) and the global state — its
+      // RNG is tag-split, never drawn from a shared stream — so clients can
+      // execute in any order, including concurrently. Each client writes its
+      // delivery slot and a private CostMeter; both are merged in cohort
+      // order below, keeping every downstream number independent of the
+      // thread count.
+      std::vector<std::optional<Delivery>> slots(cohort.size());
+      std::vector<CostMeter> slot_costs(cohort.size());
+      auto run_client = [&](std::size_t idx, nn::Module& client_model) {
+        const int c = cohort[idx];
+        CostMeter& ccost = slot_costs[idx];
         const FaultKind fault = config.faults.fault_for(round, attempt, c);
         if (fault == FaultKind::kCrash) {
-          ++cost.crashed_clients;
+          ++ccost.crashed_clients;
           QD_LOG_DEBUG << "round " << round << ": client " << c << " crashed before upload";
-          continue;
+          return;
         }
-        nn::load_state(model, global);
+        nn::load_state(client_model, global);
         Rng client_rng = rng.split(static_cast<std::uint64_t>(round) * 100003ULL +
                                    static_cast<std::uint64_t>(c));
-        update.run(model, client_data[static_cast<std::size_t>(c)], round, c, client_rng, cost);
-        nn::ModelState state = nn::state_of(model);
+        update.run(client_model, client_data[static_cast<std::size_t>(c)], round, c, client_rng,
+                   ccost);
+        nn::ModelState state = nn::state_of(client_model);
         if (fault == FaultKind::kStraggler) {
           // Compute was spent and the model was downloaded, but the upload
           // missed the simulated round deadline.
-          ++cost.straggler_timeouts;
-          cost.add_exchange(0, nn::state_bytes(global));
+          ++ccost.straggler_timeouts;
+          ccost.add_exchange(0, nn::state_bytes(global));
           QD_LOG_WARN << "round " << round << ": client " << c
                       << " straggled past the round deadline; update discarded";
-          continue;
+          return;
         }
         if (fault != FaultKind::kNone) {
           Rng fault_rng = Rng(config.faults.seed() ^ 0xFA017C0DEULL)
@@ -115,11 +130,38 @@ nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
                                      static_cast<std::uint64_t>(c));
           apply_corruption(fault, state, global, fault_rng);
         }
-        cost.add_exchange(nn::state_bytes(state), nn::state_bytes(global));
+        ccost.add_exchange(nn::state_bytes(state), nn::state_bytes(global));
         Delivery d;
         d.client = c;
         d.state = std::move(state);
-        delivered.push_back(std::move(d));
+        slots[idx] = std::move(d);
+      };
+
+      const int pool_threads = ThreadPool::global().threads();
+      const int n_workers = static_cast<int>(
+          std::min<std::size_t>(static_cast<std::size_t>(pool_threads), cohort.size()));
+      if (config.client_model_factory && n_workers > 1) {
+        while (static_cast<int>(worker_models.size()) < n_workers) {
+          worker_models.push_back(config.client_model_factory());
+        }
+        ThreadPool::global().run_chunks(n_workers, [&](int w) {
+          const std::size_t b = cohort.size() * static_cast<std::size_t>(w) /
+                                static_cast<std::size_t>(n_workers);
+          const std::size_t e = cohort.size() * static_cast<std::size_t>(w + 1) /
+                                static_cast<std::size_t>(n_workers);
+          for (std::size_t idx = b; idx < e; ++idx) {
+            run_client(idx, *worker_models[static_cast<std::size_t>(w)]);
+          }
+        });
+      } else {
+        for (std::size_t idx = 0; idx < cohort.size(); ++idx) run_client(idx, model);
+      }
+
+      std::vector<Delivery> delivered;
+      delivered.reserve(cohort.size());
+      for (std::size_t idx = 0; idx < cohort.size(); ++idx) {
+        cost += slot_costs[idx];
+        if (slots[idx]) delivered.push_back(std::move(*slots[idx]));
       }
 
       // Server phase: validate deliveries before they touch the aggregate.

@@ -57,6 +57,17 @@ struct ResilientConfig {
   /// [start_round, rounds) run. The caller must supply the global state and
   /// RNG captured by the cursor of round start_round - 1.
   int start_round = 0;
+  /// Optional: enables concurrent client execution. When set and the global
+  /// thread pool has more than one thread, each round's sampled clients run
+  /// in parallel on per-worker scratch models built by this factory (called
+  /// serially from the engine thread; the models' initial parameter values
+  /// are irrelevant — every client loads the global state first). Results
+  /// are bit-identical to the serial path at any thread count: per-client
+  /// randomness is tag-split from (round, client), per-client costs are
+  /// merged in cohort order, and validation + aggregation stay serial in
+  /// fixed client-index order. When empty (default), clients run serially
+  /// on the caller's scratch model.
+  ModelFactory client_model_factory;
 };
 
 /// Runs rounds [config.start_round, config.rounds) of fault-tolerant FedAvg:

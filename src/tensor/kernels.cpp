@@ -1,8 +1,16 @@
 #include "tensor/kernels.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
+// Parallelization strategy (see DESIGN.md "Threading model"): every kernel
+// partitions its *output* so each element is written by exactly one chunk,
+// and the per-element operation order is fixed by the element itself, never
+// by the chunk layout. Results are therefore bit-identical at any thread
+// count, including the serial fallback at 1 thread.
 namespace quickdrop::kernels {
 namespace {
 
@@ -18,13 +26,59 @@ std::vector<std::int64_t> broadcast_strides(const Shape& in, const Shape& out) {
   return strides;
 }
 
+/// Multi-index of flat position `flat` in `shape` (row-major).
+std::vector<std::int64_t> unflatten(std::int64_t flat, const Shape& shape) {
+  std::vector<std::int64_t> idx(shape.size(), 0);
+  for (int d = static_cast<int>(shape.size()) - 1; d >= 0; --d) {
+    const auto ud = static_cast<std::size_t>(d);
+    idx[ud] = flat % shape[ud];
+    flat /= shape[ud];
+  }
+  return idx;
+}
+
+std::int64_t offset_of(const std::vector<std::int64_t>& idx,
+                       const std::vector<std::int64_t>& strides) {
+  std::int64_t off = 0;
+  for (std::size_t d = 0; d < idx.size(); ++d) off += idx[d] * strides[d];
+  return off;
+}
+
+/// Gathers out[flat] = da[offset(flat)] for flat in [begin, end), where the
+/// offset walks `strides` over `out_shape` (an odometer seeked to `begin`).
+/// Pure per-element map: safe and bit-stable under any output partition.
+void strided_gather(std::span<const float> da, std::span<float> od, const Shape& out_shape,
+                    const std::vector<std::int64_t>& strides, std::int64_t begin,
+                    std::int64_t end) {
+  auto idx = unflatten(begin, out_shape);
+  std::int64_t src = offset_of(idx, strides);
+  const auto rank = out_shape.size();
+  for (std::int64_t flat = begin; flat < end; ++flat) {
+    od[static_cast<std::size_t>(flat)] = da[static_cast<std::size_t>(src)];
+    for (int d = static_cast<int>(rank) - 1; d >= 0; --d) {
+      const auto ud = static_cast<std::size_t>(d);
+      ++idx[ud];
+      src += strides[ud];
+      if (idx[ud] < out_shape[ud]) break;
+      src -= strides[ud] * out_shape[ud];
+      idx[ud] = 0;
+    }
+  }
+}
+
 template <typename F>
 Tensor binary_op(const Tensor& a, const Tensor& b, F f, const char* name) {
   if (a.shape() == b.shape()) {  // fast path
     Tensor out(a.shape());
     auto oa = a.data(), ob = b.data();
     auto od = out.data();
-    for (std::size_t i = 0; i < od.size(); ++i) od[i] = f(oa[i], ob[i]);
+    ThreadPool::global().parallel_for(
+        0, out.numel(), grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const auto u = static_cast<std::size_t>(i);
+            od[u] = f(oa[u], ob[u]);
+          }
+        });
     return out;
   }
   Shape out_shape;
@@ -38,24 +92,28 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, const char* name) {
   const auto sa = broadcast_strides(a.shape(), out_shape);
   const auto sb = broadcast_strides(b.shape(), out_shape);
   const auto rank = out_shape.size();
-  std::vector<std::int64_t> idx(rank, 0);
   auto da = a.data(), db = b.data();
   auto od = out.data();
-  std::int64_t ia = 0, ib = 0;
-  for (std::int64_t flat = 0; flat < out.numel(); ++flat) {
-    od[static_cast<std::size_t>(flat)] =
-        f(da[static_cast<std::size_t>(ia)], db[static_cast<std::size_t>(ib)]);
-    // Odometer increment.
-    for (int d = static_cast<int>(rank) - 1; d >= 0; --d) {
-      ++idx[d];
-      ia += sa[d];
-      ib += sb[d];
-      if (idx[d] < out_shape[d]) break;
-      ia -= sa[d] * out_shape[d];
-      ib -= sb[d] * out_shape[d];
-      idx[d] = 0;
-    }
-  }
+  ThreadPool::global().parallel_for(
+      0, out.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
+        auto idx = unflatten(lo, out_shape);
+        std::int64_t ia = offset_of(idx, sa), ib = offset_of(idx, sb);
+        for (std::int64_t flat = lo; flat < hi; ++flat) {
+          od[static_cast<std::size_t>(flat)] =
+              f(da[static_cast<std::size_t>(ia)], db[static_cast<std::size_t>(ib)]);
+          // Odometer increment.
+          for (int d = static_cast<int>(rank) - 1; d >= 0; --d) {
+            const auto ud = static_cast<std::size_t>(d);
+            ++idx[ud];
+            ia += sa[ud];
+            ib += sb[ud];
+            if (idx[ud] < out_shape[ud]) break;
+            ia -= sa[ud] * out_shape[ud];
+            ib -= sb[ud] * out_shape[ud];
+            idx[ud] = 0;
+          }
+        }
+      });
   return out;
 }
 
@@ -64,7 +122,13 @@ Tensor unary_op(const Tensor& a, F f) {
   Tensor out(a.shape());
   auto da = a.data();
   auto od = out.data();
-  for (std::size_t i = 0; i < od.size(); ++i) od[i] = f(da[i]);
+  ThreadPool::global().parallel_for(
+      0, out.numel(), grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          od[u] = f(da[u]);
+        }
+      });
   return out;
 }
 
@@ -118,17 +182,39 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   Tensor out({m, n});
   auto da = a.data(), db = b.data();
   auto od = out.data();
-  // ikj loop order: streams over b and out rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* orow = od.data() + i * n;
-    const float* arow = da.data() + i * k;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = db.data() + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  // Row-partitioned blocked ikj: each output row is owned by one chunk, and
+  // its accumulation order over kk is fixed by the kk-tiling constants alone,
+  // so any row partition yields bit-identical results. The kk tile keeps a
+  // block of B rows hot across the chunk's rows; the 4-way kk unroll keeps
+  // the inner j loop branch-free and vectorizable (the old `av == 0` skip
+  // defeated both).
+  constexpr std::int64_t kKTile = 128;
+  ThreadPool::global().parallel_for(
+      0, m, grain_for(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t kk0 = 0; kk0 < k; kk0 += kKTile) {
+          const std::int64_t kk1 = kk0 + kKTile < k ? kk0 + kKTile : k;
+          for (std::int64_t i = i0; i < i1; ++i) {
+            float* orow = od.data() + i * n;
+            const float* arow = da.data() + i * k;
+            std::int64_t kk = kk0;
+            for (; kk + 4 <= kk1; kk += 4) {
+              const float a0 = arow[kk], a1 = arow[kk + 1], a2 = arow[kk + 2], a3 = arow[kk + 3];
+              const float* b0 = db.data() + kk * n;
+              const float* b1 = b0 + n;
+              const float* b2 = b1 + n;
+              const float* b3 = b2 + n;
+              for (std::int64_t j = 0; j < n; ++j) {
+                orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+              }
+            }
+            for (; kk < kk1; ++kk) {
+              const float av = arow[kk];
+              const float* brow = db.data() + kk * n;
+              for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -138,9 +224,13 @@ Tensor transpose2d(const Tensor& a) {
   Tensor out({n, m});
   auto da = a.data();
   auto od = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) od[j * m + i] = da[i * n + j];
-  }
+  // Partitioned over output rows; pure gather.
+  ThreadPool::global().parallel_for(0, n, grain_for(m), [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t j = j0; j < j1; ++j) {
+      float* orow = od.data() + j * m;
+      for (std::int64_t i = 0; i < m; ++i) orow[i] = da[static_cast<std::size_t>(i * n + j)];
+    }
+  });
   return out;
 }
 
@@ -165,20 +255,12 @@ Tensor permute(const Tensor& a, const std::vector<int>& dims) {
   for (int i = 0; i < rank; ++i) {
     strides[static_cast<std::size_t>(i)] = in_strides[static_cast<std::size_t>(dims[static_cast<std::size_t>(i)])];
   }
-  std::vector<std::int64_t> idx(static_cast<std::size_t>(rank), 0);
   auto da = a.data();
   auto od = out.data();
-  std::int64_t src = 0;
-  for (std::int64_t flat = 0; flat < out.numel(); ++flat) {
-    od[static_cast<std::size_t>(flat)] = da[static_cast<std::size_t>(src)];
-    for (int d = rank - 1; d >= 0; --d) {
-      ++idx[static_cast<std::size_t>(d)];
-      src += strides[static_cast<std::size_t>(d)];
-      if (idx[static_cast<std::size_t>(d)] < out_shape[static_cast<std::size_t>(d)]) break;
-      src -= strides[static_cast<std::size_t>(d)] * out_shape[static_cast<std::size_t>(d)];
-      idx[static_cast<std::size_t>(d)] = 0;
-    }
-  }
+  ThreadPool::global().parallel_for(
+      0, out.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
+        strided_gather(da, od, out_shape, strides, lo, hi);
+      });
   return out;
 }
 
@@ -189,22 +271,63 @@ Tensor reduce_sum_to(const Tensor& a, const Shape& target_shape) {
                                 " does not broadcast to " + shape_to_string(a.shape()));
   }
   Tensor out(target_shape);
-  const auto strides = broadcast_strides(target_shape, a.shape());
   const auto& in_shape = a.shape();
-  std::vector<std::int64_t> idx(in_shape.size(), 0);
-  auto da = a.data();
-  auto od = out.data();
-  std::int64_t dst = 0;
-  for (std::int64_t flat = 0; flat < a.numel(); ++flat) {
-    od[static_cast<std::size_t>(dst)] += da[static_cast<std::size_t>(flat)];
-    for (int d = static_cast<int>(in_shape.size()) - 1; d >= 0; --d) {
-      ++idx[static_cast<std::size_t>(d)];
-      dst += strides[static_cast<std::size_t>(d)];
-      if (idx[static_cast<std::size_t>(d)] < in_shape[static_cast<std::size_t>(d)]) break;
-      dst -= strides[static_cast<std::size_t>(d)] * in_shape[static_cast<std::size_t>(d)];
-      idx[static_cast<std::size_t>(d)] = 0;
+  const auto in_strides = contiguous_strides(in_shape);
+  const std::size_t in_rank = in_shape.size();
+  const std::size_t off = in_rank - target_shape.size();
+  // Split input dimensions into kept (present in the target) and reduced
+  // (missing or broadcast). Each output element sums its reduced sub-lattice
+  // in increasing input-flat order — exactly the per-element accumulation
+  // order of a serial streaming pass — so partitioning over *output*
+  // elements is both race-free and bit-stable at any thread count.
+  std::vector<std::int64_t> red_extent, red_stride;
+  for (std::size_t d = 0; d < in_rank; ++d) {
+    if (d < off || target_shape[d - off] == 1) {
+      if (in_shape[d] > 1) {
+        red_extent.push_back(in_shape[d]);
+        red_stride.push_back(in_strides[d]);
+      }
     }
   }
+  std::int64_t reduce_count = 1;
+  for (const auto e : red_extent) reduce_count *= e;
+  auto da = a.data();
+  auto od = out.data();
+  ThreadPool::global().parallel_for(
+      0, out.numel(), grain_for(reduce_count), [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<std::int64_t> ridx(red_extent.size());
+        for (std::int64_t o = lo; o < hi; ++o) {
+          // Base input offset of this output element (kept dims only).
+          std::int64_t base = 0, rem = o;
+          for (int dt = static_cast<int>(target_shape.size()) - 1; dt >= 0; --dt) {
+            const auto ud = static_cast<std::size_t>(dt);
+            const std::int64_t id = rem % target_shape[ud];
+            rem /= target_shape[ud];
+            if (target_shape[ud] != 1) base += id * in_strides[off + ud];
+          }
+          float acc = 0.0f;
+          if (red_extent.empty()) {
+            acc = da[static_cast<std::size_t>(base)];
+          } else {
+            std::fill(ridx.begin(), ridx.end(), 0);
+            std::int64_t roff = 0;
+            for (;;) {
+              acc += da[static_cast<std::size_t>(base + roff)];
+              int d = static_cast<int>(red_extent.size()) - 1;
+              for (; d >= 0; --d) {
+                const auto ud = static_cast<std::size_t>(d);
+                ++ridx[ud];
+                roff += red_stride[ud];
+                if (ridx[ud] < red_extent[ud]) break;
+                roff -= red_stride[ud] * red_extent[ud];
+                ridx[ud] = 0;
+              }
+              if (d < 0) break;
+            }
+          }
+          od[static_cast<std::size_t>(o)] = acc;
+        }
+      });
   return out;
 }
 
@@ -216,20 +339,12 @@ Tensor broadcast_to(const Tensor& a, const Shape& shape) {
   }
   Tensor out(shape);
   const auto strides = broadcast_strides(a.shape(), shape);
-  std::vector<std::int64_t> idx(shape.size(), 0);
   auto da = a.data();
   auto od = out.data();
-  std::int64_t src = 0;
-  for (std::int64_t flat = 0; flat < out.numel(); ++flat) {
-    od[static_cast<std::size_t>(flat)] = da[static_cast<std::size_t>(src)];
-    for (int d = static_cast<int>(shape.size()) - 1; d >= 0; --d) {
-      ++idx[static_cast<std::size_t>(d)];
-      src += strides[static_cast<std::size_t>(d)];
-      if (idx[static_cast<std::size_t>(d)] < shape[static_cast<std::size_t>(d)]) break;
-      src -= strides[static_cast<std::size_t>(d)] * shape[static_cast<std::size_t>(d)];
-      idx[static_cast<std::size_t>(d)] = 0;
-    }
-  }
+  ThreadPool::global().parallel_for(
+      0, out.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
+        strided_gather(da, od, shape, strides, lo, hi);
+      });
   return out;
 }
 
@@ -253,25 +368,28 @@ Tensor im2col(const Tensor& x, int k, int pad, int stride) {
   auto dx = x.data();
   auto dc = cols.data();
   const std::int64_t col_width = n * oh * ow;
-  for (std::int64_t ci = 0; ci < c; ++ci) {
-    for (int ki = 0; ki < k; ++ki) {
-      for (int kj = 0; kj < k; ++kj) {
-        const std::int64_t row = (ci * k + ki) * k + kj;
-        float* out_row = dc.data() + row * col_width;
-        for (std::int64_t ni = 0; ni < n; ++ni) {
-          const float* img = dx.data() + (ni * c + ci) * h * w;
-          for (std::int64_t y = 0; y < oh; ++y) {
-            const std::int64_t iy = y * stride + ki - pad;
-            for (std::int64_t xo = 0; xo < ow; ++xo) {
-              const std::int64_t ix = xo * stride + kj - pad;
-              const bool in_bounds = iy >= 0 && iy < h && ix >= 0 && ix < w;
-              out_row[(ni * oh + y) * ow + xo] = in_bounds ? img[iy * w + ix] : 0.0f;
+  // Partitioned over output rows (one per (ci, ki, kj)); each row is a
+  // disjoint slice of `cols`, written by pure gathers.
+  ThreadPool::global().parallel_for(
+      0, c * k * k, grain_for(col_width), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t row = r0; row < r1; ++row) {
+          const std::int64_t ci = row / (k * k);
+          const int ki = static_cast<int>((row / k) % k);
+          const int kj = static_cast<int>(row % k);
+          float* out_row = dc.data() + row * col_width;
+          for (std::int64_t ni = 0; ni < n; ++ni) {
+            const float* img = dx.data() + (ni * c + ci) * h * w;
+            for (std::int64_t y = 0; y < oh; ++y) {
+              const std::int64_t iy = y * stride + ki - pad;
+              for (std::int64_t xo = 0; xo < ow; ++xo) {
+                const std::int64_t ix = xo * stride + kj - pad;
+                const bool in_bounds = iy >= 0 && iy < h && ix >= 0 && ix < w;
+                out_row[(ni * oh + y) * ow + xo] = in_bounds ? img[iy * w + ix] : 0.0f;
+              }
             }
           }
         }
-      }
-    }
-  }
+      });
   return cols;
 }
 
@@ -287,26 +405,34 @@ Tensor col2im(const Tensor& cols, const Shape& image_shape, int k, int pad, int 
   auto dc = cols.data();
   auto od = out.data();
   const std::int64_t col_width = n * oh * ow;
-  for (std::int64_t ci = 0; ci < c; ++ci) {
-    for (int ki = 0; ki < k; ++ki) {
-      for (int kj = 0; kj < k; ++kj) {
-        const std::int64_t row = (ci * k + ki) * k + kj;
-        const float* in_row = dc.data() + row * col_width;
-        for (std::int64_t ni = 0; ni < n; ++ni) {
-          float* img = od.data() + (ni * c + ci) * h * w;
-          for (std::int64_t y = 0; y < oh; ++y) {
-            const std::int64_t iy = y * stride + ki - pad;
-            if (iy < 0 || iy >= h) continue;
-            for (std::int64_t xo = 0; xo < ow; ++xo) {
-              const std::int64_t ix = xo * stride + kj - pad;
-              if (ix < 0 || ix >= w) continue;
-              img[iy * w + ix] += in_row[(ni * oh + y) * ow + xo];
+  // Partitioned over output image planes (ni, ci): every output pixel
+  // belongs to exactly one plane, so the overlapping += accumulation is
+  // race-free, and each pixel receives its contributions in the fixed
+  // (ki, kj, y, xo) order regardless of how planes are distributed.
+  ThreadPool::global().parallel_for(
+      0, n * c, grain_for(static_cast<std::int64_t>(k) * k * oh * ow),
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t ni = p / c;
+          const std::int64_t ci = p % c;
+          float* img = od.data() + p * h * w;
+          for (int ki = 0; ki < k; ++ki) {
+            for (int kj = 0; kj < k; ++kj) {
+              const std::int64_t row = (ci * k + ki) * k + kj;
+              const float* in_row = dc.data() + row * col_width;
+              for (std::int64_t y = 0; y < oh; ++y) {
+                const std::int64_t iy = y * stride + ki - pad;
+                if (iy < 0 || iy >= h) continue;
+                for (std::int64_t xo = 0; xo < ow; ++xo) {
+                  const std::int64_t ix = xo * stride + kj - pad;
+                  if (ix < 0 || ix >= w) continue;
+                  img[iy * w + ix] += in_row[(ni * oh + y) * ow + xo];
+                }
+              }
             }
           }
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -317,11 +443,13 @@ Tensor row_max(const Tensor& a) {
   Tensor out({n, 1});
   auto da = a.data();
   auto od = out.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    float m = da[static_cast<std::size_t>(i * c)];
-    for (std::int64_t j = 1; j < c; ++j) m = std::max(m, da[static_cast<std::size_t>(i * c + j)]);
-    od[static_cast<std::size_t>(i)] = m;
-  }
+  ThreadPool::global().parallel_for(0, n, grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float m = da[static_cast<std::size_t>(i * c)];
+      for (std::int64_t j = 1; j < c; ++j) m = std::max(m, da[static_cast<std::size_t>(i * c + j)]);
+      od[static_cast<std::size_t>(i)] = m;
+    }
+  });
   return out;
 }
 
@@ -342,18 +470,20 @@ std::vector<int> argmax_rows(const Tensor& a) {
   const std::int64_t n = a.dim(0), c = a.dim(1);
   std::vector<int> out(static_cast<std::size_t>(n));
   auto da = a.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    int best = 0;
-    float best_v = da[static_cast<std::size_t>(i * c)];
-    for (std::int64_t j = 1; j < c; ++j) {
-      const float v = da[static_cast<std::size_t>(i * c + j)];
-      if (v > best_v) {
-        best_v = v;
-        best = static_cast<int>(j);
+  ThreadPool::global().parallel_for(0, n, grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      int best = 0;
+      float best_v = da[static_cast<std::size_t>(i * c)];
+      for (std::int64_t j = 1; j < c; ++j) {
+        const float v = da[static_cast<std::size_t>(i * c + j)];
+        if (v > best_v) {
+          best_v = v;
+          best = static_cast<int>(j);
+        }
       }
+      out[static_cast<std::size_t>(i)] = best;
     }
-    out[static_cast<std::size_t>(i)] = best;
-  }
+  });
   return out;
 }
 

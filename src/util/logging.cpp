@@ -44,7 +44,11 @@ void set_log_level_from_env() {
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  // Single insertion so lines from concurrent clients cannot interleave.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line.append("[").append(level_name(level)).append("] ").append(message).append("\n");
+  std::cerr << line;
 }
 }  // namespace detail
 

@@ -1,0 +1,216 @@
+// Thread-count invariance of every parallelized kernel: each op must be
+// bit-identical between the serial fallback (1 thread) and an oversubscribed
+// pool, on odd/prime shapes whose chunk boundaries cut mid-row, mid-plane and
+// mid-broadcast-period. Also checks matmul/im2col/col2im/reduce_sum_to
+// against independent naive references so the tiled/partitioned rewrites
+// can't all be wrong in the same way.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace quickdrop::kernels {
+namespace {
+
+// Restores the global pool size on scope exit so test order doesn't matter.
+struct ThreadGuard {
+  int saved = num_threads();
+  ~ThreadGuard() { set_num_threads(saved); }
+};
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    // Compare representations, not values: NaN == NaN must pass, -0 != +0
+    // must fail.
+    const float va = a.at(i), vb = b.at(i);
+    std::uint32_t ra, rb;
+    static_assert(sizeof(float) == sizeof(std::uint32_t));
+    std::memcpy(&ra, &va, sizeof(ra));
+    std::memcpy(&rb, &vb, sizeof(rb));
+    ASSERT_EQ(ra, rb) << what << " differs at flat index " << i;
+  }
+}
+
+// Runs `op` at 1 thread and at each oversubscribed count; all results must be
+// bit-identical.
+template <typename Op>
+void check_invariant(const char* what, Op op) {
+  ThreadGuard guard;
+  set_num_threads(1);
+  const Tensor serial = op();
+  for (const int t : {2, 4, 8}) {
+    set_num_threads(t);
+    const Tensor parallel = op();
+    expect_bitwise_equal(serial, parallel,
+                         (std::string(what) + " @" + std::to_string(t) + " threads").c_str());
+  }
+}
+
+TEST(KernelParallelTest, BinaryOpsSameShape) {
+  Rng rng(11);
+  const auto a = Tensor::randn({7, 13, 5}, rng);
+  const auto b = Tensor::randn({7, 13, 5}, rng);
+  check_invariant("add", [&] { return add(a, b); });
+  check_invariant("sub", [&] { return sub(a, b); });
+  check_invariant("mul", [&] { return mul(a, b); });
+  check_invariant("div", [&] { return div(a, b); });
+}
+
+TEST(KernelParallelTest, BinaryOpsBroadcastEdges) {
+  Rng rng(12);
+  const auto a = Tensor::randn({3, 17, 7, 11}, rng);
+  // Broadcast along inner, middle, outer, and all-but-one dims; prime extents
+  // so chunk boundaries never align with a broadcast period.
+  for (const Shape& bshape : std::vector<Shape>{{3, 17, 7, 11},
+                                                {1, 17, 1, 1},
+                                                {3, 1, 7, 1},
+                                                {1, 1, 1, 11},
+                                                {1, 1, 1, 1},
+                                                {17, 1, 11},
+                                                {11}}) {
+    const auto b = Tensor::randn(bshape, rng);
+    check_invariant("broadcast add", [&] { return add(a, b); });
+    check_invariant("broadcast mul", [&] { return mul(a, b); });
+  }
+  // Scalar-ish left operand too (a broadcasts up to b).
+  const auto small = Tensor::randn({1, 1, 7, 1}, rng);
+  check_invariant("left-broadcast sub", [&] { return sub(small, a); });
+}
+
+TEST(KernelParallelTest, UnaryOps) {
+  Rng rng(13);
+  auto a = Tensor::randn({23, 29}, rng);
+  check_invariant("neg", [&] { return neg(a); });
+  check_invariant("exp", [&] { return exp(a); });
+  check_invariant("relu", [&] { return relu(a); });
+  check_invariant("mask", [&] { return gt_zero_mask(a); });
+  check_invariant("mul_scalar", [&] { return mul_scalar(a, 1.7f); });
+  // log/sqrt on positive input.
+  for (std::int64_t i = 0; i < a.numel(); ++i) a.at(i) = std::abs(a.at(i)) + 0.1f;
+  check_invariant("log", [&] { return log(a); });
+  check_invariant("sqrt", [&] { return sqrt(a); });
+}
+
+TEST(KernelParallelTest, MatMulPrimeShapes) {
+  Rng rng(14);
+  // Odd/prime m, k, n; k both below and above the 128 kk-tile.
+  for (const auto [m, k, n] : std::vector<std::array<std::int64_t, 3>>{
+           {1, 1, 1}, {7, 13, 5}, {31, 257, 17}, {53, 129, 3}}) {
+    const auto a = Tensor::randn({m, k}, rng);
+    const auto b = Tensor::randn({k, n}, rng);
+    check_invariant("matmul", [&] { return matmul(a, b); });
+  }
+}
+
+TEST(KernelParallelTest, MatMulMatchesNaiveReference) {
+  Rng rng(15);
+  const std::int64_t m = 19, k = 151, n = 23;
+  const auto a = Tensor::randn({m, k}, rng);
+  const auto b = Tensor::randn({k, n}, rng);
+  const auto got = matmul(a, b);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i * k + kk)) * static_cast<double>(b.at(kk * n + j));
+      }
+      EXPECT_NEAR(got.at(i * n + j), acc, 1e-3 * (std::abs(acc) + 1.0))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(KernelParallelTest, ReduceSumToEdges) {
+  Rng rng(16);
+  const auto a = Tensor::randn({5, 7, 3, 11}, rng);
+  for (const Shape& target : std::vector<Shape>{{5, 7, 3, 11},
+                                                {1, 7, 1, 1},
+                                                {5, 1, 3, 1},
+                                                {1, 1, 1, 11},
+                                                {1, 1, 1, 1},
+                                                {7, 1, 11},
+                                                {3, 11},
+                                                {11},
+                                                {1}}) {
+    check_invariant("reduce_sum_to", [&] { return reduce_sum_to(a, target); });
+  }
+}
+
+TEST(KernelParallelTest, ReduceSumToMatchesNaiveReference) {
+  Rng rng(17);
+  const auto a = Tensor::randn({4, 3, 5}, rng);
+  const auto got = reduce_sum_to(a, {1, 3, 1});
+  ASSERT_EQ(got.shape(), (Shape{1, 3, 1}));
+  for (std::int64_t c = 0; c < 3; ++c) {
+    float acc = 0.0f;  // float accumulation in input-flat order, like the kernel
+    for (std::int64_t i = 0; i < 4; ++i) {
+      for (std::int64_t j = 0; j < 5; ++j) acc += a.at((i * 3 + c) * 5 + j);
+    }
+    EXPECT_FLOAT_EQ(got.at(c), acc);
+  }
+}
+
+TEST(KernelParallelTest, Im2ColPadStrideCombos) {
+  Rng rng(18);
+  const auto x = Tensor::randn({3, 5, 11, 13}, rng);  // prime H/W, odd N/C
+  for (const auto [k, pad, stride] : std::vector<std::array<int, 3>>{
+           {3, 1, 1}, {3, 0, 2}, {5, 2, 1}, {1, 0, 1}, {3, 2, 3}}) {
+    check_invariant("im2col", [&] { return im2col(x, k, pad, stride); });
+  }
+}
+
+TEST(KernelParallelTest, Col2ImPadStrideCombos) {
+  Rng rng(19);
+  const Shape image{3, 5, 11, 13};
+  for (const auto [k, pad, stride] : std::vector<std::array<int, 3>>{
+           {3, 1, 1}, {3, 0, 2}, {5, 2, 1}, {1, 0, 1}, {3, 2, 3}}) {
+    const std::int64_t oh = (11 + 2 * pad - k) / stride + 1;
+    const std::int64_t ow = (13 + 2 * pad - k) / stride + 1;
+    const auto cols = Tensor::randn({5 * k * k, 3 * oh * ow}, rng);
+    check_invariant("col2im", [&] { return col2im(cols, image, k, pad, stride); });
+  }
+}
+
+TEST(KernelParallelTest, Col2ImRoundTripsThroughIm2Col) {
+  // col2im(im2col(x)) with stride=k and no padding partitions the image:
+  // every pixel is copied exactly once, so the round trip is the identity.
+  Rng rng(20);
+  const auto x = Tensor::randn({2, 3, 8, 8}, rng);
+  const auto cols = im2col(x, 2, 0, 2);
+  const auto back = col2im(cols, x.shape(), 2, 0, 2);
+  expect_bitwise_equal(x, back, "col2im∘im2col identity");
+}
+
+TEST(KernelParallelTest, RowMaxAndArgmax) {
+  Rng rng(21);
+  const auto a = Tensor::randn({37, 13}, rng);
+  check_invariant("row_max", [&] { return row_max(a); });
+  ThreadGuard guard;
+  set_num_threads(1);
+  const auto serial = argmax_rows(a);
+  for (const int t : {2, 8}) {
+    set_num_threads(t);
+    EXPECT_EQ(argmax_rows(a), serial) << t << " threads";
+  }
+}
+
+TEST(KernelParallelTest, TinyTensorsStaySerialAndCorrect) {
+  // Below any sensible grain: must take the serial path and still be right.
+  Rng rng(22);
+  const auto a = Tensor::randn({2, 2}, rng);
+  const auto b = Tensor::randn({2, 2}, rng);
+  check_invariant("tiny add", [&] { return add(a, b); });
+  check_invariant("tiny matmul", [&] { return matmul(a, b); });
+}
+
+}  // namespace
+}  // namespace quickdrop::kernels

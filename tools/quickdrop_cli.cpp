@@ -34,6 +34,7 @@
 #include "util/cli.h"
 #include "util/logging.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace qd = quickdrop;
 
@@ -382,7 +383,8 @@ int usage() {
                "  unlearn --checkpoint FILE (--class C | --client I) --out FILE\n"
                "  relearn --checkpoint FILE (--class C | --client I) --out FILE\n"
                "  inspect --checkpoint FILE\n"
-               "  common: --log-level debug|info|warn|error (or QUICKDROP_LOG_LEVEL)\n");
+               "  common: --log-level debug|info|warn|error (or QUICKDROP_LOG_LEVEL)\n"
+               "          --threads N (or QUICKDROP_THREADS; default: all hardware threads)\n");
   return 2;
 }
 
@@ -393,9 +395,13 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     qd::set_log_level_from_env();
+    qd::set_threads_from_env();
     qd::CliFlags flags(argc - 1, argv + 1);
     const auto log_level = flags.get_string("log-level", "");
     if (!log_level.empty()) qd::set_log_level(qd::log_level_from_name(log_level));
+    const int threads = flags.get_int("threads", 0);
+    if (threads < 0) throw std::invalid_argument("--threads must be >= 1 (0 = hardware default)");
+    if (threads > 0) qd::set_num_threads(threads);
     if (command == "train") return cmd_train(flags);
     if (command == "eval") return cmd_eval(flags);
     if (command == "unlearn") return cmd_unlearn(flags);
