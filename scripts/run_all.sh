@@ -8,6 +8,11 @@ cd "$REPO"
 
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
 
+# Static-analysis pass: qdlint (and clang-tidy when installed) runs before
+# the sanitizer rebuilds — it is the cheapest gate, so it fails fastest.
+scripts/lint.sh "$BUILD" 2>&1 | tee lint_output.txt
+echo "lint pass exit: ${PIPESTATUS[0]}" | tee -a lint_output.txt
+
 # Sanitizer pass: rebuild the fault-tolerance-critical suites (fl + core)
 # with ASan/UBSan and run the binaries directly. Catches lifetime and UB
 # bugs that the fault-injection paths could otherwise hide.

@@ -103,6 +103,11 @@ std::vector<Var> grad(const Var& output, std::span<const Var> inputs, const Grad
                                 shape_to_string(output.shape()));
   }
 
+  // Lookup-only gradient table. Accumulation is driven by the deterministic
+  // topological sweep below, never by iterating this map — pointer-keyed hash
+  // order varies with allocation addresses, so any range-for/begin() walk
+  // here would break bitwise reproducibility (enforced statically by
+  // qdlint det-unordered-iter; pinned by GradDeterminismTest).
   std::unordered_map<detail::Node*, Var> grads;
   if (output.requires_grad()) {
     grads[output.node().get()] = Var::constant(Tensor::full(output.shape(), 1.0f));

@@ -53,7 +53,9 @@ ag::Var matching_distance(const std::vector<ag::Var>& grad_synth,
       mask.at(g) = norm2 > static_cast<double>(kCosineEps) * kCosineEps ? 1.0f : 0.0f;
       active += mask.at(g);
     }
-    if (active == 0.0f) continue;
+    // Exact sentinel: `active` is a sum of exact 0/1 mask entries (an
+    // integer-valued count), so == 0 means "no active groups in this row".
+    if (active == 0.0f) continue;  // NOLINT(qdlint-num-float-eq)
     const ag::Var dot = ag::reduce_sum_to(ag::mul(a, b), row);
     const ag::Var na = ag::sqrt(ag::reduce_sum_to(ag::square(a), row));
     const ag::Var nb = ag::sqrt(ag::reduce_sum_to(ag::square(b), row));

@@ -144,6 +144,7 @@ nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
         while (static_cast<int>(worker_models.size()) < n_workers) {
           worker_models.push_back(config.client_model_factory());
         }
+        // qdlint: shared-write(workers write disjoint slots/slot_costs entries; each owns its model)
         ThreadPool::global().run_chunks(n_workers, [&](int w) {
           const std::size_t b = cohort.size() * static_cast<std::size_t>(w) /
                                 static_cast<std::size_t>(n_workers);

@@ -24,7 +24,9 @@ void Sgd::step_tensors(const std::vector<Tensor>& gradients, UpdateDirection dir
     throw std::invalid_argument("Sgd: gradient count mismatch");
   }
   const float sign = direction == UpdateDirection::kDescent ? -1.0f : 1.0f;
-  if (momentum_ == 0.0f) {
+  // Exact sentinel: momentum_ is only ever assigned from config, never
+  // computed, and 0 means "plain SGD, skip the velocity buffers".
+  if (momentum_ == 0.0f) {  // NOLINT(qdlint-num-float-eq)
     for (std::size_t i = 0; i < parameters_.size(); ++i) {
       parameters_[i].mutable_value().add_(gradients[i], sign * learning_rate_);
     }

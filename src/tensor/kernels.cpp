@@ -73,6 +73,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, const char* name) {
     auto oa = a.data(), ob = b.data();
     auto od = out.data();
     ThreadPool::global().parallel_for(
+        // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
         0, out.numel(), grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
           for (std::int64_t i = lo; i < hi; ++i) {
             const auto u = static_cast<std::size_t>(i);
@@ -95,6 +96,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, const char* name) {
   auto da = a.data(), db = b.data();
   auto od = out.data();
   ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
       0, out.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
         auto idx = unflatten(lo, out_shape);
         std::int64_t ia = offset_of(idx, sa), ib = offset_of(idx, sb);
@@ -123,6 +125,7 @@ Tensor unary_op(const Tensor& a, F f) {
   auto da = a.data();
   auto od = out.data();
   ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
       0, out.numel(), grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t i = lo; i < hi; ++i) {
           const auto u = static_cast<std::size_t>(i);
@@ -190,6 +193,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   // defeated both).
   constexpr std::int64_t kKTile = 128;
   ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk owns output rows [i0,i1); db/da are read-only)
       0, m, grain_for(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t kk0 = 0; kk0 < k; kk0 += kKTile) {
           const std::int64_t kk1 = kk0 + kKTile < k ? kk0 + kKTile : k;
@@ -225,6 +229,7 @@ Tensor transpose2d(const Tensor& a) {
   auto da = a.data();
   auto od = out.data();
   // Partitioned over output rows; pure gather.
+  // qdlint: shared-write(each chunk owns output rows [j0,j1))
   ThreadPool::global().parallel_for(0, n, grain_for(m), [&](std::int64_t j0, std::int64_t j1) {
     for (std::int64_t j = j0; j < j1; ++j) {
       float* orow = od.data() + j * m;
@@ -258,6 +263,7 @@ Tensor permute(const Tensor& a, const std::vector<int>& dims) {
   auto da = a.data();
   auto od = out.data();
   ThreadPool::global().parallel_for(
+      // qdlint: shared-write(strided_gather writes only od[lo,hi); da is read-only)
       0, out.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
         strided_gather(da, od, out_shape, strides, lo, hi);
       });
@@ -294,6 +300,7 @@ Tensor reduce_sum_to(const Tensor& a, const Shape& target_shape) {
   auto da = a.data();
   auto od = out.data();
   ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
       0, out.numel(), grain_for(reduce_count), [&](std::int64_t lo, std::int64_t hi) {
         std::vector<std::int64_t> ridx(red_extent.size());
         for (std::int64_t o = lo; o < hi; ++o) {
@@ -342,6 +349,7 @@ Tensor broadcast_to(const Tensor& a, const Shape& shape) {
   auto da = a.data();
   auto od = out.data();
   ThreadPool::global().parallel_for(
+      // qdlint: shared-write(strided_gather writes only od[lo,hi); da is read-only)
       0, out.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
         strided_gather(da, od, shape, strides, lo, hi);
       });
@@ -371,6 +379,7 @@ Tensor im2col(const Tensor& x, int k, int pad, int stride) {
   // Partitioned over output rows (one per (ci, ki, kj)); each row is a
   // disjoint slice of `cols`, written by pure gathers.
   ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk owns cols rows [r0,r1); dx is read-only)
       0, c * k * k, grain_for(col_width), [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t row = r0; row < r1; ++row) {
           const std::int64_t ci = row / (k * k);
@@ -411,6 +420,7 @@ Tensor col2im(const Tensor& cols, const Shape& image_shape, int k, int pad, int 
   // (ki, kj, y, xo) order regardless of how planes are distributed.
   ThreadPool::global().parallel_for(
       0, n * c, grain_for(static_cast<std::int64_t>(k) * k * oh * ow),
+      // qdlint: shared-write(each chunk owns image planes [p0,p1); dc is read-only)
       [&](std::int64_t p0, std::int64_t p1) {
         for (std::int64_t p = p0; p < p1; ++p) {
           const std::int64_t ni = p / c;
@@ -443,6 +453,7 @@ Tensor row_max(const Tensor& a) {
   Tensor out({n, 1});
   auto da = a.data();
   auto od = out.data();
+  // qdlint: shared-write(each chunk owns output rows [i0,i1))
   ThreadPool::global().parallel_for(0, n, grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       float m = da[static_cast<std::size_t>(i * c)];
@@ -470,6 +481,7 @@ std::vector<int> argmax_rows(const Tensor& a) {
   const std::int64_t n = a.dim(0), c = a.dim(1);
   std::vector<int> out(static_cast<std::size_t>(n));
   auto da = a.data();
+  // qdlint: shared-write(each chunk owns out[i0,i1))
   ThreadPool::global().parallel_for(0, n, grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       int best = 0;

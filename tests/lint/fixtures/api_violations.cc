@@ -1,0 +1,11 @@
+// qdlint fixture: API raw-I/O rule. Analyzed as src/fake/api_violations.cpp
+// — never compiled.
+#include <cstdio>
+#include <iostream>
+
+void api_examples(int v) {
+  std::cout << "value: " << v << "\n";
+  std::cerr << "warn\n";
+  std::printf("%d\n", v);
+  fprintf(stderr, "%d\n", v);
+}

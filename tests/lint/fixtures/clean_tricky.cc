@@ -1,0 +1,39 @@
+// qdlint fixture: every construct here LOOKS like a violation but must NOT
+// fire. Analyzed as src/tensor/clean_tricky.cpp (kernel TU, so kernel-scoped
+// rules are active too) — never compiled.
+//
+// Violations inside comments are invisible to the lexer:
+//   std::random_device rd; srand(1); std::thread t; std::cout << "x";
+/* block comment spanning lines:
+   for (auto& kv : grads) {}   rand()   sleep_for   x == 0.5
+*/
+
+// Violations inside string/char/raw-string literals are invisible too.
+const char* s1 = "std::random_device rand() printf(\"x\") == 0.5 [&]";
+const char* s2 = R"(std::thread t; t.detach(); sleep_for; x != 1.0)";
+const char* s3 = R"delim(srand(time(nullptr)) and "nested )" quote)delim";
+const char kEq = '=';
+
+float suppressed_examples(float x) {
+  if (x == 0.5f) return x;  // NOLINT(qdlint-num-float-eq)
+  // NOLINTNEXTLINE(qdlint-num-float-eq)
+  if (x != 1.5f) return -x;
+  double lr = 0.5;  // explicit double accumulator-style decl: not narrowing
+  return x * static_cast<float>(lr);
+}
+
+struct VarLike {
+  VarLike detach() { return *this; }  // autograd-style detach: no thread context
+};
+
+VarLike member_rand_ok(VarLike v, ThreadPool& pool, float* out, long n) {
+  // Member functions named like banned free functions are fine.
+  Gen gen;
+  (void)gen.rand();
+  // Annotated shared-write capture: allowed.
+  // qdlint: shared-write(each chunk writes its own disjoint out[lo,hi) slice)
+  pool.parallel_for(0, n, 1, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) out[i] = 1.0f;
+  });
+  return v.detach();
+}

@@ -1,0 +1,15 @@
+// qdlint fixture: CONC rules on raw threads, detach and unannotated [&]
+// captures. Analyzed as src/fake/conc_violations.cpp — never compiled.
+#include <thread>
+
+void conc_examples(ThreadPool& pool) {
+  std::thread t([] {});
+  t.detach();
+  auto f = std::async([] { return 1; });
+  int shared = 0;
+  pool.parallel_for(0, 10, 1, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) shared += 1;
+  });
+  pool.run_chunks(4, [&](int c) { shared += c; });
+  (void)f;
+}

@@ -1,0 +1,21 @@
+// qdlint fixture: every DET rule fires exactly where expected_findings.txt
+// says. Analyzed as src/fake/det_violations.cpp — never compiled.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+void det_examples() {
+  std::random_device rd;
+  int a = rand();
+  srand(42);
+  Rng gen(std::chrono::steady_clock::now().time_since_epoch().count());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::unordered_map<int, float> grads;
+  for (const auto& kv : grads) {
+    (void)kv;
+  }
+  for (auto it = grads.begin(); it != grads.end(); ++it) {
+  }
+  (void)a;
+  (void)rd;
+}

@@ -1,0 +1,8 @@
+// qdlint fixture: a header with no #pragma once. Analyzed as
+// src/fake/header_missing_pragma.h — never compiled.
+#ifndef QDLINT_FIXTURE_GUARD
+#define QDLINT_FIXTURE_GUARD
+
+struct OldStyleGuardedHeader {};
+
+#endif

@@ -1,0 +1,17 @@
+// qdlint fixture: kernel-TU-scoped rules (mutable static locals, double
+// literals). Analyzed as src/tensor/kernel_violations.cpp — never compiled.
+
+void kernel_examples(ThreadPool& pool, float* out, long n) {
+  static int call_count = 0;
+  static const float kScale = 2.0f;
+  static constexpr long kTile = 64;
+  float scale = 0.5;
+  double acc = 0.0;
+  // qdlint: shared-write(each chunk writes its own disjoint out[lo,hi) slice)
+  pool.parallel_for(0, n, 1, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) out[i] = scale * kScale;
+  });
+  ++call_count;
+  (void)acc;
+  (void)kTile;
+}

@@ -1,0 +1,9 @@
+// qdlint fixture: NUM float-comparison rule. Analyzed as
+// src/fake/num_violations.cpp — never compiled.
+
+bool num_examples(float x, float y, int k) {
+  if (x == 0.1f) return true;
+  if (y != 2.5) return false;
+  if (k == 3) return true;  // integer compare: must NOT fire
+  return x == 1e-3f;
+}

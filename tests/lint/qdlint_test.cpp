@@ -1,0 +1,276 @@
+// Tests for qdlint itself: lexer literal/comment awareness, per-rule firing
+// via fixture files, the expected-findings golden, suppression handling and
+// baseline subtraction. QDLINT_FIXTURE_DIR is injected by CMake.
+
+#include "qdlint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using qdlint::Finding;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(QDLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Fixture file -> the repo-relative path it is analyzed as. Paths are chosen
+/// so classify() activates the scopes each fixture targets.
+const std::map<std::string, std::string> kFixtureContexts = {
+    {"det_violations.cc", "src/fake/det_violations.cpp"},
+    {"conc_violations.cc", "src/fake/conc_violations.cpp"},
+    {"kernel_violations.cc", "src/tensor/kernel_violations.cpp"},
+    {"num_violations.cc", "src/fake/num_violations.cpp"},
+    {"api_violations.cc", "src/fake/api_violations.cpp"},
+    {"header_missing_pragma.hh", "src/fake/header_missing_pragma.h"},
+    {"clean_tricky.cc", "src/tensor/clean_tricky.cpp"},
+};
+
+std::vector<Finding> analyze_fixture(const std::string& name) {
+  const auto it = kFixtureContexts.find(name);
+  EXPECT_NE(it, kFixtureContexts.end()) << name;
+  return qdlint::analyze(qdlint::classify(it->second), read_fixture(name));
+}
+
+std::vector<Finding> analyze_as(const std::string& relpath, const std::string& source) {
+  return qdlint::analyze(qdlint::classify(relpath), source);
+}
+
+std::vector<std::string> rules_of(const std::vector<Finding>& fs) {
+  std::vector<std::string> rules;
+  rules.reserve(fs.size());
+  for (const auto& f : fs) rules.push_back(f.rule);
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LintLexer, TokenizesIdentifiersNumbersPuncts) {
+  const auto lexed = qdlint::lex("int x = 42; x != 0.5f;");
+  std::vector<std::string> texts;
+  for (const auto& t : lexed.tokens) texts.push_back(t.text);
+  const std::vector<std::string> want = {"int", "x", "=", "42", ";", "x", "!=", "0.5f", ";"};
+  EXPECT_EQ(texts, want);
+  EXPECT_EQ(lexed.tokens[6].kind, qdlint::TokKind::kPunct);
+  EXPECT_EQ(lexed.tokens[7].kind, qdlint::TokKind::kNumber);
+}
+
+TEST(LintLexer, CommentsProduceNoTokens) {
+  const auto lexed = qdlint::lex("// std::thread t;\n/* rand() */\nint y;");
+  std::vector<std::string> texts;
+  for (const auto& t : lexed.tokens) texts.push_back(t.text);
+  const std::vector<std::string> want = {"int", "y", ";"};
+  EXPECT_EQ(texts, want);
+  EXPECT_EQ(lexed.tokens[0].line, 3);
+}
+
+TEST(LintLexer, StringAndCharContentsAreOpaque) {
+  const auto lexed = qdlint::lex("f(\"rand() \\\" quoted\", 'x');");
+  ASSERT_GE(lexed.tokens.size(), 3u);
+  EXPECT_EQ(lexed.tokens[2].kind, qdlint::TokKind::kString);
+  EXPECT_EQ(lexed.tokens[2].text, "rand() \\\" quoted");
+  bool has_rand_ident = false;
+  for (const auto& t : lexed.tokens) {
+    has_rand_ident |= t.kind == qdlint::TokKind::kIdent && t.text == "rand";
+  }
+  EXPECT_FALSE(has_rand_ident);
+}
+
+TEST(LintLexer, RawStringsWithDelimitersAreOpaque) {
+  const auto lexed = qdlint::lex("auto s = R\"delim(srand(1) )\" still inside)delim\"; g();");
+  bool has_srand = false;
+  bool has_g = false;
+  for (const auto& t : lexed.tokens) {
+    has_srand |= t.kind == qdlint::TokKind::kIdent && t.text == "srand";
+    has_g |= t.kind == qdlint::TokKind::kIdent && t.text == "g";
+  }
+  EXPECT_FALSE(has_srand) << "raw string content leaked into tokens";
+  EXPECT_TRUE(has_g) << "lexer lost its place after the raw string";
+}
+
+TEST(LintLexer, PreprocessorDirectivesAreSingleTokens) {
+  const auto lexed = qdlint::lex("#pragma once\n#define ADD(a, b) \\\n  ((a) + (b))\nint z;");
+  ASSERT_GE(lexed.tokens.size(), 2u);
+  EXPECT_EQ(lexed.tokens[0].kind, qdlint::TokKind::kPreproc);
+  EXPECT_EQ(lexed.tokens[0].text, "#pragma once");
+  EXPECT_EQ(lexed.tokens[1].kind, qdlint::TokKind::kPreproc);
+  EXPECT_NE(lexed.tokens[1].text.find("((a) + (b))"), std::string::npos)
+      << "continuation line not joined: " << lexed.tokens[1].text;
+}
+
+TEST(LintLexer, HarvestsSuppressions) {
+  const auto lexed = qdlint::lex(
+      "int a;  // NOLINT(qdlint-num-float-eq, qdlint-det-rand)\n"
+      "// NOLINTNEXTLINE(qdlint-api-raw-io)\n"
+      "int b;  // NOLINT\n"
+      "// qdlint: shared-write(disjoint rows)\n");
+  const auto& nolint = lexed.marks.nolint;
+  ASSERT_TRUE(nolint.count(1));
+  EXPECT_TRUE(nolint.at(1).count("qdlint-num-float-eq"));
+  EXPECT_TRUE(nolint.at(1).count("qdlint-det-rand"));
+  ASSERT_TRUE(nolint.count(3));
+  EXPECT_TRUE(nolint.at(3).count("qdlint-api-raw-io"));  // NEXTLINE folded onto 3
+  EXPECT_TRUE(nolint.at(3).count("*"));                  // bare NOLINT on 3
+  EXPECT_TRUE(lexed.marks.shared_write.count(4));
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture test
+// ---------------------------------------------------------------------------
+
+TEST(LintGolden, FixturesMatchGolden) {
+  std::vector<std::string> actual;
+  for (const auto& [fixture, relpath] : kFixtureContexts) {
+    (void)relpath;
+    for (const auto& f : analyze_fixture(fixture)) {
+      actual.push_back(fixture + "|" + f.rule + "|" + std::to_string(f.line));
+    }
+  }
+  std::sort(actual.begin(), actual.end());
+
+  std::vector<std::string> expected;
+  std::istringstream golden(read_fixture("expected_findings.txt"));
+  std::string line;
+  while (std::getline(golden, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    expected.push_back(line);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(LintGolden, CleanTrickyFixtureIsSilent) {
+  const auto findings = analyze_fixture("clean_tricky.cc");
+  EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected finding(s), first: "
+                                << (findings.empty() ? "" : findings[0].rule + " at line " +
+                                                                std::to_string(findings[0].line));
+}
+
+// ---------------------------------------------------------------------------
+// Rule behavior on inline sources
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, HardwareConcurrencyQueryIsAllowed) {
+  const auto fs = analyze_as("src/fake/x.cpp",
+                             "unsigned n = std::thread::hardware_concurrency();");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintRules, RawThreadFiresOutsidePoolButNotInside) {
+  const std::string src = "#include <thread>\nstd::thread t;\n";
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", src)),
+            std::vector<std::string>{"conc-raw-thread"});
+  EXPECT_TRUE(analyze_as("src/util/thread_pool.cpp", src).empty());
+}
+
+TEST(LintRules, RawIoAllowedInLoggingToolsAndBench) {
+  const std::string src = "#include <iostream>\nvoid f() { std::cout << 1; }\n";
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", src)), std::vector<std::string>{"api-raw-io"});
+  EXPECT_TRUE(analyze_as("src/util/logging.cpp", src).empty());
+  EXPECT_TRUE(analyze_as("tools/some_cli.cpp", src).empty());
+  EXPECT_TRUE(analyze_as("bench/some_bench.cpp", src).empty());
+}
+
+TEST(LintRules, PragmaOnceSatisfiedHeaderIsSilent) {
+  EXPECT_TRUE(analyze_as("src/fake/h.h", "#pragma once\nstruct S {};\n").empty());
+  EXPECT_EQ(rules_of(analyze_as("src/fake/h.h", "struct S {};\n")),
+            std::vector<std::string>{"api-pragma-once"});
+}
+
+TEST(LintRules, UnorderedLookupWithoutIterationIsSilent) {
+  // find/count/emplace on an unordered_map are deterministic; only iteration
+  // order is not. Mirrors the autograd grads map in src/autograd/var.cpp.
+  const std::string src =
+      "#include <unordered_map>\n"
+      "int f(std::unordered_map<void*, int> grads, void* k) {\n"
+      "  auto it = grads.find(k);\n"
+      "  return it == grads.end() ? grads.count(k) : it->second;\n"
+      "}\n";
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", src).empty());
+}
+
+TEST(LintRules, SharedWriteAnnotationOnSameLineAlsoCounts) {
+  const std::string src =
+      "void f(ThreadPool& p, int* o) {\n"
+      "  p.run_chunks(4, [&](int c) { o[c] = c; });  // qdlint: shared-write(disjoint o[c])\n"
+      "}\n";
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", src).empty());
+}
+
+TEST(LintRules, ExplicitCaptureInParallelRegionIsSilent) {
+  const std::string src =
+      "void f(ThreadPool& p, int* o) {\n"
+      "  p.run_chunks(4, [o](int c) { o[c] = c; });\n"
+      "}\n";
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", src).empty());
+}
+
+TEST(LintRules, TimeSeedOutsideSeedContextIsSilent) {
+  // Timing a computation with steady_clock is fine; only seeding from it is
+  // flagged.
+  const std::string src = "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+TEST(LintBaseline, SubtractionRemovesGrandfatheredFindings) {
+  const std::string src = "bool f(float x) { return x == 0.5f; }\n";
+  const auto findings = analyze_as("src/fake/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string line_text = "bool f(float x) { return x == 0.5f; }";
+
+  const std::string key = qdlint::baseline_key(findings[0], line_text);
+  EXPECT_EQ(key, "src/fake/x.cpp|num-float-eq|bool f(float x) { return x == 0.5f; }");
+
+  const auto baseline = qdlint::parse_baseline("# comment\n\n" + key + "\n");
+  EXPECT_TRUE(qdlint::subtract_baseline(findings, baseline, {line_text}).empty());
+
+  // A different file/rule/text does not match.
+  const auto other = qdlint::parse_baseline("src/other.cpp|num-float-eq|" + line_text + "\n");
+  EXPECT_EQ(qdlint::subtract_baseline(findings, other, {line_text}).size(), 1u);
+}
+
+TEST(LintBaseline, EachEntryGrandfathersOneOccurrence) {
+  const std::string stmt = "bool g(float x, float y) { return x == 0.5f && y == 0.5f; }";
+  const auto findings = analyze_as("src/fake/x.cpp", stmt + "\n");
+  ASSERT_EQ(findings.size(), 2u);
+  const std::vector<std::string> texts = {stmt, stmt};
+  const std::string key = qdlint::baseline_key(findings[0], stmt);
+
+  // One entry -> one of the two findings survives.
+  EXPECT_EQ(qdlint::subtract_baseline(findings, qdlint::parse_baseline(key + "\n"), texts).size(),
+            1u);
+  // Two entries -> both grandfathered.
+  EXPECT_TRUE(
+      qdlint::subtract_baseline(findings, qdlint::parse_baseline(key + "\n" + key + "\n"), texts)
+          .empty());
+}
+
+TEST(LintBaseline, JsonOutputEscapes) {
+  qdlint::Finding f{"api-raw-io", "src/a \"b\".cpp", 3, 7, "msg with \"quotes\"", "hint\nline"};
+  const std::string json = qdlint::to_json({f});
+  EXPECT_NE(json.find("\"file\": \"src/a \\\"b\\\".cpp\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+}
+
+}  // namespace

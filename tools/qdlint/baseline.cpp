@@ -1,0 +1,94 @@
+#include "qdlint.h"
+
+// Baseline: grandfathered findings recorded as "path|rule|trimmed line text".
+// Keying on line *text* instead of line number keeps entries stable across
+// unrelated edits above a finding; duplicate keys grandfather one occurrence
+// each. The file may only shrink — new findings never get auto-baselined.
+
+namespace qdlint {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::string baseline_key(const Finding& f, const std::string& line_text) {
+  return f.path + "|" + f.rule + "|" + trim(line_text);
+}
+
+Baseline parse_baseline(const std::string& content) {
+  Baseline b;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    const std::string line =
+        trim(content.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos));
+    if (!line.empty() && line[0] != '#') ++b.entries[line];
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  return b;
+}
+
+std::vector<Finding> subtract_baseline(const std::vector<Finding>& findings,
+                                       const Baseline& baseline,
+                                       const std::vector<std::string>& finding_line_texts) {
+  std::map<std::string, int> budget = baseline.entries;
+  std::vector<Finding> kept;
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const std::string key = baseline_key(findings[i], finding_line_texts[i]);
+    const auto it = budget.find(key);
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    kept.push_back(findings[i]);
+  }
+  return kept;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {\"file\": \"" + json_escape(f.path) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"col\": " + std::to_string(f.col) + ", \"rule\": \"" + json_escape(f.rule) +
+           "\", \"message\": \"" + json_escape(f.message) + "\", \"hint\": \"" +
+           json_escape(f.hint) + "\"}";
+    if (i + 1 < findings.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace qdlint

@@ -1,0 +1,280 @@
+#include "qdlint.h"
+
+#include <cctype>
+
+// The lexer's job is narrow: split source into identifier / number / string /
+// char / punct / preproc tokens while harvesting suppression comments, such
+// that nothing inside a comment, string, char or raw-string literal can ever
+// look like code to a rule. It tolerates malformed input (unterminated
+// literals lex to end-of-file) because lint must never crash on the tree it
+// guards.
+
+namespace qdlint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Multi-character punctuators we match longest-first. Only the ones rules
+/// care to see as single tokens need to be here; everything else falls back
+/// to single characters.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "->", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+};
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  bool done() const { return i >= s.size(); }
+  char peek(std::size_t off = 0) const { return i + off < s.size() ? s[i + off] : '\0'; }
+  void advance() {
+    if (done()) return;
+    if (s[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  }
+  void advance_n(std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) advance();
+  }
+};
+
+/// Records NOLINT / NOLINTNEXTLINE / shared-write facts from one comment.
+/// `line` is the line the comment starts on.
+void harvest_comment(const std::string& text, int line, LineMarks& marks) {
+  auto record_nolint = [&](std::size_t at, int target_line) {
+    std::set<std::string>& rules = marks.nolint[target_line];
+    // Optional (rule, rule, ...) list; bare NOLINT suppresses everything.
+    std::size_t p = at;
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+    if (p >= text.size() || text[p] != '(') {
+      rules.insert("*");
+      return;
+    }
+    ++p;
+    std::string cur;
+    for (; p < text.size() && text[p] != ')'; ++p) {
+      const char c = text[p];
+      if (c == ',') {
+        if (!cur.empty()) rules.insert(cur);
+        cur.clear();
+      } else if (c != ' ' && c != '\t') {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) rules.insert(cur);
+  };
+
+  for (std::size_t p = 0; (p = text.find("NOLINT", p)) != std::string::npos;) {
+    if (text.compare(p, 14, "NOLINTNEXTLINE") == 0) {
+      record_nolint(p + 14, line + 1);
+      p += 14;
+    } else {
+      record_nolint(p + 6, line);
+      p += 6;
+    }
+  }
+  if (text.find("qdlint: shared-write(") != std::string::npos ||
+      text.find("qdlint:shared-write(") != std::string::npos) {
+    marks.shared_write.insert(line);
+  }
+}
+
+/// True when the characters before `i` allow a raw-string prefix: R must not
+/// be the tail of a longer identifier (e.g. `FooR"..."` is not raw).
+bool raw_prefix_ok(const std::string& s, std::size_t r_pos) {
+  if (r_pos == 0) return true;
+  return !ident_char(s[r_pos - 1]);
+}
+
+}  // namespace
+
+LexResult lex(const std::string& source) {
+  LexResult out;
+  Cursor c{source};
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    // Whitespace.
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\v' || ch == '\f') {
+      c.advance();
+      continue;
+    }
+
+    // Line comment.
+    if (ch == '/' && c.peek(1) == '/') {
+      const int start_line = c.line;
+      std::string text;
+      while (!c.done() && c.peek() != '\n') {
+        text += c.peek();
+        c.advance();
+      }
+      harvest_comment(text, start_line, out.marks);
+      continue;
+    }
+
+    // Block comment. NOLINT markers are attributed to the comment's first
+    // line; a block comment ending on line N also suppresses like a trailing
+    // comment on its start line, which matches how they are written here.
+    if (ch == '/' && c.peek(1) == '*') {
+      const int start_line = c.line;
+      std::string text;
+      c.advance_n(2);
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) {
+        text += c.peek();
+        c.advance();
+      }
+      c.advance_n(2);  // closing */
+      harvest_comment(text, start_line, out.marks);
+      continue;
+    }
+
+    // Preprocessor directive: swallow to end of line, honoring backslash
+    // continuations, and store as one token (used for #pragma once and
+    // #include checks). Comments inside directives are rare enough to ignore.
+    if (ch == '#' && (c.col == 1 || [&] {
+          // '#' preceded only by whitespace on its line.
+          std::size_t k = c.i;
+          while (k > 0 && source[k - 1] != '\n') {
+            if (source[k - 1] != ' ' && source[k - 1] != '\t') return false;
+            --k;
+          }
+          return true;
+        }())) {
+      Token t{TokKind::kPreproc, "", c.line, c.col};
+      while (!c.done()) {
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+          t.text += ' ';
+          c.advance_n(2);
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        // A // comment ends the directive text.
+        if (c.peek() == '/' && c.peek(1) == '/') break;
+        t.text += c.peek();
+        c.advance();
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim", with optional encoding
+    // prefixes u8R / uR / UR / LR.
+    {
+      std::size_t r_off = std::string::npos;
+      if (ch == 'R' && c.peek(1) == '"' && raw_prefix_ok(source, c.i)) {
+        r_off = 0;
+      } else if ((ch == 'u' || ch == 'U' || ch == 'L') && raw_prefix_ok(source, c.i)) {
+        if (c.peek(1) == 'R' && c.peek(2) == '"') r_off = 1;
+        if (ch == 'u' && c.peek(1) == '8' && c.peek(2) == 'R' && c.peek(3) == '"') r_off = 2;
+      }
+      if (r_off != std::string::npos) {
+        Token t{TokKind::kString, "", c.line, c.col};
+        c.advance_n(r_off + 2);  // prefix + R"
+        std::string delim;
+        while (!c.done() && c.peek() != '(') {
+          delim += c.peek();
+          c.advance();
+        }
+        c.advance();  // (
+        const std::string closer = ")" + delim + "\"";
+        while (!c.done() && source.compare(c.i, closer.size(), closer) != 0) {
+          t.text += c.peek();
+          c.advance();
+        }
+        c.advance_n(closer.size());
+        out.tokens.push_back(std::move(t));
+        continue;
+      }
+    }
+
+    // Ordinary string / char literal (with optional u8/u/U/L prefix handled
+    // by the identifier branch merging into the quote below).
+    if (ch == '"' || ch == '\'') {
+      const char quote = ch;
+      Token t{quote == '"' ? TokKind::kString : TokKind::kChar, "", c.line, c.col};
+      c.advance();  // opening quote
+      while (!c.done() && c.peek() != quote) {
+        if (c.peek() == '\\' && c.i + 1 < source.size()) {
+          t.text += c.peek();
+          c.advance();
+        }
+        if (c.peek() == '\n') break;  // unterminated; stop at line end
+        t.text += c.peek();
+        c.advance();
+      }
+      c.advance();  // closing quote
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Number (decimal, hex, binary, floating, digit separators, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      Token t{TokKind::kNumber, "", c.line, c.col};
+      bool seen_exp_sign_ok = false;
+      while (!c.done()) {
+        const char d = c.peek();
+        if (ident_char(d) || d == '.' || d == '\'') {
+          seen_exp_sign_ok = (d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+                             !(t.text.size() >= 2 && (t.text[1] == 'x' || t.text[1] == 'X') &&
+                               (d == 'e' || d == 'E'));
+          t.text += d;
+          c.advance();
+          continue;
+        }
+        if ((d == '+' || d == '-') && seen_exp_sign_ok) {
+          t.text += d;
+          c.advance();
+          seen_exp_sign_ok = false;
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Identifier / keyword. A string prefix (u8"..", L"..") merges with the
+    // following quote: emit the identifier, the quote branch handles the rest
+    // on the next loop iteration — the prefix ident is harmless to rules.
+    if (ident_start(ch)) {
+      Token t{TokKind::kIdent, "", c.line, c.col};
+      while (!c.done() && ident_char(c.peek())) {
+        t.text += c.peek();
+        c.advance();
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    {
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const std::size_t n = std::char_traits<char>::length(p);
+        if (source.compare(c.i, n, p) == 0) {
+          out.tokens.push_back({TokKind::kPunct, p, c.line, c.col});
+          c.advance_n(n);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, ch), c.line, c.col});
+    c.advance();
+  }
+
+  return out;
+}
+
+}  // namespace qdlint

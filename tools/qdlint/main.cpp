@@ -1,0 +1,202 @@
+// qdlint driver: walks src/, tools/ and bench/ (or explicit paths), runs the
+// analyzer per file, subtracts the baseline, and reports human-readable or
+// JSON findings. Exit code 0 = clean, 1 = non-baselined findings, 2 = usage
+// or I/O error.
+//
+// Usage:
+//   qdlint [--root DIR] [--baseline FILE] [--json] [--write-baseline FILE]
+//          [--list-rules] [paths...]
+//
+// Paths are repo-relative (to --root); default: src tools bench.
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qdlint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return has_suffix(name, ".cpp") || has_suffix(name, ".cc") || has_suffix(name, ".h") ||
+         has_suffix(name, ".hpp");
+}
+
+std::string read_file(const fs::path& p, bool& ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+/// Repo-relative, '/'-separated form of `p` under `root`.
+std::string rel_path(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::string trimmed_line(const std::vector<std::string>& lines, int line_no) {
+  if (line_no < 1 || line_no > static_cast<int>(lines.size())) return {};
+  const std::string& s = lines[static_cast<std::size_t>(line_no - 1)];
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool json = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "qdlint: " << arg << " requires an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next();
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = next();
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : qdlint::all_rules()) std::cout << "qdlint-" << r << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: qdlint [--root DIR] [--baseline FILE] [--json] "
+                   "[--write-baseline FILE] [--list-rules] [paths...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "qdlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench"};
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "qdlint: bad --root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  // Collect files in deterministic (sorted) order.
+  std::vector<fs::path> files;
+  for (const auto& p : paths) {
+    const fs::path full = root / p;
+    if (fs::is_regular_file(full)) {
+      files.push_back(full);
+      continue;
+    }
+    if (!fs::is_directory(full)) {
+      std::cerr << "qdlint: no such file or directory: " << full.string() << "\n";
+      return 2;
+    }
+    for (auto it = fs::recursive_directory_iterator(full); it != fs::recursive_directory_iterator();
+         ++it) {
+      if (it->is_regular_file() && lintable(it->path())) files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<qdlint::Finding> findings;
+  std::vector<std::string> line_texts;  // parallel to findings
+  for (const auto& file : files) {
+    bool ok = false;
+    const std::string source = read_file(file, ok);
+    if (!ok) {
+      std::cerr << "qdlint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    const auto ctx = qdlint::classify(rel_path(root, file));
+    const auto file_findings = qdlint::analyze(ctx, source);
+    if (file_findings.empty()) continue;
+    const auto lines = split_lines(source);
+    for (const auto& f : file_findings) {
+      findings.push_back(f);
+      line_texts.push_back(trimmed_line(lines, f.line));
+    }
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << "# qdlint baseline — grandfathered findings, one per line:\n"
+        << "#   path|rule|trimmed source line\n"
+        << "# This file may only shrink: fix or NOLINT new findings instead of adding here.\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      out << qdlint::baseline_key(findings[i], line_texts[i]) << "\n";
+    }
+    std::cout << "qdlint: wrote " << findings.size() << " baseline entr"
+              << (findings.size() == 1 ? "y" : "ies") << " to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    bool ok = false;
+    const std::string content = read_file(baseline_path, ok);
+    if (!ok) {
+      std::cerr << "qdlint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    findings = qdlint::subtract_baseline(findings, qdlint::parse_baseline(content), line_texts);
+  }
+
+  if (json) {
+    std::cout << qdlint::to_json(findings);
+  } else {
+    for (const auto& f : findings) {
+      std::cout << f.path << ":" << f.line << ":" << f.col << ": qdlint-" << f.rule << ": "
+                << f.message;
+      if (!f.hint.empty()) std::cout << "\n    hint: " << f.hint;
+      std::cout << "\n";
+    }
+    std::cout << "qdlint: " << files.size() << " files, " << findings.size()
+              << " finding(s)" << (baseline_path.empty() ? "" : " after baseline") << "\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

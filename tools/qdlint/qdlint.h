@@ -1,0 +1,140 @@
+// qdlint — in-repo static analysis enforcing QuickDrop's determinism,
+// concurrency and numeric-safety invariants at build time.
+//
+// The tool is deliberately self-contained (lexer + token-stream rules, no
+// external parser) so it can run as a tier-1 ctest with zero dependencies.
+// It is NOT a grep: the lexer understands line/block comments, string and
+// character literals (including raw strings), so rule patterns never fire on
+// text inside comments or literals.
+//
+// Rule families (see DESIGN.md "Static analysis & enforced invariants"):
+//   DET  — sources of nondeterminism (random_device, rand, time-derived
+//          seeds, sleeps in kernels, iteration over unordered containers)
+//   CONC — concurrency discipline (raw std::thread/std::async outside the
+//          pool, unannotated [&] captures in parallel regions, mutable
+//          static locals in kernel TUs)
+//   NUM  — numeric safety (float ==/!=, double literals in float kernels)
+//   API  — I/O and header hygiene (logging only via util/logging, #pragma
+//          once everywhere)
+//
+// Suppressions:
+//   // NOLINT(qdlint-<rule>)          same line
+//   // NOLINTNEXTLINE(qdlint-<rule>)  next line
+//   // qdlint: shared-write(<why>)    marks an intentional [&] capture in a
+//                                     parallel_for/run_chunks region (same
+//                                     line or the line above the capture)
+// plus a checked-in baseline (qdlint_baseline.txt) of grandfathered findings
+// that may only shrink.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qdlint {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (integer or floating, any base)
+  kString,   // string literal, including raw strings (text excludes quotes)
+  kChar,     // character literal
+  kPunct,    // operators/punctuation, longest-match (::, ==, !=, ->, ...)
+  kPreproc,  // a whole preprocessor directive (continuations joined)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+  int col = 0;   // 1-based column
+};
+
+/// Per-line suppression facts harvested from comments while lexing.
+struct LineMarks {
+  /// line -> rules suppressed on that line ("*" = all). NOLINTNEXTLINE
+  /// entries are already folded onto the line they affect.
+  std::map<int, std::set<std::string>> nolint;
+  /// Lines carrying a `qdlint: shared-write(<reason>)` annotation.
+  std::set<int> shared_write;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  // comments are not tokens; see marks
+  LineMarks marks;
+};
+
+/// Tokenizes C++ source. Comments and literal *contents* never produce
+/// ident/punct tokens, so rules cannot fire inside them. Unterminated
+/// constructs are tolerated (lexing is best-effort, never throws).
+LexResult lex(const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Findings and rules
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string rule;  // e.g. "det-random-device"
+  std::string path;  // as given to analyze()
+  int line = 0;
+  int col = 0;
+  std::string message;
+  std::string hint;  // fix suggestion; may be empty
+};
+
+/// How a file is classified for rule scoping. Derived from its repo-relative
+/// path by classify(), but overridable for tests.
+struct FileContext {
+  std::string path;        // repo-relative, '/'-separated
+  bool in_src = false;     // under src/
+  bool is_header = false;  // .h / .hpp
+  bool is_kernel_tu = false;    // src/tensor/*.cpp — hot kernels
+  bool is_thread_pool = false;  // src/util/thread_pool.* — the one home of raw threads
+  bool is_logging = false;      // src/util/logging.* — the one home of raw I/O
+};
+
+/// Classifies `relpath` (repo-relative, '/'-separated).
+FileContext classify(const std::string& relpath);
+
+/// Runs every rule over one file's source. Suppressed findings (NOLINT /
+/// shared-write) are already filtered out.
+std::vector<Finding> analyze(const FileContext& ctx, const std::string& source);
+
+/// All rule ids qdlint knows, for `--list-rules` and suppression validation.
+const std::vector<std::string>& all_rules();
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// A baseline entry identifies a grandfathered finding by file, rule and the
+/// trimmed source line text (line *numbers* drift too easily). Stored one per
+/// line as "path|rule|trimmed line text". '#' lines and blank lines are
+/// ignored.
+struct Baseline {
+  /// key -> number of grandfathered occurrences.
+  std::map<std::string, int> entries;
+};
+
+std::string baseline_key(const Finding& f, const std::string& line_text);
+Baseline parse_baseline(const std::string& content);
+
+/// Removes up to the grandfathered number of matching findings per key.
+/// `line_text_of` must return the trimmed source line of a finding.
+std::vector<Finding> subtract_baseline(
+    const std::vector<Finding>& findings, const Baseline& baseline,
+    const std::vector<std::string>& finding_line_texts);
+
+// ---------------------------------------------------------------------------
+// Output helpers
+// ---------------------------------------------------------------------------
+
+std::string to_json(const std::vector<Finding>& findings);
+std::string json_escape(const std::string& s);
+
+}  // namespace qdlint

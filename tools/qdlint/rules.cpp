@@ -1,0 +1,474 @@
+#include "qdlint.h"
+
+#include <algorithm>
+#include <cctype>
+
+// Token-stream rules. Each rule walks the lexed tokens of one file with a
+// small amount of local context (qualification, call argument regions,
+// declared unordered-container names). The lexer already guarantees nothing
+// here can fire inside comments or string/char/raw-string literals.
+
+namespace qdlint {
+namespace {
+
+const std::vector<std::string> kAllRules = {
+    "det-random-device", "det-rand",        "det-time-seed",   "det-sleep",
+    "det-unordered-iter", "conc-raw-thread", "conc-detach",     "conc-ref-capture",
+    "conc-static-local",  "num-float-eq",    "num-narrow-literal",
+    "api-raw-io",         "api-pragma-once",
+};
+
+struct Ctx {
+  const FileContext& file;
+  const std::vector<Token>& toks;
+  const LineMarks& marks;
+  std::vector<Finding>& out;
+
+  bool suppressed(const std::string& rule, int line) const {
+    const auto it = marks.nolint.find(line);
+    if (it == marks.nolint.end()) return false;
+    return it->second.count("*") || it->second.count("qdlint-" + rule);
+  }
+
+  void report(const std::string& rule, const Token& at, std::string message,
+              std::string hint = "") {
+    if (suppressed(rule, at.line)) return;
+    out.push_back({rule, file.path, at.line, at.col, std::move(message), std::move(hint)});
+  }
+
+  const Token* tok(std::size_t i) const { return i < toks.size() ? &toks[i] : nullptr; }
+  bool is(std::size_t i, TokKind k, const char* text) const {
+    return i < toks.size() && toks[i].kind == k && toks[i].text == text;
+  }
+  bool ident(std::size_t i, const char* text) const { return is(i, TokKind::kIdent, text); }
+  bool punct(std::size_t i, const char* text) const { return is(i, TokKind::kPunct, text); }
+
+  /// True when token i is qualified as std:: (directly or via nested names
+  /// ending in std, e.g. ::std::). Conservative: only checks one level.
+  bool std_qualified(std::size_t i) const {
+    return i >= 2 && punct(i - 1, "::") && ident(i - 2, "std");
+  }
+
+  /// True when token i is preceded by a member access or any :: qualifier,
+  /// i.e. it is not a free unqualified name.
+  bool member_or_qualified(std::size_t i) const {
+    if (i == 0) return false;
+    return punct(i - 1, ".") || punct(i - 1, "->") || punct(i - 1, "::");
+  }
+
+  /// Index just past the matching `)` for the `(` at `open` (which must be a
+  /// "(" token). Returns toks.size() when unbalanced.
+  std::size_t match_paren(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kPunct) continue;
+      if (toks[i].text == "(") ++depth;
+      if (toks[i].text == ")" && --depth == 0) return i + 1;
+    }
+    return toks.size();
+  }
+
+  /// Index just past the matching `>` for the `<` at `open`, treating ">>"
+  /// as two closers. Returns `open` when this does not look like a balanced
+  /// template argument list (e.g. a comparison).
+  std::size_t skip_angles(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "<") ++depth;
+        else if (t.text == ">") {
+          if (--depth == 0) return i + 1;
+        } else if (t.text == ">>") {
+          depth -= 2;
+          if (depth <= 0) return i + 1;
+        } else if (t.text == ";" || t.text == "{") {
+          return open;  // statement ended: was not a template list
+        }
+      }
+    }
+    return open;
+  }
+};
+
+bool is_float_literal(const std::string& t) {
+  if (t.size() >= 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+    return t.find('p') != std::string::npos || t.find('P') != std::string::npos;
+  }
+  if (t.find('.') != std::string::npos) return true;
+  // 1e5 style exponent on a decimal literal.
+  return t.find('e') != std::string::npos || t.find('E') != std::string::npos;
+}
+
+bool has_float_suffix(const std::string& t) {
+  return !t.empty() && (t.back() == 'f' || t.back() == 'F');
+}
+
+bool has_long_double_suffix(const std::string& t) {
+  return !t.empty() && (t.back() == 'l' || t.back() == 'L');
+}
+
+// --------------------------------------------------------------------------
+// DET rules
+// --------------------------------------------------------------------------
+
+void rule_random_device(Ctx& c) {
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.ident(i, "random_device") && c.std_qualified(i)) {
+      c.report("det-random-device", c.toks[i],
+               "std::random_device is nondeterministic across runs",
+               "seed an explicit quickdrop::Rng and split() it per component");
+    }
+  }
+}
+
+void rule_rand(Ctx& c) {
+  for (std::size_t i = 0; i + 1 < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = c.toks[i].text;
+    if (t != "rand" && t != "srand") continue;
+    if (!c.punct(i + 1, "(")) continue;
+    // Allow member calls like gen.rand(); ban the C library free functions
+    // whether spelled rand() or std::rand().
+    if (c.member_or_qualified(i) && !c.std_qualified(i)) continue;
+    c.report("det-rand", c.toks[i], t + "() draws from hidden global state",
+             "use quickdrop::Rng, which is explicitly seeded and serializable");
+  }
+}
+
+void rule_time_seed(Ctx& c) {
+  // A seed-ish call — Rng(...), seed(...), set_seed(...), srand(...) — whose
+  // argument list mentions now() or time() is a time-derived seed.
+  for (std::size_t i = 0; i + 1 < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kIdent) continue;
+    const std::string& name = c.toks[i].text;
+    const bool seedish = name == "Rng" || name == "srand" || name == "seed" ||
+                         name == "set_seed" || name == "reseed";
+    if (!seedish) continue;
+    // Either a direct call `Rng(...)` / `seed(...)`, or a declaration with a
+    // parenthesized initializer: `Rng gen(...)`.
+    std::size_t open = c.toks.size();
+    if (c.punct(i + 1, "(")) {
+      open = i + 1;
+    } else if (name == "Rng" && i + 2 < c.toks.size() &&
+               c.toks[i + 1].kind == TokKind::kIdent && c.punct(i + 2, "(")) {
+      open = i + 2;
+    }
+    if (open >= c.toks.size()) continue;
+    const std::size_t end = c.match_paren(open);
+    for (std::size_t j = open + 1; j + 1 < end; ++j) {
+      if (c.toks[j].kind != TokKind::kIdent) continue;
+      const std::string& a = c.toks[j].text;
+      if ((a == "now" || a == "time" || a == "clock") && c.punct(j + 1, "(") &&
+          (a != "time" || !c.member_or_qualified(j) || c.std_qualified(j))) {
+        c.report("det-time-seed", c.toks[j],
+                 "seed derived from wall-clock time breaks run-to-run reproducibility",
+                 "take the seed from config/CLI so trajectories can be replayed exactly");
+        break;
+      }
+    }
+  }
+}
+
+void rule_sleep(Ctx& c) {
+  if (!c.file.in_src) return;
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.ident(i, "sleep_for") || c.ident(i, "sleep_until")) {
+      c.report("det-sleep", c.toks[i],
+               "thread sleeps in library code hide timing dependence and skew cost metrics",
+               "model delays via FaultPlan/CostMeter instead of real sleeps");
+    }
+  }
+}
+
+void rule_unordered_iter(Ctx& c) {
+  if (!c.file.in_src) return;
+  // Collect names declared with an unordered container type in this file.
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (!(c.ident(i, "unordered_map") || c.ident(i, "unordered_set") ||
+          c.ident(i, "unordered_multimap") || c.ident(i, "unordered_multiset"))) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (c.punct(j, "<")) j = c.skip_angles(j);
+    // Skip refs/pointers between the type and the declared name.
+    while (c.punct(j, "&") || c.punct(j, "*") || c.ident(j, "const")) ++j;
+    if (j < c.toks.size() && c.toks[j].kind == TokKind::kIdent) {
+      unordered_vars.insert(c.toks[j].text);
+    }
+  }
+  if (unordered_vars.empty()) return;
+
+  const char* hint =
+      "hash iteration order varies with pointer values/insertion order; iterate a "
+      "sorted key vector or accumulate in deterministic (e.g. topological) order";
+
+  for (std::size_t i = 0; i + 1 < c.toks.size(); ++i) {
+    // Range-for: for ( <decl> : <expr> ) where expr names a tracked var.
+    if (c.ident(i, "for") && c.punct(i + 1, "(")) {
+      const std::size_t end = c.match_paren(i + 1);
+      // Find the range ':' at depth 1 (the lexer emits '::' as one token, so
+      // a bare ':' is unambiguous).
+      int depth = 0;
+      for (std::size_t j = i + 1; j + 1 < end; ++j) {
+        if (c.toks[j].kind != TokKind::kPunct) continue;
+        if (c.toks[j].text == "(") ++depth;
+        else if (c.toks[j].text == ")") --depth;
+        else if (c.toks[j].text == ":" && depth == 1) {
+          for (std::size_t k = j + 1; k + 1 < end; ++k) {
+            if (c.toks[k].kind == TokKind::kIdent && unordered_vars.count(c.toks[k].text)) {
+              c.report("det-unordered-iter", c.toks[k],
+                       "range-for over unordered container '" + c.toks[k].text +
+                           "' visits elements in hash order",
+                       hint);
+              break;
+            }
+          }
+          break;
+        }
+      }
+    }
+    // Iterator loop: <var>.begin() / <var>.cbegin().
+    if (c.toks[i].kind == TokKind::kIdent && unordered_vars.count(c.toks[i].text) &&
+        c.punct(i + 1, ".") &&
+        (c.ident(i + 2, "begin") || c.ident(i + 2, "cbegin")) && c.punct(i + 3, "(")) {
+      c.report("det-unordered-iter", c.toks[i],
+               "iterating unordered container '" + c.toks[i].text + "' visits elements in hash order",
+               hint);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// CONC rules
+// --------------------------------------------------------------------------
+
+void rule_raw_thread(Ctx& c) {
+  if (c.file.is_thread_pool) return;
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kIdent || !c.std_qualified(i)) continue;
+    const std::string& t = c.toks[i].text;
+    if (t == "thread" || t == "jthread" || t == "async") {
+      // `std::thread::hardware_concurrency()` is a pure query, not a spawn.
+      if (c.punct(i + 1, "::") && c.ident(i + 2, "hardware_concurrency")) continue;
+      c.report("conc-raw-thread", c.toks[i],
+               "raw std::" + t + " bypasses the shared ThreadPool",
+               "submit work through ThreadPool::global() (util/thread_pool.h) so thread "
+               "count and determinism stay centrally controlled");
+    }
+  }
+}
+
+void rule_detach(Ctx& c) {
+  if (c.file.is_thread_pool) return;
+  // Var::detach() is a legitimate autograd operation; only files that deal
+  // in std::thread (by include or qualified use) are in scope.
+  bool thread_context = false;
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.toks[i].kind == TokKind::kPreproc &&
+        c.toks[i].text.find("<thread>") != std::string::npos) {
+      thread_context = true;
+    }
+    if (c.ident(i, "thread") && c.std_qualified(i)) thread_context = true;
+  }
+  if (!thread_context) return;
+  for (std::size_t i = 0; i + 2 < c.toks.size(); ++i) {
+    if ((c.punct(i, ".") || c.punct(i, "->")) && c.ident(i + 1, "detach") &&
+        c.punct(i + 2, "(")) {
+      c.report("conc-detach", c.toks[i + 1],
+               "detached threads outlive scope and cannot be joined or drained",
+               "keep threads owned by the ThreadPool; join on shutdown");
+    }
+  }
+}
+
+void rule_ref_capture(Ctx& c) {
+  if (c.file.is_thread_pool) return;
+  // A [&] default capture inside a parallel_for(...) or run_chunks(...)
+  // argument list shares every enclosing local by reference across workers.
+  // That is often intended (disjoint writes) — but must say so.
+  for (std::size_t i = 0; i + 1 < c.toks.size(); ++i) {
+    if (!(c.ident(i, "parallel_for") || c.ident(i, "run_chunks"))) continue;
+    if (!c.punct(i + 1, "(")) continue;
+    const std::size_t end = c.match_paren(i + 1);
+    for (std::size_t j = i + 2; j + 1 < end; ++j) {
+      if (!c.punct(j, "[") || !c.punct(j + 1, "&")) continue;
+      if (!(c.punct(j + 2, "]") || c.punct(j + 2, ","))) continue;
+      const int line = c.toks[j].line;
+      if (c.marks.shared_write.count(line) || c.marks.shared_write.count(line - 1)) continue;
+      c.report("conc-ref-capture", c.toks[j],
+               "[&] default capture in a parallel region shares all locals by reference",
+               "capture explicitly, or annotate the lambda line with "
+               "`// qdlint: shared-write(<why the writes are disjoint>)`");
+    }
+  }
+}
+
+void rule_static_local(Ctx& c) {
+  if (!c.file.is_kernel_tu) return;
+  for (std::size_t i = 0; i + 1 < c.toks.size(); ++i) {
+    if (!c.ident(i, "static")) continue;
+    // Walk the declaration: a '(' before '=', ';' or '[' means a function
+    // declaration (fine); const/constexpr/constinit anywhere before the
+    // terminator means immutable (fine).
+    bool is_const = false, is_var = false;
+    for (std::size_t j = i + 1; j < c.toks.size(); ++j) {
+      const Token& t = c.toks[j];
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "const" || t.text == "constexpr" || t.text == "constinit")) {
+        is_const = true;
+      }
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "<") {
+          j = c.skip_angles(j) - 1;
+          continue;
+        }
+        if (t.text == "(") break;  // function declaration/definition
+        if (t.text == "=" || t.text == ";" || t.text == "[" || t.text == "{") {
+          is_var = true;
+          break;
+        }
+      }
+    }
+    if (is_var && !is_const) {
+      c.report("conc-static-local", c.toks[i],
+               "mutable static state in a kernel TU is shared across all pool workers",
+               "hoist into an explicit context object, or make it constexpr");
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// NUM rules
+// --------------------------------------------------------------------------
+
+void rule_float_eq(Ctx& c) {
+  if (!c.file.in_src) return;
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kPunct) continue;
+    if (c.toks[i].text != "==" && c.toks[i].text != "!=") continue;
+    const Token* prev = i > 0 ? c.tok(i - 1) : nullptr;
+    const Token* next = c.tok(i + 1);
+    const bool fp_adjacent =
+        (prev && prev->kind == TokKind::kNumber && is_float_literal(prev->text)) ||
+        (next && next->kind == TokKind::kNumber && is_float_literal(next->text));
+    if (!fp_adjacent) continue;
+    c.report("num-float-eq", c.toks[i],
+             "exact floating-point " + c.toks[i].text + " comparison",
+             "compare against a tolerance, or NOLINT(qdlint-num-float-eq) if this is an "
+             "exact sentinel value that is only ever assigned, never computed");
+  }
+}
+
+void rule_narrow_literal(Ctx& c) {
+  if (!c.file.is_kernel_tu) return;
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    const Token& t = c.toks[i];
+    if (t.kind != TokKind::kNumber) continue;
+    if (!is_float_literal(t.text)) continue;
+    if (has_float_suffix(t.text) || has_long_double_suffix(t.text)) continue;
+    // A literal inside a statement that explicitly names `double` (e.g. a
+    // deliberate double accumulator: `double acc = 0.0;`) is not narrowing.
+    bool explicit_double = false;
+    for (std::size_t back = i; back-- > 0;) {
+      const Token& p = c.toks[back];
+      if (p.kind == TokKind::kPunct && (p.text == ";" || p.text == "{" || p.text == "}")) break;
+      if (p.kind == TokKind::kIdent && p.text == "double") {
+        explicit_double = true;
+        break;
+      }
+    }
+    if (explicit_double) continue;
+    c.report("num-narrow-literal", t,
+             "double literal '" + t.text + "' in a float kernel promotes the expression to "
+             "double and narrows back",
+             "add an 'f' suffix to keep kernel arithmetic in float");
+  }
+}
+
+// --------------------------------------------------------------------------
+// API rules
+// --------------------------------------------------------------------------
+
+void rule_raw_io(Ctx& c) {
+  if (!c.file.in_src || c.file.is_logging) return;
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = c.toks[i].text;
+    const bool stream = (t == "cout" || t == "cerr" || t == "clog") && c.std_qualified(i);
+    const bool cfn = (t == "printf" || t == "fprintf" || t == "puts" || t == "fputs") &&
+                     (!c.member_or_qualified(i) || c.std_qualified(i)) && c.punct(i + 1, "(");
+    if (!stream && !cfn) continue;
+    c.report("api-raw-io", c.toks[i],
+             "direct console I/O in library code bypasses leveled logging",
+             "use QD_LOG_* from util/logging.h (level-filtered, capturable in tests)");
+  }
+}
+
+void rule_pragma_once(Ctx& c) {
+  if (!c.file.is_header) return;
+  for (const Token& t : c.toks) {
+    if (t.kind != TokKind::kPreproc) continue;
+    // Normalize whitespace: "#  pragma   once" counts.
+    std::string squeezed;
+    for (char ch : t.text) {
+      if (ch == ' ' || ch == '\t') {
+        if (!squeezed.empty() && squeezed.back() != ' ') squeezed += ' ';
+      } else {
+        squeezed += ch;
+      }
+    }
+    if (squeezed == "#pragma once" || squeezed == "# pragma once") return;
+  }
+  Token at{TokKind::kPreproc, "", 1, 1};
+  c.report("api-pragma-once", at, "header is missing #pragma once",
+           "add `#pragma once` as the first directive");
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() { return kAllRules; }
+
+FileContext classify(const std::string& relpath) {
+  FileContext ctx;
+  ctx.path = relpath;
+  auto starts = [&](const char* prefix) { return relpath.rfind(prefix, 0) == 0; };
+  auto ends = [&](const char* suffix) {
+    const std::size_t n = std::char_traits<char>::length(suffix);
+    return relpath.size() >= n && relpath.compare(relpath.size() - n, n, suffix) == 0;
+  };
+  ctx.in_src = starts("src/");
+  ctx.is_header = ends(".h") || ends(".hpp");
+  ctx.is_kernel_tu = starts("src/tensor/") && ends(".cpp");
+  ctx.is_thread_pool = starts("src/util/thread_pool.");
+  ctx.is_logging = starts("src/util/logging.");
+  return ctx;
+}
+
+std::vector<Finding> analyze(const FileContext& ctx, const std::string& source) {
+  const LexResult lexed = lex(source);
+  std::vector<Finding> findings;
+  Ctx c{ctx, lexed.tokens, lexed.marks, findings};
+  rule_random_device(c);
+  rule_rand(c);
+  rule_time_seed(c);
+  rule_sleep(c);
+  rule_unordered_iter(c);
+  rule_raw_thread(c);
+  rule_detach(c);
+  rule_ref_capture(c);
+  rule_static_local(c);
+  rule_float_eq(c);
+  rule_narrow_literal(c);
+  rule_raw_io(c);
+  rule_pragma_once(c);
+  std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+}  // namespace qdlint
