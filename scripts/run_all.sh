@@ -27,17 +27,40 @@ SAN_BUILD="${BUILD}-asan"
 echo "sanitizer pass exit: ${PIPESTATUS[0]}" | tee -a sanitizer_output.txt
 
 # ThreadSanitizer pass: rebuild the suites that exercise the thread pool,
-# parallel kernels and concurrent client rounds, and run them with an
-# oversubscribed pool so worker interleavings actually happen.
+# parallel kernels, concurrent client rounds and the request service's
+# parallel cycles, and run them with an oversubscribed pool so worker
+# interleavings actually happen.
 TSAN_BUILD="${BUILD}-tsan"
 {
   cmake -B "$TSAN_BUILD" -S . -DQUICKDROP_SANITIZE="thread" &&
-  cmake --build "$TSAN_BUILD" -j --target util_test tensor_test fl_test &&
+  cmake --build "$TSAN_BUILD" -j --target util_test tensor_test fl_test serve_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/util_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/tensor_test &&
-  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/fl_test
+  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/fl_test &&
+  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/serve_test
 } 2>&1 | tee tsan_output.txt
 echo "tsan pass exit: ${PIPESTATUS[0]}" | tee -a tsan_output.txt
+
+# Request-service replay check: a short trained checkpoint + generated trace,
+# replayed at 1 and 4 threads — the service's metrics JSON and the final
+# model checkpoint must both be bitwise identical (see DESIGN.md §10).
+{
+  SERVE_DIR="$(mktemp -d)"
+  "$BUILD"/tools/quickdrop_cli train --dataset mnist --clients 4 --rounds 5 --width 8 \
+    --out "$SERVE_DIR/model.qdcp" &&
+  "$BUILD"/tools/quickdrop_cli serve --checkpoint "$SERVE_DIR/model.qdcp" \
+    --requests 4 --arrival-rate 10 --policy coalesce --sec-per-round 40 \
+    --dump-trace "$SERVE_DIR/trace.txt" --json "$SERVE_DIR/replay1.json" \
+    --out "$SERVE_DIR/served1.qdcp" --threads 1 &&
+  "$BUILD"/tools/quickdrop_cli serve --checkpoint "$SERVE_DIR/model.qdcp" \
+    --trace "$SERVE_DIR/trace.txt" --policy coalesce --sec-per-round 40 \
+    --json "$SERVE_DIR/replay4.json" --out "$SERVE_DIR/served4.qdcp" --threads 4 &&
+  cmp "$SERVE_DIR/replay1.json" "$SERVE_DIR/replay4.json" &&
+  cmp "$SERVE_DIR/served1.qdcp" "$SERVE_DIR/served4.qdcp" &&
+  echo "serve replay: metrics + model bitwise identical at 1 vs 4 threads"
+  rm -rf "$SERVE_DIR"
+} 2>&1 | tee serve_replay_output.txt
+echo "serve replay exit: ${PIPESTATUS[0]}" | tee -a serve_replay_output.txt
 
 : > bench_output.txt
 for b in "$BUILD"/bench/*; do

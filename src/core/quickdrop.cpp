@@ -88,33 +88,44 @@ nn::ModelState QuickDrop::initial_state() const {
 }
 
 std::vector<data::Dataset> QuickDrop::forget_datasets(const UnlearningRequest& request) const {
+  return forget_datasets(std::vector<UnlearningRequest>{request});
+}
+
+std::vector<data::Dataset> QuickDrop::forget_datasets(
+    const std::vector<UnlearningRequest>& batch) const {
+  std::set<int> classes, clients;
+  for (const auto& request : batch) {
+    (request.kind == UnlearningRequest::Kind::kClass ? classes : clients).insert(request.target);
+  }
+  const std::vector<int> class_list(classes.begin(), classes.end());
   std::vector<data::Dataset> out;
   out.reserve(stores_.size());
   for (std::size_t i = 0; i < stores_.size(); ++i) {
-    if (request.kind == UnlearningRequest::Kind::kClass) {
-      // S_f := union_i S_i^c — every client contributes its class-c samples.
-      out.push_back(stores_[i].to_dataset({request.target}));
+    if (clients.count(static_cast<int>(i))) {
+      // S_f includes the whole store of a targeted client (which already
+      // covers any class-level targets it holds).
+      out.push_back(stores_[i].to_dataset());
     } else {
-      // S_f := S_i for the target client only.
-      if (static_cast<int>(i) == request.target) {
-        out.push_back(stores_[i].to_dataset());
-      } else {
-        out.push_back(data::Dataset(stores_[i].image_shape(), stores_[i].num_classes()));
-      }
+      // S_f := union_c S_i^c over the batch's class targets.
+      out.push_back(stores_[i].to_dataset(class_list));
     }
   }
   return out;
 }
 
 std::vector<data::Dataset> QuickDrop::retain_datasets(const UnlearningRequest* request) const {
+  std::vector<UnlearningRequest> batch;
+  if (request) batch.push_back(*request);
+  return retain_datasets(batch);
+}
+
+std::vector<data::Dataset> QuickDrop::retain_datasets(
+    const std::vector<UnlearningRequest>& batch) const {
   std::set<int> dropped_classes = forgotten_classes_;
   std::set<int> dropped_clients = forgotten_clients_;
-  if (request) {
-    if (request->kind == UnlearningRequest::Kind::kClass) {
-      dropped_classes.insert(request->target);
-    } else {
-      dropped_clients.insert(request->target);
-    }
+  for (const auto& request : batch) {
+    (request.kind == UnlearningRequest::Kind::kClass ? dropped_classes : dropped_clients)
+        .insert(request.target);
   }
   std::vector<data::Dataset> out;
   out.reserve(stores_.size());
@@ -148,22 +159,25 @@ double QuickDrop::forget_accuracy(const data::Dataset& dataset) {
 nn::ModelState QuickDrop::run_phase(const nn::ModelState& start,
                                     const std::vector<data::Dataset>& client_data, int rounds,
                                     float lr, nn::UpdateDirection direction, float participation,
-                                    PhaseStats* stats, const fl::RoundCallback& callback) {
+                                    PhaseStats* stats, const fl::RoundCallback& callback,
+                                    int start_round, const std::vector<std::uint8_t>* resume_rng,
+                                    const fl::RoundCursorCallback& cursor_callback) {
   const Timer timer;
   fl::SgdLocalUpdate update(config_.unlearn_local_steps, config_.unlearn_batch_size, lr,
                             direction);
   fl::FedAvgConfig fed{.rounds = rounds, .participation = participation};
   fed.faults = config_.faults;
   fed.defense = config_.defense;
+  fed.start_round = start_round;
   fed.client_model_factory = factory_;
   fl::CostMeter cost;
-  Rng phase_rng = rng_.split(0xE0 + static_cast<std::uint64_t>(cost.rounds));
-  nn::ModelState result =
-      fl::run_fedavg(*scratch_model_, start, client_data, update, fed, phase_rng, cost, callback);
+  Rng phase_rng = resume_rng ? Rng::deserialize(*resume_rng) : rng_.split(0xE0);
+  nn::ModelState result = fl::run_fedavg(*scratch_model_, start, client_data, update, fed,
+                                         phase_rng, cost, callback, {}, cursor_callback);
   if (stats) {
     stats->seconds = timer.seconds();
     stats->cost = cost;
-    stats->rounds = rounds;
+    stats->rounds = rounds - start_round;
     stats->data_size = fl::total_samples(client_data);
   }
   return result;
@@ -172,17 +186,38 @@ nn::ModelState QuickDrop::run_phase(const nn::ModelState& start,
 nn::ModelState QuickDrop::unlearn(const nn::ModelState& state, const UnlearningRequest& request,
                                   PhaseStats* unlearn_stats, PhaseStats* recovery_stats,
                                   const fl::RoundCallback& callback) {
-  // Unlearning rounds: SGA on the synthetic forget counterpart S_f.
-  const auto forget = forget_datasets(request);
+  return unlearn_batch(state, {request}, unlearn_stats, recovery_stats, callback);
+}
+
+nn::ModelState QuickDrop::unlearn_batch(const nn::ModelState& state,
+                                        const std::vector<UnlearningRequest>& batch,
+                                        PhaseStats* unlearn_stats, PhaseStats* recovery_stats,
+                                        const fl::RoundCallback& callback,
+                                        const UnlearnCursorCallback& cursor_callback,
+                                        const UnlearnCursor* resume) {
+  if (batch.empty()) throw std::invalid_argument("QuickDrop::unlearn: empty request batch");
+  const bool resume_sga = resume && resume->phase == UnlearnCursor::kPhaseUnlearn;
+  const bool resume_recovery = resume && resume->phase == UnlearnCursor::kPhaseRecover;
+
+  // Unlearning rounds: SGA on the synthetic forget counterpart S_f (the
+  // per-client union over the batch).
+  const auto forget = forget_datasets(batch);
   if (fl::total_samples(forget) == 0) {
-    throw std::invalid_argument("QuickDrop::unlearn: no synthetic data for " +
-                                request.to_string());
+    std::string targets;
+    for (const auto& request : batch) {
+      targets += (targets.empty() ? "" : ", ") + request.to_string();
+    }
+    throw std::invalid_argument("QuickDrop::unlearn: no synthetic data for " + targets);
   }
-  nn::ModelState current;
-  if (config_.max_unlearn_rounds > config_.unlearn_rounds) {
+
+  nn::ModelState current = state;
+  if (resume_recovery) {
+    // SGA already completed before the crash; only recovery rounds remain.
+    if (unlearn_stats) *unlearn_stats = PhaseStats{};
+  } else if (config_.max_unlearn_rounds > config_.unlearn_rounds) {
     // Verified unlearning: repeat SGA rounds until the synthetic forget set
-    // is actually erased (or the cap is reached).
-    current = state;
+    // is actually erased (or the cap is reached). Each iteration derives a
+    // fresh tagged RNG, so a cursor needs only the iteration count.
     PhaseStats accumulated;
     const Timer timer;
     data::Dataset forget_union = forget.front();
@@ -192,39 +227,66 @@ nn::ModelState QuickDrop::unlearn(const nn::ModelState& state, const UnlearningR
                                             : data::Dataset::concat(forget_union, forget[i]);
       }
     }
-    int rounds_run = 0;
+    int rounds_run = resume_sga ? resume->rounds_done : 0;
     while (rounds_run < config_.max_unlearn_rounds) {
+      if (rounds_run >= config_.unlearn_rounds) {  // minimum rounds first
+        nn::load_state(*scratch_model_, current);
+        if (forget_accuracy(forget_union) <= config_.unlearn_target_accuracy) break;
+      }
       PhaseStats step;
       current = run_phase(current, forget, 1, config_.unlearn_lr,
                           nn::UpdateDirection::kAscent, 1.0f, &step, callback);
       accumulated.cost += step.cost;
       ++rounds_run;
-      if (rounds_run < config_.unlearn_rounds) continue;  // minimum rounds first
-      nn::load_state(*scratch_model_, current);
-      if (forget_accuracy(forget_union) <= config_.unlearn_target_accuracy) break;
+      if (cursor_callback) {
+        cursor_callback(
+            UnlearnCursor{.phase = UnlearnCursor::kPhaseUnlearn, .rounds_done = rounds_run},
+            current);
+      }
     }
     accumulated.seconds = timer.seconds();
-    accumulated.rounds = rounds_run;
+    accumulated.rounds = rounds_run - (resume_sga ? resume->rounds_done : 0);
     accumulated.data_size = fl::total_samples(forget);
     if (unlearn_stats) *unlearn_stats = accumulated;
   } else {
+    fl::RoundCursorCallback sga_cursor;
+    if (cursor_callback) {
+      sga_cursor = [&](int round, const nn::ModelState& s, const Rng& rng) {
+        cursor_callback(UnlearnCursor{.phase = UnlearnCursor::kPhaseUnlearn,
+                                      .rounds_done = round + 1,
+                                      .rng_state = rng.serialize()},
+                        s);
+      };
+    }
+    const int start_round = resume_sga ? resume->rounds_done : 0;
+    const std::vector<std::uint8_t>* rng_state =
+        resume_sga && !resume->rng_state.empty() ? &resume->rng_state : nullptr;
     current = run_phase(state, forget, config_.unlearn_rounds, config_.unlearn_lr,
-                        nn::UpdateDirection::kAscent, 1.0f, unlearn_stats, callback);
+                        nn::UpdateDirection::kAscent, 1.0f, unlearn_stats, callback, start_round,
+                        rng_state, sga_cursor);
   }
 
   // Recovery rounds: SGD on the augmented synthetic retain sets.
-  const auto retain = retain_datasets(&request);
+  const auto retain = retain_datasets(batch);
   if (fl::total_samples(retain) > 0) {
+    fl::RoundCursorCallback recover_cursor;
+    if (cursor_callback) {
+      recover_cursor = [&](int round, const nn::ModelState& s, const Rng& rng) {
+        cursor_callback(UnlearnCursor{.phase = UnlearnCursor::kPhaseRecover,
+                                      .rounds_done = round + 1,
+                                      .rng_state = rng.serialize()},
+                        s);
+      };
+    }
+    const int start_round = resume_recovery ? resume->rounds_done : 0;
+    const std::vector<std::uint8_t>* rng_state =
+        resume_recovery && !resume->rng_state.empty() ? &resume->rng_state : nullptr;
     current = run_phase(current, retain, config_.recovery_rounds, config_.recover_lr,
                         nn::UpdateDirection::kDescent, config_.participation, recovery_stats,
-                        callback);
+                        callback, start_round, rng_state, recover_cursor);
   }
 
-  if (request.kind == UnlearningRequest::Kind::kClass) {
-    forgotten_classes_.insert(request.target);
-  } else {
-    forgotten_clients_.insert(request.target);
-  }
+  for (const auto& request : batch) mark_forgotten(request);
   return current;
 }
 

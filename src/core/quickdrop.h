@@ -75,6 +75,26 @@ struct TrainResume {
   std::vector<std::uint8_t> rng_state;  ///< phase RNG entering the next round
 };
 
+/// Position inside an interrupted unlearn/recover cycle, reported after every
+/// completed round so a killed service can resume a request mid-flight (see
+/// serve/executor.h). `rng_state` is the phase RNG entering the next round;
+/// it is empty on the verified-SGA path, whose iterations re-derive their RNG
+/// from the coordinator seed and therefore need only `rounds_done`.
+struct UnlearnCursor {
+  static constexpr int kPhaseUnlearn = 0;
+  static constexpr int kPhaseRecover = 1;
+  int phase = kPhaseUnlearn;
+  int rounds_done = 0;  ///< completed rounds within `phase`
+  std::vector<std::uint8_t> rng_state;
+};
+
+/// Fires after every completed unlearn/recover round with the cursor and the
+/// global state as of that round. Serializing (cursor, state, stores) — e.g.
+/// via core/checkpoint.h — yields a mid-request checkpoint from which
+/// unlearn_batch() resumes bit-identically.
+using UnlearnCursorCallback =
+    std::function<void(const UnlearnCursor& cursor, const nn::ModelState& state)>;
+
 class QuickDrop {
  public:
   /// `client_train` holds each client's local dataset D_i.
@@ -99,9 +119,25 @@ class QuickDrop {
 
   /// Steps 3-4: serves an unlearning request via SGA on S_f followed by
   /// recovery on the augmented S \ S_f. Marks the target as forgotten.
+  /// Equivalent to unlearn_batch() with a one-request batch.
   nn::ModelState unlearn(const nn::ModelState& state, const UnlearningRequest& request,
                          PhaseStats* unlearn_stats = nullptr, PhaseStats* recovery_stats = nullptr,
                          const fl::RoundCallback& callback = {});
+
+  /// Serves a *batch* of compatible requests in one SGA + recovery cycle:
+  /// the forget set is the union of every request's synthetic counterpart and
+  /// the retain set excludes every target (the serve/ scheduler's coalescing
+  /// policy rides on this). `cursor_callback` fires after every completed
+  /// round of either phase; pass a captured cursor (with the matching state)
+  /// as `resume` to continue a killed cycle bit-identically. Marks every
+  /// target forgotten on completion.
+  nn::ModelState unlearn_batch(const nn::ModelState& state,
+                               const std::vector<UnlearningRequest>& batch,
+                               PhaseStats* unlearn_stats = nullptr,
+                               PhaseStats* recovery_stats = nullptr,
+                               const fl::RoundCallback& callback = {},
+                               const UnlearnCursorCallback& cursor_callback = {},
+                               const UnlearnCursor* resume = nullptr);
 
   /// Step 5: relearns previously erased knowledge via SGD on S_f and clears
   /// the forgotten mark.
@@ -124,6 +160,17 @@ class QuickDrop {
     forgotten_clients_.clear();
   }
 
+  /// Records a target as forgotten without running any rounds — used when a
+  /// restarted service replays its completed-request history onto a fresh
+  /// coordinator before resuming an in-flight cycle.
+  void mark_forgotten(const UnlearningRequest& request) {
+    if (request.kind == UnlearningRequest::Kind::kClass) {
+      forgotten_classes_.insert(request.target);
+    } else {
+      forgotten_clients_.insert(request.target);
+    }
+  }
+
   /// Toggles §3.3.1 recovery augmentation (used by the ablation bench; does
   /// not require retraining).
   void set_augment_recovery(bool enabled) { config_.augment_recovery = enabled; }
@@ -133,6 +180,7 @@ class QuickDrop {
   /// served without retraining. One store per client is required.
   void load_stores(std::vector<SyntheticStore> stores);
   [[nodiscard]] int num_clients() const { return static_cast<int>(client_train_.size()); }
+  [[nodiscard]] int num_classes() const { return client_train_.front().num_classes(); }
   [[nodiscard]] const std::vector<data::Dataset>& client_train() const { return client_train_; }
   [[nodiscard]] const QuickDropConfig& config() const { return config_; }
 
@@ -140,12 +188,23 @@ class QuickDrop {
   /// datasets for uninvolved clients).
   [[nodiscard]] std::vector<data::Dataset> forget_datasets(const UnlearningRequest& request) const;
 
+  /// Batched S_f: the per-client union of every request's forget counterpart
+  /// (a client targeted by a client-level request contributes its whole
+  /// store exactly once, even when class-level requests overlap it).
+  [[nodiscard]] std::vector<data::Dataset> forget_datasets(
+      const std::vector<UnlearningRequest>& batch) const;
+
   /// Per-client recovery datasets: synthetic data of everything not
   /// currently forgotten (excluding `request`'s target), augmented per
   /// config. Pass nullptr to build the retain sets for the current
   /// forgotten-state only.
   [[nodiscard]] std::vector<data::Dataset> retain_datasets(
       const UnlearningRequest* request) const;
+
+  /// Batched retain sets: excludes every already-forgotten target plus every
+  /// target in `batch`.
+  [[nodiscard]] std::vector<data::Dataset> retain_datasets(
+      const std::vector<UnlearningRequest>& batch) const;
 
  private:
   /// Top-1 accuracy of scratch_model_ (already loaded) on a dataset; used by
@@ -155,11 +214,16 @@ class QuickDrop {
   /// Runs FedAvg rounds over per-client datasets with the given
   /// direction/lr; fills `stats`.
   /// Unlearning runs at 100% participation; recovery and relearning reuse
-  /// the training participation rate (paper §4.5).
+  /// the training participation rate (paper §4.5). `start_round`/`resume_rng`
+  /// splice into a phase interrupted after `start_round` rounds (resume_rng
+  /// is the serialized phase RNG from the matching cursor; nullptr derives a
+  /// fresh tagged stream); `cursor_callback` exposes per-round cursors.
   nn::ModelState run_phase(const nn::ModelState& start,
                            const std::vector<data::Dataset>& client_data, int rounds, float lr,
                            nn::UpdateDirection direction, float participation, PhaseStats* stats,
-                           const fl::RoundCallback& callback);
+                           const fl::RoundCallback& callback, int start_round = 0,
+                           const std::vector<std::uint8_t>* resume_rng = nullptr,
+                           const fl::RoundCursorCallback& cursor_callback = {});
 
   fl::ModelFactory factory_;
   std::vector<data::Dataset> client_train_;

@@ -1,0 +1,43 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace quickdrop::serve {
+
+AdmissionDecision AdmissionQueue::admit(ServiceRequest request, ValidationContext ctx) {
+  ctx.pending = &pending_;
+  AdmissionDecision decision = validate_request(request, ctx);
+  if (!decision.accepted) {
+    QD_LOG_INFO << "serve: rejected " << request.describe() << ": "
+                << reject_reason_name(decision.reason) << " (" << decision.message << ")";
+    rejected_.push_back({std::move(request), decision.reason, decision.message});
+    return decision;
+  }
+  request.id = next_id_++;
+  QD_LOG_DEBUG << "serve: admitted " << request.describe();
+  pending_.push_back(std::move(request));
+  return decision;
+}
+
+std::vector<ServiceRequest> AdmissionQueue::take(const std::vector<std::int64_t>& ids) {
+  std::vector<ServiceRequest> out;
+  out.reserve(ids.size());
+  for (const std::int64_t id : ids) {
+    const auto it = std::find_if(pending_.begin(), pending_.end(),
+                                 [id](const ServiceRequest& r) { return r.id == id; });
+    if (it == pending_.end()) {
+      throw std::invalid_argument("AdmissionQueue::take: no pending request #" +
+                                  std::to_string(id));
+    }
+    out.push_back(std::move(*it));
+    pending_.erase(it);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ServiceRequest& a, const ServiceRequest& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace quickdrop::serve

@@ -1,0 +1,47 @@
+// Deterministic admission queue.
+//
+// Requests enter in trace order; each is validated against the deployment
+// and the queue's own state (see serve/validate.h), assigned a monotonically
+// increasing id on acceptance, and either queued or recorded as rejected with
+// its reason. The pending list preserves admission order (== arrival order,
+// since the service admits in trace order), which the schedulers rely on.
+#pragma once
+
+#include <vector>
+
+#include "serve/validate.h"
+
+namespace quickdrop::serve {
+
+/// A refused request plus why, kept for the service report.
+struct RejectedRequest {
+  ServiceRequest request;  ///< id stays -1 (never admitted)
+  RejectReason reason = RejectReason::kTargetOutOfRange;
+  std::string message;
+};
+
+class AdmissionQueue {
+ public:
+  /// Validates and, on acceptance, assigns the next id and enqueues. The
+  /// context's `pending` pointer is overridden to this queue's own pending
+  /// list. Returns the decision either way.
+  AdmissionDecision admit(ServiceRequest request, ValidationContext ctx);
+
+  /// Pending requests in admission order.
+  [[nodiscard]] const std::vector<ServiceRequest>& pending() const { return pending_; }
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  /// Removes and returns the requests with the given ids, preserving
+  /// admission order. Throws std::invalid_argument on an unknown id.
+  std::vector<ServiceRequest> take(const std::vector<std::int64_t>& ids);
+
+  [[nodiscard]] const std::vector<RejectedRequest>& rejected() const { return rejected_; }
+  [[nodiscard]] std::int64_t admitted_count() const { return next_id_; }
+
+ private:
+  std::vector<ServiceRequest> pending_;
+  std::vector<RejectedRequest> rejected_;
+  std::int64_t next_id_ = 0;
+};
+
+}  // namespace quickdrop::serve

@@ -1,0 +1,106 @@
+#include "serve/service.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace quickdrop::serve {
+
+UnlearningService::UnlearningService(std::shared_ptr<core::QuickDrop> quickdrop,
+                                     nn::ModelState initial, ServiceConfig config)
+    : quickdrop_(std::move(quickdrop)),
+      state_(std::move(initial)),
+      config_(std::move(config)),
+      scheduler_(config_.policy, config_.max_batch),
+      executor_(quickdrop_, config_.cost_model) {
+  if (!quickdrop_) throw std::invalid_argument("UnlearningService: null coordinator");
+}
+
+ValidationContext UnlearningService::validation_context() const {
+  ValidationContext ctx;
+  ctx.num_classes = quickdrop_->num_classes();
+  ctx.num_clients = quickdrop_->num_clients();
+  ctx.supports_sample_level = Executor::supports(RequestKind::kSample);
+  ctx.forgotten_classes = &quickdrop_->forgotten_classes();
+  ctx.forgotten_clients = &quickdrop_->forgotten_clients();
+  const auto& stores = quickdrop_->stores();
+  ctx.has_forget_data = [&stores](const ServiceRequest& request) {
+    if (request.kind == RequestKind::kClass) {
+      for (const auto& store : stores) {
+        if (store.has_class(request.target)) return true;
+      }
+      return false;
+    }
+    if (request.kind == RequestKind::kClient) {
+      return stores[static_cast<std::size_t>(request.target)].total_samples() > 0;
+    }
+    return true;  // sample-level data lives outside the synthetic stores
+  };
+  return ctx;
+}
+
+void UnlearningService::admit_due(const std::vector<ServiceRequest>& trace,
+                                  std::size_t* next_arrival) {
+  while (*next_arrival < trace.size() &&
+         trace[*next_arrival].arrival_seconds <= clock_seconds_) {
+    queue_.admit(trace[*next_arrival], validation_context());
+    ++(*next_arrival);
+  }
+}
+
+ServiceReport UnlearningService::run(const std::vector<ServiceRequest>& trace) {
+  ServiceReport report;
+  report.policy = policy_name(scheduler_.policy());
+
+  std::size_t next_arrival = 0;
+  while (next_arrival < trace.size() || !queue_.empty()) {
+    if (queue_.empty()) {
+      // Idle: fast-forward the sim clock to the next arrival.
+      clock_seconds_ = std::max(clock_seconds_, trace[next_arrival].arrival_seconds);
+    }
+    admit_due(trace, &next_arrival);
+    if (queue_.empty()) continue;  // everything due was rejected
+
+    const auto ids = scheduler_.next_batch(queue_.pending());
+    const auto batch = queue_.take(ids);
+    const double start = clock_seconds_;
+    QD_LOG_INFO << "serve: cycle " << report.cycles << " (" << policy_name(scheduler_.policy())
+                << ") serving " << batch.size() << " request(s) at t=" << start;
+
+    auto result = executor_.execute(state_, batch, config_.cursor_callback);
+    state_ = std::move(result.state);
+    clock_seconds_ += result.sim_seconds;
+
+    for (const auto& request : batch) {
+      RequestMetrics metrics;
+      metrics.id = request.id;
+      metrics.kind = request.kind;
+      metrics.target = request.target;
+      metrics.arrival_seconds = request.arrival_seconds;
+      metrics.start_seconds = start;
+      metrics.completion_seconds = clock_seconds_;
+      metrics.unlearn_rounds = result.unlearn_stats.rounds;
+      metrics.recovery_rounds = result.recovery_stats.rounds;
+      metrics.bytes_up = result.unlearn_stats.cost.bytes_up + result.recovery_stats.cost.bytes_up;
+      metrics.bytes_down =
+          result.unlearn_stats.cost.bytes_down + result.recovery_stats.cost.bytes_down;
+      metrics.batch_size = static_cast<int>(batch.size());
+      metrics.cycle = report.cycles;
+      if (config_.evaluator) config_.evaluator(request, state_, metrics);
+      report.completed.push_back(metrics);
+    }
+    report.total_fl_rounds += result.unlearn_stats.rounds + result.recovery_stats.rounds;
+    report.total_bytes += result.unlearn_stats.cost.bytes_up +
+                          result.unlearn_stats.cost.bytes_down +
+                          result.recovery_stats.cost.bytes_up +
+                          result.recovery_stats.cost.bytes_down;
+    ++report.cycles;
+  }
+
+  report.rejected = queue_.rejected();
+  report.sim_clock_seconds = clock_seconds_;
+  return report;
+}
+
+}  // namespace quickdrop::serve

@@ -1,0 +1,66 @@
+// The unlearning request service: a simulated-time event loop over
+// (trace → admission queue → scheduler → executor → metrics).
+//
+// The loop is strictly deterministic: the simulated clock advances either to
+// the next trace arrival (when idle) or by the executor's CostModel seconds
+// (when serving), and every decision depends only on (trace, seed, config).
+// Identical inputs therefore yield a bitwise-identical final model and
+// report at any --threads count, including under an active fault plan.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "serve/executor.h"
+#include "serve/metrics.h"
+#include "serve/scheduler.h"
+#include "serve/trace.h"
+
+namespace quickdrop::serve {
+
+/// Hook evaluated after each cycle for every request it served; fills the
+/// accuracy fields of `metrics` (e.g. F-Set / R-Set accuracy against a test
+/// set — see bench/ext_request_service.cpp). Optional and purely
+/// observational.
+using RequestEvaluator =
+    std::function<void(const ServiceRequest& request, const nn::ModelState& state,
+                       RequestMetrics& metrics)>;
+
+struct ServiceConfig {
+  SchedulerPolicy policy = SchedulerPolicy::kFifo;
+  int max_batch = 0;  ///< coalescing cap, 0 = unlimited
+  CostModel cost_model;
+  /// Forwarded to the executor for mid-request checkpointing.
+  core::UnlearnCursorCallback cursor_callback;
+  RequestEvaluator evaluator;
+};
+
+class UnlearningService {
+ public:
+  /// `initial` is the trained global model the first cycle starts from.
+  UnlearningService(std::shared_ptr<core::QuickDrop> quickdrop, nn::ModelState initial,
+                    ServiceConfig config);
+
+  /// Drains the whole trace and returns the aggregate report. May be called
+  /// once per service instance.
+  ServiceReport run(const std::vector<ServiceRequest>& trace);
+
+  /// Global model after the last completed cycle.
+  [[nodiscard]] const nn::ModelState& state() const { return state_; }
+  [[nodiscard]] const AdmissionQueue& queue() const { return queue_; }
+
+ private:
+  /// Admits every trace request with arrival <= the sim clock.
+  void admit_due(const std::vector<ServiceRequest>& trace, std::size_t* next_arrival);
+  [[nodiscard]] ValidationContext validation_context() const;
+
+  std::shared_ptr<core::QuickDrop> quickdrop_;
+  nn::ModelState state_;
+  ServiceConfig config_;
+  Scheduler scheduler_;
+  Executor executor_;
+  AdmissionQueue queue_;
+  double clock_seconds_ = 0.0;
+};
+
+}  // namespace quickdrop::serve

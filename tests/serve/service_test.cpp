@@ -1,0 +1,320 @@
+// End-to-end service contracts: coalescing correctness versus sequential
+// unlearning, thread-count invariance of the full service run (with and
+// without an active fault plan), and mid-request resume through
+// core/checkpoint.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+#include "serve/service.h"
+#include "util/thread_pool.h"
+
+namespace quickdrop::serve {
+namespace {
+
+struct ThreadGuard {
+  int saved = num_threads();
+  ~ThreadGuard() { set_num_threads(saved); }
+};
+
+data::TrainTest make_mini_data() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 32;
+  spec.test_per_class = 8;
+  spec.noise = 0.35f;
+  spec.seed = 33;
+  return data::make_synthetic(spec);
+}
+
+// A fresh federation per run: the factory's shared RNG must start at the same
+// point for every run under comparison.
+struct MiniFederation {
+  data::TrainTest tt;
+  std::vector<data::Dataset> clients;
+  fl::ModelFactory factory;
+
+  MiniFederation() : tt(make_mini_data()) {
+    Rng prng(7);
+    clients = data::materialize(tt.train, data::dirichlet_partition(tt.train, 4, 0.5f, prng));
+    nn::ConvNetConfig net;
+    net.in_channels = 1;
+    net.image_size = 8;
+    net.num_classes = 4;
+    net.width = 12;
+    net.depth = 1;
+    auto shared_rng = std::make_shared<Rng>(19);
+    factory = [shared_rng, net] { return nn::make_convnet(net, *shared_rng); };
+  }
+
+  static core::QuickDropConfig config() {
+    core::QuickDropConfig cfg;
+    cfg.fl_rounds = 5;
+    cfg.local_steps = 3;
+    cfg.batch_size = 16;
+    cfg.train_lr = 0.1f;
+    cfg.scale = 10;
+    cfg.unlearn_rounds = 2;
+    cfg.recovery_rounds = 2;
+    cfg.unlearn_local_steps = 4;
+    cfg.unlearn_batch_size = 16;
+    cfg.unlearn_lr = 0.05f;
+    cfg.recover_lr = 0.05f;
+    return cfg;
+  }
+};
+
+void expect_states_bitwise_equal(const nn::ModelState& a, const nn::ModelState& b,
+                                 const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].numel(), b[i].numel()) << what;
+    for (std::int64_t j = 0; j < a[i].numel(); ++j) {
+      ASSERT_EQ(a[i].at(j), b[i].at(j)) << what << ": tensor " << i << " entry " << j;
+    }
+  }
+}
+
+ServiceRequest class_request(int target, double arrival) {
+  ServiceRequest request;
+  request.kind = RequestKind::kClass;
+  request.target = target;
+  request.arrival_seconds = arrival;
+  return request;
+}
+
+/// Arrivals clustered tightly against a slow cost model, so under coalescing
+/// the later requests pile up behind the first cycle and merge.
+std::vector<ServiceRequest> clustered_trace() {
+  return {class_request(1, 0.0), class_request(2, 5.0), class_request(3, 9.0)};
+}
+
+CostModel slow_rounds() {
+  CostModel cost;
+  cost.seconds_per_round = 50.0;
+  cost.seconds_per_sample_grad = 0.0;
+  return cost;
+}
+
+struct ServiceRun {
+  nn::ModelState final_state;
+  ServiceReport report;
+  std::string json;
+  data::Dataset test;
+  fl::ModelFactory factory;
+};
+
+ServiceRun run_service(SchedulerPolicy policy, int threads, core::QuickDropConfig cfg) {
+  set_num_threads(threads);
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+  const auto trained = qd->train();
+  ServiceConfig config;
+  config.policy = policy;
+  config.cost_model = slow_rounds();
+  UnlearningService service(qd, trained, config);
+  ServiceRun out{.final_state = {},
+                 .report = service.run(clustered_trace()),
+                 .json = {},
+                 .test = fed.tt.test,
+                 .factory = fed.factory};
+  out.final_state = service.state();
+  out.json = out.report.to_json();
+  return out;
+}
+
+TEST(ServiceTest, CoalescingMatchesSequentialOnRetainedClassesWithFewerRounds) {
+  ThreadGuard guard;
+  const auto cfg = MiniFederation::config();
+  const auto fifo = run_service(SchedulerPolicy::kFifo, 1, cfg);
+  const auto coalesce = run_service(SchedulerPolicy::kCoalesce, 1, cfg);
+
+  ASSERT_EQ(fifo.report.completed.size(), 3u);
+  ASSERT_EQ(coalesce.report.completed.size(), 3u);
+  // With 50s rounds and arrivals 5s apart, requests 2 and 3 arrive during
+  // cycle 0 and must merge: strictly fewer cycles and FL rounds than FIFO.
+  EXPECT_LT(coalesce.report.cycles, fifo.report.cycles);
+  EXPECT_LT(coalesce.report.total_fl_rounds, fifo.report.total_fl_rounds);
+  EXPECT_EQ(fifo.report.cycles, 3);
+  EXPECT_EQ(coalesce.report.cycles, 2);
+
+  // Both histories forget classes {1,2,3}; the retained class 0 must end up
+  // comparably accurate, and every forgotten class near zero, either way.
+  auto model = fifo.factory();
+  nn::load_state(*model, fifo.final_state);
+  const auto pc_fifo = metrics::per_class_accuracy(*model, fifo.test);
+  nn::load_state(*model, coalesce.final_state);
+  const auto pc_coalesce = metrics::per_class_accuracy(*model, coalesce.test);
+  for (const int forgotten : {1, 2, 3}) {
+    EXPECT_LT(pc_fifo[static_cast<std::size_t>(forgotten)], 0.25) << forgotten;
+    EXPECT_LT(pc_coalesce[static_cast<std::size_t>(forgotten)], 0.25) << forgotten;
+  }
+  EXPECT_NEAR(pc_fifo[0], pc_coalesce[0], 0.25);
+  EXPECT_GT(pc_coalesce[0], 0.5);
+}
+
+TEST(ServiceTest, RunBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const auto cfg = MiniFederation::config();
+  const auto serial = run_service(SchedulerPolicy::kCoalesce, 1, cfg);
+  const auto parallel = run_service(SchedulerPolicy::kCoalesce, 4, cfg);
+  expect_states_bitwise_equal(serial.final_state, parallel.final_state, "service state");
+  // The whole report — latencies, rounds, bytes — is simulated, so the JSON
+  // must match byte for byte.
+  EXPECT_EQ(serial.json, parallel.json);
+}
+
+TEST(ServiceTest, RunBitIdenticalAcrossThreadCountsUnderFaultPlan) {
+  ThreadGuard guard;
+  auto cfg = MiniFederation::config();
+  fl::FaultRates rates;
+  rates.crash = 0.15f;
+  rates.corrupt_nan = 0.1f;
+  rates.straggler = 0.1f;
+  cfg.faults = fl::FaultPlan(77, rates);
+  cfg.defense.min_quorum = 0.25f;
+  cfg.defense.max_round_attempts = 2;
+  const auto serial = run_service(SchedulerPolicy::kFifo, 1, cfg);
+  const auto parallel = run_service(SchedulerPolicy::kFifo, 4, cfg);
+  expect_states_bitwise_equal(serial.final_state, parallel.final_state, "faulted service state");
+  EXPECT_EQ(serial.json, parallel.json);
+}
+
+TEST(ServiceTest, RejectsInvalidTraceRequestsWithReasons) {
+  ThreadGuard guard;
+  set_num_threads(1);
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients,
+                                              MiniFederation::config(), 99);
+  const auto trained = qd->train();
+  auto trace = clustered_trace();
+  trace.push_back(class_request(2, 10.0));   // duplicate of a pending request
+  trace.push_back(class_request(99, 11.0));  // out of range
+  ServiceRequest sample;
+  sample.kind = RequestKind::kSample;
+  sample.target = 0;
+  sample.rows = {1};
+  sample.arrival_seconds = 12.0;
+  trace.push_back(sample);  // executor serves class/client only
+
+  ServiceConfig config;
+  config.policy = SchedulerPolicy::kCoalesce;
+  config.cost_model = slow_rounds();
+  UnlearningService service(qd, trained, config);
+  const auto report = service.run(trace);
+  EXPECT_EQ(report.completed.size(), 3u);
+  ASSERT_EQ(report.rejected.size(), 3u);
+  EXPECT_EQ(report.rejected[0].reason, RejectReason::kDuplicatePending);
+  EXPECT_EQ(report.rejected[1].reason, RejectReason::kTargetOutOfRange);
+  EXPECT_EQ(report.rejected[2].reason, RejectReason::kUnsupportedKind);
+}
+
+TEST(ServiceTest, ExecutorResumesMidRequestViaCheckpoint) {
+  ThreadGuard guard;
+  const auto cfg = MiniFederation::config();
+
+  // Uninterrupted cycle at 1 thread, capturing a mid-recovery checkpoint.
+  set_num_threads(1);
+  ServiceRequest request = class_request(1, 0.0);
+  std::vector<std::uint8_t> checkpoint_bytes;
+  ExecutionResult full;
+  {
+    MiniFederation fed;
+    auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+    const auto trained = qd->train();
+    Executor executor(qd, CostModel{});
+    full = executor.execute(trained, {request},
+                            [&](const core::UnlearnCursor& cursor, const nn::ModelState& state) {
+                              if (cursor.phase != core::UnlearnCursor::kPhaseRecover ||
+                                  cursor.rounds_done != 1) {
+                                return;
+                              }
+                              auto cp = core::make_checkpoint(state, qd->stores());
+                              cp.cursor = core::RoundCursor{.phase = "recover",
+                                                            .rounds_done = cursor.rounds_done,
+                                                            .rng_state = cursor.rng_state};
+                              checkpoint_bytes = core::serialize_checkpoint(cp);
+                            });
+  }
+  ASSERT_FALSE(checkpoint_bytes.empty());
+
+  // A fresh coordinator (same seed, no training) restores the checkpoint and
+  // resumes the in-flight recovery at 4 threads: bitwise-identical landing.
+  set_num_threads(4);
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+  const auto cp = core::deserialize_checkpoint(checkpoint_bytes);
+  ASSERT_TRUE(cp.cursor.has_value());
+  qd->load_stores(core::restore_stores(cp));
+  Executor executor(qd, CostModel{});
+  core::UnlearnCursor resume;
+  resume.phase = core::UnlearnCursor::kPhaseRecover;
+  resume.rounds_done = cp.cursor->rounds_done;
+  resume.rng_state = cp.cursor->rng_state;
+  const auto resumed = executor.execute(cp.global, {request}, {}, &resume);
+
+  expect_states_bitwise_equal(full.state, resumed.state, "resumed mid-recovery");
+  // The resumed cycle accounts only the remaining rounds.
+  EXPECT_EQ(resumed.recovery_stats.rounds,
+            full.recovery_stats.rounds - cp.cursor->rounds_done);
+  EXPECT_EQ(resumed.unlearn_stats.rounds, 0);
+  EXPECT_TRUE(qd->forgotten_classes().count(1));
+}
+
+TEST(ServiceTest, ExecutorResumesMidSgaViaCheckpoint) {
+  ThreadGuard guard;
+  const auto cfg = MiniFederation::config();
+
+  set_num_threads(1);
+  ServiceRequest request = class_request(2, 0.0);
+  std::vector<std::uint8_t> checkpoint_bytes;
+  ExecutionResult full;
+  {
+    MiniFederation fed;
+    auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+    const auto trained = qd->train();
+    Executor executor(qd, CostModel{});
+    full = executor.execute(trained, {request},
+                            [&](const core::UnlearnCursor& cursor, const nn::ModelState& state) {
+                              if (cursor.phase != core::UnlearnCursor::kPhaseUnlearn ||
+                                  cursor.rounds_done != 1) {
+                                return;
+                              }
+                              auto cp = core::make_checkpoint(state, qd->stores());
+                              cp.cursor = core::RoundCursor{.phase = "unlearn",
+                                                            .rounds_done = cursor.rounds_done,
+                                                            .rng_state = cursor.rng_state};
+                              checkpoint_bytes = core::serialize_checkpoint(cp);
+                            });
+  }
+  ASSERT_FALSE(checkpoint_bytes.empty());
+
+  set_num_threads(4);
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+  const auto cp = core::deserialize_checkpoint(checkpoint_bytes);
+  ASSERT_TRUE(cp.cursor.has_value());
+  qd->load_stores(core::restore_stores(cp));
+  Executor executor(qd, CostModel{});
+  core::UnlearnCursor resume;
+  resume.phase = core::UnlearnCursor::kPhaseUnlearn;
+  resume.rounds_done = cp.cursor->rounds_done;
+  resume.rng_state = cp.cursor->rng_state;
+  const auto resumed = executor.execute(cp.global, {request}, {}, &resume);
+
+  expect_states_bitwise_equal(full.state, resumed.state, "resumed mid-SGA");
+  EXPECT_EQ(resumed.unlearn_stats.rounds, full.unlearn_stats.rounds - cp.cursor->rounds_done);
+  EXPECT_EQ(resumed.recovery_stats.rounds, full.recovery_stats.rounds);
+}
+
+}  // namespace
+}  // namespace quickdrop::serve

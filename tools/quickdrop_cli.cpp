@@ -7,6 +7,9 @@
 //   quickdrop_cli unlearn --checkpoint model.qdcp --client 3 --out fixed.qdcp
 //   quickdrop_cli relearn --checkpoint fixed.qdcp --class 9 --out back.qdcp
 //   quickdrop_cli inspect --checkpoint model.qdcp
+//   quickdrop_cli serve   --checkpoint model.qdcp --requests 6 --arrival-rate 25
+//                         --policy coalesce --json service.json
+//   quickdrop_cli serve   --checkpoint model.qdcp --trace trace.txt --policy fifo
 //
 // Fault tolerance: `train` accepts --fault-crash/--fault-straggler/
 // --fault-corrupt/--fault-stale rates plus --quorum/--max-attempts defenses
@@ -25,8 +28,11 @@
 #include <stdexcept>
 #include <string>
 
+#include <fstream>
+
 #include "core/checkpoint.h"
 #include "core/quickdrop.h"
+#include "serve/service.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "metrics/evaluate.h"
@@ -372,9 +378,94 @@ int cmd_relearn(qd::CliFlags& flags) {
   return 0;
 }
 
+// Replays (or generates) an unlearning request trace against a trained
+// checkpoint through the serve/ stack. All reported latencies are simulated
+// seconds from the deterministic cost model, so --json output is bitwise
+// reproducible at any --threads count.
+int cmd_serve(qd::CliFlags& flags) {
+  auto [fed, cp] = load(flags);
+  const auto trace_path = flags.get_string("trace", "");
+  const int requests = flags.get_int("requests", 6);
+  const double arrival_rate = flags.get_double("arrival-rate", 60.0);
+  const double client_fraction = flags.get_double("client-fraction", 0.25);
+  const auto policy = qd::serve::policy_from_name(flags.get_string("policy", "fifo"));
+  const int max_batch = flags.get_int("max-batch", 0);
+  const auto trace_seed = static_cast<std::uint64_t>(
+      flags.get_int("trace-seed", static_cast<int>(fed.spec.seed + 1000)));
+  const auto dump_trace = flags.get_string("dump-trace", "");
+  const auto json_path = flags.get_string("json", "");
+  const auto out = flags.get_string("out", "");
+  qd::serve::CostModel cost_model;
+  cost_model.seconds_per_round = flags.get_double("sec-per-round", 2.0);
+  cost_model.seconds_per_sample_grad = flags.get_double("sec-per-grad", 1e-4);
+  flags.check_unused();
+
+  std::vector<qd::serve::ServiceRequest> trace;
+  if (!trace_path.empty()) {
+    trace = qd::serve::load_trace(trace_path);
+    std::printf("replaying %zu requests from %s\n", trace.size(), trace_path.c_str());
+  } else {
+    qd::serve::ArrivalConfig arrivals;
+    arrivals.num_requests = requests;
+    arrivals.mean_interarrival_seconds = arrival_rate;
+    arrivals.client_fraction = client_fraction;
+    arrivals.num_classes = fed.data.train.num_classes();
+    arrivals.num_clients = fed.spec.clients;
+    qd::Rng trace_rng(trace_seed);
+    trace = qd::serve::generate_trace(arrivals, trace_rng);
+    std::printf("generated %zu requests (mean inter-arrival %.0fs, trace seed %llu)\n",
+                trace.size(), arrival_rate, static_cast<unsigned long long>(trace_seed));
+  }
+  if (!dump_trace.empty()) {
+    qd::serve::save_trace(trace, dump_trace);
+    std::printf("trace written to %s\n", dump_trace.c_str());
+  }
+
+  qd::serve::ServiceConfig config;
+  config.policy = policy;
+  config.max_batch = max_batch;
+  config.cost_model = cost_model;
+  std::shared_ptr<qd::core::QuickDrop> quickdrop = std::move(fed.quickdrop);
+  qd::serve::UnlearningService service(quickdrop, cp.global, config);
+  const auto report = service.run(trace);
+
+  qd::TextTable table;
+  table.set_header({"id", "kind", "target", "wait(s)", "latency(s)", "batch", "cycle"});
+  for (const auto& m : report.completed) {
+    table.add_row({std::to_string(m.id), qd::serve::kind_name(m.kind), std::to_string(m.target),
+                   qd::fmt_double(m.queue_wait(), 1), qd::fmt_double(m.latency(), 1),
+                   std::to_string(m.batch_size), std::to_string(m.cycle)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  for (const auto& rejection : report.rejected) {
+    std::printf("rejected: %s (%s)\n", rejection.request.describe().c_str(),
+                qd::serve::reject_reason_name(rejection.reason));
+  }
+  std::printf("policy=%s: %zu served in %d cycle(s), %d FL rounds, p50 %.1fs, p95 %.1fs, "
+              "%.2f requests/hour\n",
+              report.policy.c_str(), report.completed.size(), report.cycles,
+              report.total_fl_rounds, report.latency_percentile(50.0),
+              report.latency_percentile(95.0), report.requests_per_hour());
+  print_eval(fed, service.state());
+
+  if (!json_path.empty()) {
+    std::ofstream json_out(json_path);
+    if (!json_out) throw std::runtime_error("cannot write " + json_path);
+    json_out << report.to_json();
+    std::printf("metrics written to %s\n", json_path.c_str());
+  }
+  if (!out.empty()) {
+    auto new_cp = qd::core::make_checkpoint(service.state(), quickdrop->stores());
+    new_cp.metadata = cp.metadata;
+    qd::core::save_checkpoint(new_cp, out);
+    std::printf("checkpoint written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: quickdrop_cli <train|eval|unlearn|relearn|inspect> [--flags]\n"
+               "usage: quickdrop_cli <train|eval|unlearn|relearn|serve|inspect> [--flags]\n"
                "  train   --dataset D --clients N --rounds R --scale S --out FILE\n"
                "          [--fault-crash P] [--fault-straggler P] [--fault-corrupt P]\n"
                "          [--fault-stale P] [--fault-seed S] [--quorum F] [--max-attempts N]\n"
@@ -382,6 +473,10 @@ int usage() {
                "  eval    --checkpoint FILE\n"
                "  unlearn --checkpoint FILE (--class C | --client I) --out FILE\n"
                "  relearn --checkpoint FILE (--class C | --client I) --out FILE\n"
+               "  serve   --checkpoint FILE [--trace FILE | --requests N --arrival-rate SECS]\n"
+               "          [--policy fifo|priority|coalesce] [--max-batch N] [--trace-seed S]\n"
+               "          [--dump-trace FILE] [--json FILE] [--out FILE]\n"
+               "          [--sec-per-round S] [--sec-per-grad S]\n"
                "  inspect --checkpoint FILE\n"
                "  common: --log-level debug|info|warn|error (or QUICKDROP_LOG_LEVEL)\n"
                "          --threads N (or QUICKDROP_THREADS; default: all hardware threads)\n");
@@ -406,6 +501,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(flags);
     if (command == "unlearn") return cmd_unlearn(flags);
     if (command == "relearn") return cmd_relearn(flags);
+    if (command == "serve") return cmd_serve(flags);
     if (command == "inspect") return cmd_inspect(flags);
     return usage();
   } catch (const std::exception& e) {
