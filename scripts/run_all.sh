@@ -69,3 +69,12 @@ for b in "$BUILD"/bench/*; do
   "$b" 2>&1 | tee -a bench_output.txt
   echo | tee -a bench_output.txt
 done
+
+# The state-ops microbenchmark (bench/ext_state_ops) writes its JSON into the
+# working directory; the sweep above must have produced it (flat vs per-tensor
+# representation, weighted_average thread scaling — see DESIGN.md §11).
+if [ -f BENCH_state_ops.json ]; then
+  echo "state-ops bench: BENCH_state_ops.json written" | tee -a bench_output.txt
+else
+  echo "state-ops bench: MISSING BENCH_state_ops.json" | tee -a bench_output.txt
+fi

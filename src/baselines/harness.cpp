@@ -1,5 +1,7 @@
 #include "baselines/harness.h"
 
+#include <set>
+
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -12,6 +14,39 @@ std::int64_t EraserHistory::byte_size() const {
   }
   for (const auto& g : globals) bytes += nn::state_bytes(g);
   return bytes;
+}
+
+EraserHistory::MemoryReport EraserHistory::memory_report() const {
+  MemoryReport report;
+  std::set<const nn::StateLayout*> layouts;
+  const auto visit = [&](const nn::ModelState& state) {
+    if (state.empty()) return;
+    ++report.states;
+    report.payload_bytes += nn::state_bytes(state);
+    layouts.insert(state.layout().get());
+    // What the same state cost as std::vector<Tensor>: per parameter, a
+    // Tensor handle, a heap vector<float> + shared_ptr control block
+    // (~2 pointers), and the shape's heap storage.
+    for (const auto& shape : state.layout()->shapes()) {
+      report.legacy_overhead_bytes +=
+          static_cast<std::int64_t>(sizeof(Tensor) + sizeof(std::vector<float>) +
+                                    2 * sizeof(void*) + shape.size() * sizeof(std::int64_t));
+    }
+  };
+  for (const auto& round : updates) {
+    for (const auto& state : round) visit(state);
+  }
+  for (const auto& g : globals) visit(g);
+  report.distinct_layouts = static_cast<std::int64_t>(layouts.size());
+  for (const auto* layout : layouts) {
+    std::int64_t bytes = static_cast<std::int64_t>(sizeof(nn::StateLayout));
+    for (const auto& shape : layout->shapes()) {
+      // Shape dims plus the matching offset entry.
+      bytes += static_cast<std::int64_t>((shape.size() + 1) * sizeof(std::int64_t));
+    }
+    report.layout_bytes += bytes;
+  }
+  return report;
 }
 
 TrainedFederation train_federation(fl::ModelFactory factory,
@@ -47,6 +82,12 @@ TrainedFederation train_federation(fl::ModelFactory factory,
         h.updates.back()[static_cast<std::size_t>(client)] = nn::subtract(local, global_before);
       });
   fed.train_seconds = timer.seconds();
+  const auto memory = fed.history.memory_report();
+  QD_LOG_INFO << "FedEraser history: " << memory.states << " flat state(s), "
+              << memory.payload_bytes << " payload bytes sharing " << memory.distinct_layouts
+              << " layout manifest(s) (" << memory.layout_bytes << " bytes); flat representation"
+              << " saves ~" << memory.legacy_overhead_bytes - memory.layout_bytes
+              << " bytes of per-tensor overhead";
   const auto& cost = fed.quickdrop->training_stats().cost;
   if (cost.total_faults() > 0 || cost.lost_rounds > 0) {
     QD_LOG_WARN << "shared training survived faults: " << cost.crashed_clients << " crashes, "

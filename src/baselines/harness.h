@@ -28,6 +28,23 @@ struct EraserHistory {
   /// Storage footprint of the recorded updates (the paper's storage-cost
   /// argument against gradient-calibration methods).
   [[nodiscard]] std::int64_t byte_size() const;
+
+  /// Breakdown of the history's in-memory representation. Recorded states
+  /// are FlatStates: one contiguous buffer each, all sharing layout
+  /// manifests, versus the pre-refactor per-tensor representation that paid
+  /// a Tensor handle + shape vector + refcounted float buffer per parameter
+  /// of every stored state.
+  struct MemoryReport {
+    std::int64_t states = 0;           ///< non-empty stored states
+    std::int64_t payload_bytes = 0;    ///< raw float payloads
+    std::int64_t layout_bytes = 0;     ///< distinct shared layout manifests
+    std::int64_t distinct_layouts = 0;
+    /// Estimated extra bytes the same history cost as vector<Tensor>
+    /// (per-tensor handles, control blocks, and shape storage) — the memory
+    /// the flat representation saves.
+    std::int64_t legacy_overhead_bytes = 0;
+  };
+  [[nodiscard]] MemoryReport memory_report() const;
 };
 
 /// Output of the shared training phase consumed by every UnlearningMethod.

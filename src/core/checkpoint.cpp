@@ -8,7 +8,17 @@
 namespace quickdrop::core {
 namespace {
 
-constexpr std::uint64_t kMagic = 0x51444350'00000003ULL;  // "QDCP" v3
+// "QDCP" + format version. v4 stores the global model as one flat
+// serialized-state blob (nn/state.h format v2: layout hash + shape manifest +
+// contiguous payload); v3 stored it per-tensor and is still loadable — the
+// pre-FlatState golden checkpoint in tests/core/golden/ pins that shim.
+constexpr std::uint64_t kMagicV3 = 0x51444350'00000003ULL;
+constexpr std::uint64_t kMagicV4 = 0x51444350'00000004ULL;
+
+/// Upper bound for a serialized global state inside a checkpoint (floats +
+/// manifest); far above any model this repo trains but finite, so a corrupt
+/// length cannot drive a huge allocation.
+constexpr std::uint64_t kMaxStateBlob = std::uint64_t{1} << 33;
 
 /// FNV-1a over a byte range; the checkpoint's integrity checksum.
 std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
@@ -80,9 +90,9 @@ class Reader {
     pos_ += nbytes;
     return t;
   }
-  std::vector<std::uint8_t> blob() {
+  std::vector<std::uint8_t> blob(std::uint64_t max_size = 1 << 20) {
     const auto size = u64();
-    if (size > 1 << 20 || pos_ + size > bytes_.size()) {
+    if (size > max_size || pos_ + size > bytes_.size()) {
       throw std::invalid_argument("checkpoint: bad blob");
     }
     std::vector<std::uint8_t> b(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
@@ -102,8 +112,7 @@ class Reader {
 Checkpoint make_checkpoint(const nn::ModelState& global,
                            const std::vector<SyntheticStore>& stores) {
   Checkpoint cp;
-  cp.global.reserve(global.size());
-  for (const auto& t : global) cp.global.push_back(t.clone());
+  cp.global = global;  // FlatState copies are deep
   for (const auto& store : stores) {
     Checkpoint::ClientStore client;
     client.num_classes = store.num_classes();
@@ -132,14 +141,13 @@ Checkpoint make_checkpoint(const nn::ModelState& global,
 
 std::vector<std::uint8_t> serialize_checkpoint(const Checkpoint& cp) {
   Writer w;
-  w.u64(kMagic);
+  w.u64(kMagicV4);
   w.u64(cp.metadata.size());
   for (const auto& [key, value] : cp.metadata) {
     w.string(key);
     w.string(value);
   }
-  w.u64(cp.global.size());
-  for (const auto& t : cp.global) w.tensor(t);
+  w.blob(nn::serialize_state(cp.global));
   w.u64(cp.clients.size());
   for (const auto& client : cp.clients) {
     w.u64(static_cast<std::uint64_t>(client.num_classes));
@@ -176,7 +184,10 @@ Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes) {
     throw std::invalid_argument("checkpoint: checksum mismatch (truncated or corrupted)");
   }
   Reader r(payload);
-  if (r.u64() != kMagic) throw std::invalid_argument("checkpoint: bad magic/version");
+  const auto magic = r.u64();
+  if (magic != kMagicV4 && magic != kMagicV3) {
+    throw std::invalid_argument("checkpoint: bad magic/version");
+  }
   Checkpoint cp;
   const auto metadata_count = r.u64();
   if (metadata_count > 1 << 16) throw std::invalid_argument("checkpoint: bad metadata count");
@@ -184,8 +195,18 @@ Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes) {
     const auto key = r.string();
     cp.metadata[key] = r.string();
   }
-  const auto params = r.u64();
-  for (std::uint64_t i = 0; i < params; ++i) cp.global.push_back(r.tensor());
+  if (magic == kMagicV4) {
+    cp.global = nn::deserialize_state(r.blob(kMaxStateBlob));
+  } else {
+    // v3 shim: the global was stored per-tensor; repack into a flat state.
+    const auto params = r.u64();
+    if (params > 1 << 20) throw std::invalid_argument("checkpoint: bad parameter count");
+    // NOLINTNEXTLINE(qdlint-api-flatstate): transient list for the legacy format only
+    std::vector<Tensor> tensors;
+    tensors.reserve(params);
+    for (std::uint64_t i = 0; i < params; ++i) tensors.push_back(r.tensor());
+    if (!tensors.empty()) cp.global = nn::FlatState::from_tensors(tensors);
+  }
   const auto clients = r.u64();
   for (std::uint64_t i = 0; i < clients; ++i) {
     Checkpoint::ClientStore client;

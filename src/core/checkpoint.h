@@ -4,7 +4,9 @@
 // synthetic stores generated during training must survive until unlearning
 // requests arrive, possibly across process restarts. A checkpoint bundles the
 // global model state and every client's synthetic + augmentation data in one
-// versioned binary blob.
+// versioned binary blob. Current format: v4 (flat global state, see
+// DESIGN.md §11); v3 checkpoints written before the FlatState refactor load
+// through a compatibility shim.
 #pragma once
 
 #include <map>
@@ -40,8 +42,9 @@ struct Checkpoint {
   struct ClientStore {
     int num_classes = 0;
     Shape image_shape;
-    std::vector<Tensor> synthetic;     // indexed by class; numel 0 == absent
-    std::vector<Tensor> augmentation;  // same indexing
+    // Synthetic image tensors, not model states. NOLINTNEXTLINE(qdlint-api-flatstate)
+    std::vector<Tensor> synthetic;  // indexed by class; numel 0 == absent
+    std::vector<Tensor> augmentation;  // same indexing NOLINT(qdlint-api-flatstate)
   };
   std::vector<ClientStore> clients;
   /// Present while a phase is mid-flight (partial checkpoint written by the

@@ -27,6 +27,7 @@ Shape group_shape(const Shape& s) {
 }  // namespace
 
 ag::Var matching_distance(const std::vector<ag::Var>& grad_synth,
+                          // NOLINTNEXTLINE(qdlint-api-flatstate): gradient list, not a model state
                           const std::vector<Tensor>& grad_real) {
   if (grad_synth.size() != grad_real.size() || grad_synth.empty()) {
     throw std::invalid_argument("matching_distance: gradient list mismatch");
@@ -68,6 +69,7 @@ ag::Var matching_distance(const std::vector<ag::Var>& grad_synth,
 }
 
 float match_synthetic_to_gradient(nn::Module& model, Tensor& synthetic, int label,
+                                  // NOLINTNEXTLINE(qdlint-api-flatstate): gradient list
                                   const std::vector<Tensor>& grad_real,
                                   const DistillConfig& config, fl::CostMeter& cost) {
   const auto params = model.parameters();
@@ -118,7 +120,8 @@ void DistillingLocalUpdate::run(nn::Module& model, const data::Dataset& dataset,
     std::map<int, std::vector<int>> by_class;
     for (const int r : rows) by_class[dataset.label(r)].push_back(r);
 
-    nn::ModelState model_grad;
+    // Per-parameter gradient list (not a model state): feeds Sgd::step_tensors.
+    std::vector<Tensor> model_grad;  // NOLINT(qdlint-api-flatstate)
     bool first = true;
     for (const auto& [label, class_rows] : by_class) {
       auto [images, labels] = dataset.batch(class_rows);
@@ -128,6 +131,7 @@ void DistillingLocalUpdate::run(nn::Module& model, const data::Dataset& dataset,
       // Accumulate (n_c / n) * g_c, which equals the mixed-batch gradient.
       const float weight =
           static_cast<float>(class_rows.size()) / static_cast<float>(rows.size());
+      // NOLINTNEXTLINE(qdlint-api-flatstate): gradient list feeding match_synthetic_to_gradient
       std::vector<Tensor> grad_tensors;
       grad_tensors.reserve(grads.size());
       for (std::size_t i = 0; i < grads.size(); ++i) {

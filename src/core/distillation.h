@@ -29,6 +29,7 @@ struct DistillConfig {
 /// whole vector for biases) and the per-group cosine distances are summed.
 /// `grad_synth` carries graph; `grad_real` is treated as constant.
 ag::Var matching_distance(const std::vector<ag::Var>& grad_synth,
+                          // NOLINTNEXTLINE(qdlint-api-flatstate): gradient list
                           const std::vector<Tensor>& grad_real);
 
 /// One client's local update that trains the model AND distills its
@@ -63,6 +64,7 @@ class DistillingLocalUpdate final : public fl::ClientUpdate {
 /// Returns the final matching distance. Used by both the in-situ distiller
 /// and the fine-tuner.
 float match_synthetic_to_gradient(nn::Module& model, Tensor& synthetic, int label,
+                                  // NOLINTNEXTLINE(qdlint-api-flatstate): gradient list
                                   const std::vector<Tensor>& grad_real,
                                   const DistillConfig& config, fl::CostMeter& cost);
 

@@ -27,6 +27,7 @@ void finetune_store(const fl::ModelFactory& factory, SyntheticStore& store,
         const ag::Var loss = ag::cross_entropy(model->forward_tensor(images), labels);
         const auto grads = ag::grad(loss, std::span<const ag::Var>(params));
         cost.add_training(static_cast<std::int64_t>(batch_rows.size()));
+        // NOLINTNEXTLINE(qdlint-api-flatstate): gradient list feeding match_synthetic_to_gradient
         std::vector<Tensor> grad_tensors;
         grad_tensors.reserve(grads.size());
         for (const auto& g : grads) grad_tensors.push_back(g.value());

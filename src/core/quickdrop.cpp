@@ -81,10 +81,7 @@ void QuickDrop::load_stores(std::vector<SyntheticStore> stores) {
 }
 
 nn::ModelState QuickDrop::initial_state() const {
-  nn::ModelState copy;
-  copy.reserve(initial_state_.size());
-  for (const auto& t : initial_state_) copy.push_back(t.clone());
-  return copy;
+  return initial_state_;  // FlatState copies are deep
 }
 
 std::vector<data::Dataset> QuickDrop::forget_datasets(const UnlearningRequest& request) const {

@@ -117,6 +117,13 @@ class QuickDrop {
   /// The (random-initialization) state FL training started from.
   [[nodiscard]] nn::ModelState initial_state() const;
 
+  /// Shape manifest of the coordinator's model. States fed back into this
+  /// coordinator (serve layer, checkpoints) must carry a layout with the
+  /// same hash.
+  [[nodiscard]] const std::shared_ptr<const nn::StateLayout>& state_layout() const {
+    return initial_state_.layout();
+  }
+
   /// Steps 3-4: serves an unlearning request via SGA on S_f followed by
   /// recovery on the augmented S \ S_f. Marks the target as forgotten.
   /// Equivalent to unlearn_batch() with a one-request batch.

@@ -133,7 +133,8 @@ void SubsetDistillingUpdate::run(nn::Module& model, const data::Dataset& dataset
     std::map<int, std::vector<int>> by_cell;
     for (const int r : rows) by_cell[store.cell_of_row(r)].push_back(r);
 
-    nn::ModelState model_grad;
+    // Per-parameter gradient list (not a model state): feeds Sgd::step_tensors.
+    std::vector<Tensor> model_grad;  // NOLINT(qdlint-api-flatstate)
     bool first = true;
     for (const auto& [cell, cell_rows] : by_cell) {
       auto [images, labels] = dataset.batch(cell_rows);
@@ -141,6 +142,7 @@ void SubsetDistillingUpdate::run(nn::Module& model, const data::Dataset& dataset
       const auto grads = ag::grad(loss, std::span<const ag::Var>(params));
       cost.add_training(static_cast<std::int64_t>(cell_rows.size()));
       const float weight = static_cast<float>(cell_rows.size()) / static_cast<float>(rows.size());
+      // NOLINTNEXTLINE(qdlint-api-flatstate): gradient list feeding match_synthetic_to_gradient
       std::vector<Tensor> grad_tensors;
       grad_tensors.reserve(grads.size());
       for (std::size_t i = 0; i < grads.size(); ++i) {

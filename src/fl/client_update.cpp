@@ -45,6 +45,7 @@ void FedProxLocalUpdate::run(nn::Module& model, const data::Dataset& dataset, in
   if (dataset.empty()) return;
   const auto params = model.parameters();
   // Anchor: the global state the client started this round from.
+  // NOLINTNEXTLINE(qdlint-api-flatstate): per-parameter proximal anchor for the FedProx term
   std::vector<Tensor> anchor;
   anchor.reserve(params.size());
   for (const auto& p : params) anchor.push_back(p.value().clone());
@@ -59,6 +60,7 @@ void FedProxLocalUpdate::run(nn::Module& model, const data::Dataset& dataset, in
     const auto grads = ag::grad(loss, std::span<const ag::Var>(params));
     cost.add_training(static_cast<std::int64_t>(labels.size()));
     // g + mu * (w - w_global), applied as one descent step.
+    // NOLINTNEXTLINE(qdlint-api-flatstate): adjusted gradient list for Sgd::step_tensors
     std::vector<Tensor> adjusted;
     adjusted.reserve(grads.size());
     for (std::size_t i = 0; i < grads.size(); ++i) {

@@ -93,12 +93,12 @@ void apply_corruption(FaultKind kind, nn::ModelState& upload, const nn::ModelSta
       const float poison = kind == FaultKind::kCorruptNan
                                ? std::numeric_limits<float>::quiet_NaN()
                                : std::numeric_limits<float>::infinity();
-      // Damage a handful of entries in a random parameter tensor — a realistic
-      // partial corruption, not a wall of NaNs.
+      // Damage a handful of entries in a random parameter's slice of the
+      // flat buffer — a realistic partial corruption, not a wall of NaNs.
       if (upload.empty()) return;
-      auto& t = upload[static_cast<std::size_t>(
-          rng.uniform_u64(static_cast<std::uint64_t>(upload.size())))];
-      const auto data = t.data();
+      const auto p = static_cast<std::size_t>(
+          rng.uniform_u64(static_cast<std::uint64_t>(upload.size())));
+      const auto data = upload.param(p);
       const std::int64_t n = static_cast<std::int64_t>(data.size());
       if (n == 0) return;
       const int hits = 1 + static_cast<int>(rng.uniform_u64(3));
@@ -109,13 +109,11 @@ void apply_corruption(FaultKind kind, nn::ModelState& upload, const nn::ModelSta
     }
     case FaultKind::kExplodedNorm: {
       const float factor = 1e6f * (1.0f + rng.uniform());
-      for (auto& t : upload) t.scale_(factor);
+      nn::scale(upload, factor);
       return;
     }
     case FaultKind::kStaleUpdate: {
-      upload.clear();
-      upload.reserve(round_start.size());
-      for (const auto& t : round_start) upload.push_back(t.clone());
+      upload = round_start;  // FlatState copies are deep
       return;
     }
   }

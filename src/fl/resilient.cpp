@@ -65,10 +65,17 @@ nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
     if (!client_data[i].empty()) eligible.push_back(static_cast<int>(i));
   }
   if (eligible.empty()) throw std::invalid_argument("run_resilient: no client has data");
+  if (global.empty()) throw std::invalid_argument("run_resilient: empty global state");
 
   // Per-worker scratch models for the concurrent client phase, built lazily
   // (serially, on this thread) and reused across rounds.
   std::vector<std::unique_ptr<nn::Module>> worker_models;
+
+  // One layout shared by the global and every client upload: snapshots reuse
+  // it instead of re-deriving a manifest per client per round, and the
+  // aggregation kernels hit the pointer-equality fast path when they check
+  // compatibility.
+  const auto layout = global.layout();
 
   for (int round = config.start_round; round < config.rounds; ++round) {
     for (int attempt = 0; attempt < config.defense.max_round_attempts; ++attempt) {
@@ -114,7 +121,8 @@ nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
                                    static_cast<std::uint64_t>(c));
         update.run(client_model, client_data[static_cast<std::size_t>(c)], round, c, client_rng,
                    ccost);
-        nn::ModelState state = nn::state_of(client_model);
+        nn::ModelState state{layout};
+        nn::snapshot_into(client_model, state);
         if (fault == FaultKind::kStraggler) {
           // Compute was spent and the model was downloaded, but the upload
           // missed the simulated round deadline.
@@ -166,7 +174,9 @@ nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
       }
 
       // Server phase: validate deliveries before they touch the aggregate.
-      for (auto& d : delivered) d.update_norm = nn::l2_norm(nn::subtract(d.state, global));
+      // l2_distance walks both flat buffers directly — no difference state is
+      // materialized per upload.
+      for (auto& d : delivered) d.update_norm = nn::l2_distance(d.state, global);
       const double median_norm = finite_median_norm(delivered);
       std::vector<Delivery> accepted;
       accepted.reserve(delivered.size());

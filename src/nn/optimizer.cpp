@@ -13,12 +13,14 @@ Sgd::Sgd(std::vector<ag::Var> parameters, float learning_rate, float momentum)
 }
 
 void Sgd::step(const std::vector<ag::Var>& gradients, UpdateDirection direction) {
+  // NOLINTNEXTLINE(qdlint-api-flatstate): gradient list, not a model state
   std::vector<Tensor> tensors;
   tensors.reserve(gradients.size());
   for (const auto& g : gradients) tensors.push_back(g.value());
   step_tensors(tensors, direction);
 }
 
+// NOLINTNEXTLINE(qdlint-api-flatstate): gradient list, not a model state
 void Sgd::step_tensors(const std::vector<Tensor>& gradients, UpdateDirection direction) {
   if (gradients.size() != parameters_.size()) {
     throw std::invalid_argument("Sgd: gradient count mismatch");

@@ -24,6 +24,7 @@ class Sgd {
             UpdateDirection direction = UpdateDirection::kDescent);
 
   /// Same, with raw tensors.
+  // NOLINTNEXTLINE(qdlint-api-flatstate): gradient list, not a model state
   void step_tensors(const std::vector<Tensor>& gradients,
                     UpdateDirection direction = UpdateDirection::kDescent);
 
@@ -35,6 +36,7 @@ class Sgd {
   std::vector<ag::Var> parameters_;
   float learning_rate_;
   float momentum_;
+  // Per-parameter momentum buffers, not a model state. NOLINTNEXTLINE(qdlint-api-flatstate)
   std::vector<Tensor> velocity_;  // lazily initialized on first step
 };
 

@@ -1,89 +1,309 @@
 #include "nn/state.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <stdexcept>
+#include <functional>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace quickdrop::nn {
+namespace {
+
+// Fixed reduction block: block boundaries depend only on the element count —
+// never on the pool size — and per-block partials are combined serially in
+// block order, so reductions are bitwise-identical at any --threads.
+constexpr std::int64_t kReductionBlock = 1 << 14;
+
+// Hardening caps for deserialize_state. Generous (a state of 2^31 floats is
+// 8 GiB) but finite, so a corrupted length field cannot drive a near-infinite
+// allocation before the payload check fires.
+constexpr std::uint64_t kMaxParams = 1u << 20;
+constexpr std::uint64_t kMaxRank = 16;
+constexpr std::int64_t kMaxTotalNumel = std::int64_t{1} << 31;
+
+// Serialized-state format v2: magic ("QDFS" + version), layout hash, shape
+// manifest, one contiguous float payload. v1 (the pre-FlatState stream:
+// count, then per-tensor rank/dims/floats) is still accepted on read.
+constexpr std::uint64_t kStateMagicV2 = 0x5144'4653'0000'0002ULL;  // "QDFS" v2
+
+std::uint64_t fnv1a_begin() { return 0xcbf29ce484222325ULL; }
+
+void fnv1a_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+std::uint64_t hash_shapes(const std::vector<Shape>& shapes) {
+  std::uint64_t h = fnv1a_begin();
+  fnv1a_u64(h, shapes.size());
+  for (const auto& shape : shapes) {
+    fnv1a_u64(h, shape.size());
+    for (const auto d : shape) fnv1a_u64(h, static_cast<std::uint64_t>(d));
+  }
+  return h;
+}
+
+void check_compatible(const FlatState& a, const FlatState& b, const char* context) {
+  if (a.layout() == b.layout()) return;  // same manifest (or both empty)
+  if (a.layout() && b.layout() && a.layout()->hash() == b.layout()->hash()) return;
+  throw StateError(std::string(context) + ": state layout mismatch");
+}
+
+/// Sum of squares over a fixed-block partition, combined in block order.
+double block_sum_squares(std::int64_t n, const std::function<double(std::int64_t, std::int64_t)>& block_fn) {
+  if (n == 0) return 0.0;
+  const std::int64_t num_blocks = (n + kReductionBlock - 1) / kReductionBlock;
+  std::vector<double> partials(static_cast<std::size_t>(num_blocks), 0.0);
+  ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint partials[lo,hi) slice)
+      0, num_blocks, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t b = lo; b < hi; ++b) {
+          const std::int64_t begin = b * kReductionBlock;
+          const std::int64_t end = std::min(n, begin + kReductionBlock);
+          partials[static_cast<std::size_t>(b)] = block_fn(begin, end);
+        }
+      });
+  double acc = 0.0;
+  for (const double p : partials) acc += p;
+  return acc;
+}
+
+}  // namespace
+
+StateLayout::StateLayout(std::vector<Shape> shapes) : shapes_(std::move(shapes)) {
+  offsets_.reserve(shapes_.size() + 1);
+  offsets_.push_back(0);
+  for (const auto& shape : shapes_) {
+    offsets_.push_back(offsets_.back() + quickdrop::numel(shape));
+  }
+  hash_ = hash_shapes(shapes_);
+}
+
+std::shared_ptr<const StateLayout> StateLayout::of(Module& module) {
+  std::vector<Shape> shapes;
+  for (const auto& p : module.parameters()) shapes.push_back(p.value().shape());
+  return of_shapes(std::move(shapes));
+}
+
+std::shared_ptr<const StateLayout> StateLayout::of_shapes(std::vector<Shape> shapes) {
+  return std::shared_ptr<const StateLayout>(new StateLayout(std::move(shapes)));
+}
+
+FlatState::FlatState(std::shared_ptr<const StateLayout> layout) : layout_(std::move(layout)) {
+  if (!layout_) throw StateError("FlatState: null layout");
+  data_.assign(static_cast<std::size_t>(layout_->total()), 0.0f);
+}
+
+FlatState::FlatState(std::shared_ptr<const StateLayout> layout, std::vector<float> values)
+    : layout_(std::move(layout)), data_(std::move(values)) {
+  if (!layout_) throw StateError("FlatState: null layout");
+  if (static_cast<std::int64_t>(data_.size()) != layout_->total()) {
+    throw StateError("FlatState: payload size does not match layout");
+  }
+}
+
+FlatState FlatState::from_tensors(std::span<const Tensor> tensors) {
+  std::vector<Shape> shapes;
+  shapes.reserve(tensors.size());
+  std::size_t total = 0;
+  for (const auto& t : tensors) {
+    shapes.push_back(t.shape());
+    total += static_cast<std::size_t>(t.numel());
+  }
+  std::vector<float> values;
+  values.reserve(total);
+  for (const auto& t : tensors) {
+    const auto d = t.data();
+    values.insert(values.end(), d.begin(), d.end());
+  }
+  return {StateLayout::of_shapes(std::move(shapes)), std::move(values)};
+}
+
+Tensor FlatState::tensor(std::size_t i) const {
+  Tensor t(layout_->shape(i));
+  const auto src = param(i);
+  std::memcpy(t.data().data(), src.data(), src.size() * sizeof(float));
+  return t;
+}
 
 ModelState state_of(Module& module) {
-  ModelState state;
-  for (const auto& p : module.parameters()) state.push_back(p.value().clone());
+  ModelState state{StateLayout::of(module)};
+  snapshot_into(module, state);
   return state;
+}
+
+void snapshot_into(Module& module, ModelState& state) {
+  auto params = module.parameters();
+  if (state.empty() || params.size() != state.size()) {
+    throw StateError("snapshot_into: state layout does not match module");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto src = params[i].value().data();
+    auto dst = state.param(i);
+    if (src.size() != dst.size() ||
+        params[i].value().shape() != state.layout()->shape(i)) {
+      throw StateError("snapshot_into: parameter shape mismatch");
+    }
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+  }
 }
 
 void load_state(Module& module, const ModelState& state) {
   auto params = module.parameters();
   if (params.size() != state.size()) {
-    throw std::invalid_argument("load_state: parameter count mismatch");
+    throw StateError("load_state: parameter count mismatch");
   }
   for (std::size_t i = 0; i < params.size(); ++i) {
-    params[i].mutable_value().copy_from(state[i]);
+    auto dst = params[i].mutable_value().data();
+    const auto src = state.param(i);
+    if (src.size() != dst.size() ||
+        params[i].value().shape() != state.layout()->shape(i)) {
+      throw StateError("load_state: parameter shape mismatch");
+    }
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
   }
 }
 
 ModelState zeros_like(const ModelState& state) {
-  ModelState out;
-  out.reserve(state.size());
-  for (const auto& t : state) out.push_back(Tensor::zeros(t.shape()));
-  return out;
+  if (state.empty()) return {};
+  return ModelState{state.layout()};
 }
 
 void axpy(ModelState& y, const ModelState& x, float a) {
-  if (y.size() != x.size()) throw std::invalid_argument("axpy: state size mismatch");
-  for (std::size_t i = 0; i < y.size(); ++i) y[i].add_(x[i], a);
+  check_compatible(y, x, "axpy");
+  auto yd = y.data();
+  const auto xd = x.data();
+  ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint yd[lo,hi) slice)
+      0, y.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          yd[u] += a * xd[u];
+        }
+      });
 }
 
 void scale(ModelState& state, float factor) {
-  for (auto& t : state) t.scale_(factor);
+  auto d = state.data();
+  ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint d[lo,hi) slice)
+      0, state.numel(), grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) d[static_cast<std::size_t>(i)] *= factor;
+      });
 }
 
 ModelState subtract(const ModelState& a, const ModelState& b) {
-  if (a.size() != b.size()) throw std::invalid_argument("subtract: state size mismatch");
-  ModelState out;
-  out.reserve(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    Tensor t = a[i].clone();
-    t.add_(b[i], -1.0f);
-    out.push_back(std::move(t));
-  }
+  check_compatible(a, b, "subtract");
+  if (a.empty()) return {};
+  ModelState out{a.layout()};
+  const auto ad = a.data(), bd = b.data();
+  auto od = out.data();
+  ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
+      0, out.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          od[u] = ad[u] - bd[u];
+        }
+      });
   return out;
 }
 
 double l2_norm(const ModelState& state) {
-  double acc = 0.0;
-  for (const auto& t : state) {
-    for (const float v : t.data()) acc += static_cast<double>(v) * v;
-  }
-  return std::sqrt(acc);
+  const auto d = state.data();
+  return std::sqrt(block_sum_squares(state.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    double acc = 0.0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const double v = d[static_cast<std::size_t>(i)];
+      acc += v * v;
+    }
+    return acc;
+  }));
+}
+
+double l2_distance(const ModelState& a, const ModelState& b) {
+  check_compatible(a, b, "l2_distance");
+  const auto ad = a.data(), bd = b.data();
+  return std::sqrt(block_sum_squares(a.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    double acc = 0.0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      // Same per-element expression as l2_norm over subtract(a, b): the
+      // float difference is formed first, then widened.
+      const double v = static_cast<float>(ad[u] - bd[u]);
+      acc += v * v;
+    }
+    return acc;
+  }));
 }
 
 bool all_finite(const ModelState& state) {
-  for (const auto& t : state) {
-    for (const float v : t.data()) {
-      if (!std::isfinite(v)) return false;
-    }
+  const auto d = state.data();
+  const std::int64_t n = state.numel();
+  if (n == 0) return true;
+  const std::int64_t num_blocks = (n + kReductionBlock - 1) / kReductionBlock;
+  std::vector<std::uint8_t> finite(static_cast<std::size_t>(num_blocks), 1);
+  ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint finite[lo,hi) slice)
+      0, num_blocks, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t b = lo; b < hi; ++b) {
+          const std::int64_t begin = b * kReductionBlock;
+          const std::int64_t end = std::min(n, begin + kReductionBlock);
+          for (std::int64_t i = begin; i < end; ++i) {
+            if (!std::isfinite(d[static_cast<std::size_t>(i)])) {
+              finite[static_cast<std::size_t>(b)] = 0;
+              break;
+            }
+          }
+        }
+      });
+  for (const auto f : finite) {
+    if (!f) return false;
   }
   return true;
 }
 
 ModelState weighted_average(std::span<const ModelState> states, std::span<const float> weights) {
   if (states.empty() || states.size() != weights.size()) {
-    throw std::invalid_argument("weighted_average: need one weight per state");
+    throw StateError("weighted_average: need one weight per state");
   }
-  ModelState out = zeros_like(states[0]);
-  for (std::size_t i = 0; i < states.size(); ++i) axpy(out, states[i], weights[i]);
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    check_compatible(states[0], states[i], "weighted_average");
+  }
+  if (states[0].empty()) return {};
+  ModelState out{states[0].layout()};
+  const std::size_t k = states.size();
+  std::vector<const float*> src(k);
+  for (std::size_t i = 0; i < k; ++i) src[i] = states[i].data().data();
+  auto od = out.data();
+  ThreadPool::global().parallel_for(
+      0, out.numel(), grain_for(static_cast<std::int64_t>(2 * k)),
+      // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t j = lo; j < hi; ++j) {
+          const auto u = static_cast<std::size_t>(j);
+          // Double accumulation over the clients in index order: the order is
+          // fixed and independent of the chunk cut, so the result is bitwise
+          // identical at any thread count, and small-weight clients keep
+          // their low-order bits.
+          double acc = 0.0;
+          for (std::size_t i = 0; i < k; ++i) {
+            acc += static_cast<double>(weights[i]) * static_cast<double>(src[i][u]);
+          }
+          od[u] = static_cast<float>(acc);
+        }
+      });
   return out;
 }
 
-std::int64_t state_numel(const ModelState& state) {
-  std::int64_t n = 0;
-  for (const auto& t : state) n += t.numel();
-  return n;
-}
+std::int64_t state_numel(const ModelState& state) { return state.numel(); }
 
 std::int64_t state_bytes(const ModelState& state) {
-  return state_numel(state) * static_cast<std::int64_t>(sizeof(float));
+  return state.numel() * static_cast<std::int64_t>(sizeof(float));
 }
 
 std::vector<std::uint8_t> serialize_state(const ModelState& state) {
@@ -91,42 +311,156 @@ std::vector<std::uint8_t> serialize_state(const ModelState& state) {
   auto put_u64 = [&](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
   };
-  put_u64(state.size());
-  for (const auto& t : state) {
-    put_u64(t.shape().size());
-    for (const auto d : t.shape()) put_u64(static_cast<std::uint64_t>(d));
-    const auto data = t.data();
-    const auto offset = bytes.size();
-    bytes.resize(offset + data.size() * sizeof(float));
-    std::memcpy(bytes.data() + offset, data.data(), data.size() * sizeof(float));
+  put_u64(kStateMagicV2);
+  if (state.empty()) {
+    put_u64(hash_shapes({}));
+    put_u64(0);  // parameter count
+    put_u64(0);  // total numel
+    return bytes;
   }
+  const auto& layout = *state.layout();
+  put_u64(layout.hash());
+  put_u64(layout.size());
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    const auto& shape = layout.shape(i);
+    put_u64(shape.size());
+    for (const auto d : shape) put_u64(static_cast<std::uint64_t>(d));
+  }
+  put_u64(static_cast<std::uint64_t>(layout.total()));
+  const auto data = state.data();
+  const auto offset = bytes.size();
+  bytes.resize(offset + data.size() * sizeof(float));
+  std::memcpy(bytes.data() + offset, data.data(), data.size() * sizeof(float));
   return bytes;
 }
 
-ModelState deserialize_state(std::span<const std::uint8_t> bytes) {
+namespace {
+
+/// Cursor over a little-endian byte stream with typed failures.
+struct ByteReader {
+  std::span<const std::uint8_t> bytes;
   std::size_t pos = 0;
-  auto get_u64 = [&]() -> std::uint64_t {
-    if (pos + 8 > bytes.size()) throw std::invalid_argument("deserialize_state: truncated");
+
+  std::uint64_t u64(const char* what) {
+    if (pos + 8 > bytes.size()) {
+      throw StateError(std::string("deserialize_state: truncated reading ") + what);
+    }
     std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    }
     pos += 8;
     return v;
-  };
-  ModelState state;
-  const auto count = get_u64();
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const auto rank = get_u64();
-    Shape shape(rank);
-    for (auto& d : shape) d = static_cast<std::int64_t>(get_u64());
-    Tensor t(shape);
-    const auto nbytes = static_cast<std::size_t>(t.numel()) * sizeof(float);
-    if (pos + nbytes > bytes.size()) throw std::invalid_argument("deserialize_state: truncated");
-    std::memcpy(t.data().data(), bytes.data() + pos, nbytes);
-    pos += nbytes;
-    state.push_back(std::move(t));
   }
-  if (pos != bytes.size()) throw std::invalid_argument("deserialize_state: trailing bytes");
-  return state;
+
+  Shape shape() {
+    const auto rank = u64("rank");
+    if (rank > kMaxRank) throw StateError("deserialize_state: rank exceeds limit");
+    Shape s(rank);
+    for (auto& d : s) {
+      const auto v = u64("dim");
+      if (v > static_cast<std::uint64_t>(kMaxTotalNumel)) {
+        throw StateError("deserialize_state: dimension exceeds limit");
+      }
+      d = static_cast<std::int64_t>(v);
+    }
+    return s;
+  }
+};
+
+std::int64_t checked_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const auto d : shape) {
+    if (d < 0) throw StateError("deserialize_state: negative dimension");
+    if (d > 0 && n > kMaxTotalNumel / d) {
+      throw StateError("deserialize_state: state size overflows limit");
+    }
+    n *= d;
+  }
+  return n;
+}
+
+ModelState read_payload(ByteReader& r, std::vector<Shape> shapes, std::int64_t total) {
+  std::vector<float> values(static_cast<std::size_t>(total));
+  const std::size_t nbytes = values.size() * sizeof(float);
+  if (r.pos + nbytes > r.bytes.size()) {
+    throw StateError("deserialize_state: truncated payload");
+  }
+  std::memcpy(values.data(), r.bytes.data() + r.pos, nbytes);
+  r.pos += nbytes;
+  if (r.pos != r.bytes.size()) throw StateError("deserialize_state: trailing bytes");
+  return {StateLayout::of_shapes(std::move(shapes)), std::move(values)};
+}
+
+ModelState deserialize_v2(ByteReader& r) {
+  const auto stored_hash = r.u64("layout hash");
+  const auto count = r.u64("parameter count");
+  if (count > kMaxParams) throw StateError("deserialize_state: parameter count exceeds limit");
+  std::vector<Shape> shapes;
+  shapes.reserve(count);
+  std::int64_t total = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    shapes.push_back(r.shape());
+    const auto n = checked_numel(shapes.back());
+    if (total > kMaxTotalNumel - n) {
+      throw StateError("deserialize_state: state size overflows limit");
+    }
+    total += n;
+  }
+  const auto declared_total = r.u64("total numel");
+  if (declared_total != static_cast<std::uint64_t>(total)) {
+    throw StateError("deserialize_state: total numel does not match manifest");
+  }
+  if (stored_hash != hash_shapes(shapes)) {
+    throw StateError("deserialize_state: layout hash mismatch");
+  }
+  if (count == 0) {
+    if (r.pos != r.bytes.size()) throw StateError("deserialize_state: trailing bytes");
+    return {};
+  }
+  return read_payload(r, std::move(shapes), total);
+}
+
+/// Pre-FlatState stream: count, then per-tensor (rank, dims..., floats).
+ModelState deserialize_v1(ByteReader& r) {
+  const auto count = r.u64("parameter count");
+  if (count > kMaxParams) throw StateError("deserialize_state: parameter count exceeds limit");
+  std::vector<Shape> shapes;
+  std::vector<float> values;
+  std::int64_t total = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    shapes.push_back(r.shape());
+    const auto n = checked_numel(shapes.back());
+    if (total > kMaxTotalNumel - n) {
+      throw StateError("deserialize_state: state size overflows limit");
+    }
+    total += n;
+    const std::size_t nbytes = static_cast<std::size_t>(n) * sizeof(float);
+    if (r.pos + nbytes > r.bytes.size()) {
+      throw StateError("deserialize_state: truncated payload");
+    }
+    const std::size_t old = values.size();
+    values.resize(old + static_cast<std::size_t>(n));
+    std::memcpy(values.data() + old, r.bytes.data() + r.pos, nbytes);
+    r.pos += nbytes;
+  }
+  if (r.pos != r.bytes.size()) throw StateError("deserialize_state: trailing bytes");
+  if (count == 0) return {};
+  return {StateLayout::of_shapes(std::move(shapes)), std::move(values)};
+}
+
+}  // namespace
+
+ModelState deserialize_state(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  if (bytes.size() >= 8) {
+    ByteReader peek{bytes};
+    if (peek.u64("magic") == kStateMagicV2) {
+      r.pos = 8;
+      return deserialize_v2(r);
+    }
+  }
+  return deserialize_v1(r);
 }
 
 }  // namespace quickdrop::nn

@@ -15,6 +15,14 @@ UnlearningService::UnlearningService(std::shared_ptr<core::QuickDrop> quickdrop,
       scheduler_(config_.policy, config_.max_batch),
       executor_(quickdrop_, config_.cost_model) {
   if (!quickdrop_) throw std::invalid_argument("UnlearningService: null coordinator");
+  // Layout-hash compatibility gate: a state restored from the wrong
+  // checkpoint (different net width/depth) must fail here, not as a shape
+  // error mid-request.
+  if (state_.empty() || !quickdrop_->state_layout() ||
+      state_.layout()->hash() != quickdrop_->state_layout()->hash()) {
+    throw std::invalid_argument(
+        "UnlearningService: initial state layout does not match the coordinator's model");
+  }
 }
 
 ValidationContext UnlearningService::validation_context() const {

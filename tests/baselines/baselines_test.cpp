@@ -171,7 +171,7 @@ TEST(FuMpTest, PruningZerosChannels) {
   const auto out = fump.unlearn(w.fed, core::UnlearningRequest::for_class(1));
   // The after_unlearn state must contain at least one all-zero conv filter
   // row in the last conv layer (the first parameter tensor here, depth 1).
-  const Tensor& weight = out.after_unlearn[0];  // conv weight [F, C*k*k]
+  const Tensor weight = out.after_unlearn.tensor(0);  // conv weight [F, C*k*k]
   int zero_rows = 0;
   const std::int64_t rows = weight.dim(0), cols = weight.dim(1);
   for (std::int64_t r = 0; r < rows; ++r) {

@@ -83,10 +83,10 @@ TEST(CheckpointTest, SerializeRoundTrip) {
   const auto bytes = serialize_checkpoint(cp);
   const auto back = deserialize_checkpoint(bytes);
   ASSERT_EQ(back.global.size(), f.global.size());
-  for (std::size_t i = 0; i < f.global.size(); ++i) {
-    for (std::int64_t j = 0; j < f.global[i].numel(); ++j) {
-      EXPECT_FLOAT_EQ(back.global[i].at(j), f.global[i].at(j));
-    }
+  ASSERT_EQ(back.global.numel(), f.global.numel());
+  EXPECT_EQ(back.global.layout()->hash(), f.global.layout()->hash());
+  for (std::int64_t j = 0; j < f.global.numel(); ++j) {
+    EXPECT_FLOAT_EQ(back.global.at(j), f.global.at(j));
   }
   const auto stores = restore_stores(back);
   ASSERT_EQ(stores.size(), 2u);
@@ -388,10 +388,9 @@ TEST(CheckpointTest, ResumedTrainingMatchesUninterruptedRun) {
   const auto final_resumed = resumed.train({}, {}, {}, &resume);
 
   ASSERT_EQ(final_resumed.size(), final_full.size());
-  for (std::size_t i = 0; i < final_full.size(); ++i) {
-    for (std::int64_t j = 0; j < final_full[i].numel(); ++j) {
-      ASSERT_EQ(final_resumed[i].at(j), final_full[i].at(j)) << "tensor " << i << " entry " << j;
-    }
+  ASSERT_EQ(final_resumed.numel(), final_full.numel());
+  for (std::int64_t j = 0; j < final_full.numel(); ++j) {
+    ASSERT_EQ(final_resumed.at(j), final_full.at(j)) << "flat entry " << j;
   }
   // In-situ distillation state must line up too, or later unlearning
   // requests would diverge after a resume.

@@ -1,0 +1,106 @@
+// Checkpoint compatibility gate: the committed pre-FlatState golden
+// checkpoint (format v3, per-tensor global state) must keep loading through
+// the v3 shim and evaluating bitwise-identically to the metrics recorded at
+// generation time. QD_GOLDEN_CHECKPOINT is injected by CMake; the file is
+// regenerated ONLY when intentionally re-baselining, via
+// tools/golden_checkpoint_gen (whose deployment config this test mirrors —
+// keep the two in sync).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "data/synthetic.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+#include "nn/state.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quickdrop;
+
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string metadata_at(const core::Checkpoint& cp, const std::string& key) {
+  const auto it = cp.metadata.find(key);
+  EXPECT_NE(it, cp.metadata.end()) << "golden checkpoint lacks metadata key " << key;
+  return it == cp.metadata.end() ? std::string() : it->second;
+}
+
+TEST(GoldenCheckpoint, V3FileLoadsAndEvaluatesBitwiseIdentically) {
+  const core::Checkpoint cp = core::load_checkpoint(QD_GOLDEN_CHECKPOINT);
+
+  ASSERT_EQ(metadata_at(cp, "golden.format"), "v3");
+  ASSERT_FALSE(cp.global.empty());
+  ASSERT_TRUE(cp.global.layout() != nullptr);
+  EXPECT_TRUE(nn::all_finite(cp.global));
+
+  // Rebuild the generator's evaluation context (mirror of
+  // tools/golden_checkpoint_gen.cpp — keep in sync).
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 30;
+  spec.test_per_class = 10;
+  spec.noise = 0.35f;
+  spec.seed = 63;
+  const auto tt = data::make_synthetic(spec);
+
+  nn::ConvNetConfig net;
+  net.in_channels = 1;
+  net.image_size = 8;
+  net.num_classes = 3;
+  net.width = 12;
+  net.depth = 1;
+  Rng rng(65);
+  auto model = nn::make_convnet(net, rng);
+
+  // The repacked flat state must carry the layout the current model derives.
+  EXPECT_EQ(cp.global.layout()->hash(), nn::StateLayout::of(*model)->hash());
+  nn::load_state(*model, cp.global);
+
+  // The recorded hexfloat strings pin the exact bits of every metric. The
+  // eval kernels are thread-count invariant, so this holds at any --threads.
+  EXPECT_EQ(hex_double(metrics::accuracy(*model, tt.test, 32)),
+            metadata_at(cp, "eval.test_accuracy_hex"));
+  EXPECT_EQ(hex_double(metrics::mean_loss(*model, tt.test, 32)),
+            metadata_at(cp, "eval.test_loss_hex"));
+  const auto per_class = metrics::per_class_accuracy(*model, tt.test, 32);
+  ASSERT_EQ(per_class.size(), 3u);
+  for (std::size_t c = 0; c < per_class.size(); ++c) {
+    EXPECT_EQ(hex_double(per_class[c]),
+              metadata_at(cp, "eval.class" + std::to_string(c) + "_accuracy_hex"))
+        << "class " << c;
+  }
+
+  // The synthetic stores must restore too: they are what serves unlearning
+  // requests after a restart.
+  const auto stores = core::restore_stores(cp);
+  ASSERT_EQ(stores.size(), 2u);
+  for (const auto& store : stores) EXPECT_GT(store.total_samples(), 0);
+}
+
+TEST(GoldenCheckpoint, RewritingTheGoldenProducesCurrentFormat) {
+  // Round-tripping the loaded checkpoint through the current serializer
+  // upgrades it to v4 (flat global) without changing any content.
+  const core::Checkpoint cp = core::load_checkpoint(QD_GOLDEN_CHECKPOINT);
+  const auto bytes = core::serialize_checkpoint(cp);
+  const core::Checkpoint back = core::deserialize_checkpoint(bytes);
+  ASSERT_EQ(back.global.numel(), cp.global.numel());
+  for (std::int64_t i = 0; i < cp.global.numel(); ++i) {
+    ASSERT_EQ(back.global.at(i), cp.global.at(i)) << "flat index " << i;
+  }
+  EXPECT_EQ(back.global.layout()->hash(), cp.global.layout()->hash());
+  EXPECT_EQ(back.metadata, cp.metadata);
+  ASSERT_EQ(back.clients.size(), cp.clients.size());
+}
+
+}  // namespace

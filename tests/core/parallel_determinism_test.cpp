@@ -73,11 +73,9 @@ struct MiniFederation {
 void expect_states_bitwise_equal(const nn::ModelState& a, const nn::ModelState& b,
                                  const char* what) {
   ASSERT_EQ(a.size(), b.size()) << what;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a[i].numel(), b[i].numel()) << what;
-    for (std::int64_t j = 0; j < a[i].numel(); ++j) {
-      ASSERT_EQ(a[i].at(j), b[i].at(j)) << what << ": tensor " << i << " entry " << j;
-    }
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  for (std::int64_t j = 0; j < a.numel(); ++j) {
+    ASSERT_EQ(a.at(j), b.at(j)) << what << ": flat entry " << j;
   }
 }
 

@@ -13,13 +13,13 @@ namespace quickdrop::fl {
 namespace {
 
 nn::ModelState make_state(float fill) {
-  nn::ModelState state;
-  state.push_back(Tensor({3, 4}));
-  state.push_back(Tensor({5}));
-  for (auto& t : state) {
-    for (std::int64_t i = 0; i < t.numel(); ++i) t.at(i) = fill + static_cast<float>(i) * 0.1f;
+  Tensor a({3, 4}), b({5});
+  for (Tensor* t : {&a, &b}) {
+    for (std::int64_t i = 0; i < t->numel(); ++i) {
+      t->at(i) = fill + static_cast<float>(i) * 0.1f;
+    }
   }
-  return state;
+  return nn::FlatState::from_tensors(std::vector<Tensor>{a, b});
 }
 
 TEST(FaultRatesTest, ValidateRejectsBadRates) {

@@ -9,3 +9,9 @@ void api_examples(int v) {
   std::printf("%d\n", v);
   fprintf(stderr, "%d\n", v);
 }
+
+// api-flatstate: per-tensor model states outside nn/state.
+std::vector<Tensor> unqualified_state;
+std::vector<nn::Tensor> qualified_state;
+void takes_state(const std::vector<quickdrop::nn::Tensor>& states);
+std::vector<std::vector<Tensor>> history_of_states;  // inner list fires

@@ -26,6 +26,12 @@ struct VarLike {
   VarLike detach() { return *this; }  // autograd-style detach: no thread context
 };
 
+// Per-tensor lists that are NOT model states carry a justified NOLINT; other
+// vector<...> element types never fire.
+std::vector<Tensor> grad_list;  // NOLINT(qdlint-api-flatstate) gradient list, not a model state
+std::vector<TensorView> views_are_fine;
+std::vector<int> plain_vector_is_fine;
+
 VarLike member_rand_ok(VarLike v, ThreadPool& pool, float* out, long n) {
   // Member functions named like banned free functions are fine.
   Gen gen;

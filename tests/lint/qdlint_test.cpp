@@ -221,6 +221,20 @@ TEST(LintRules, ExplicitCaptureInParallelRegionIsSilent) {
   EXPECT_TRUE(analyze_as("src/fake/x.cpp", src).empty());
 }
 
+TEST(LintRules, FlatStateRuleFiresInSrcButNotInStateImplOrTests) {
+  const std::string src = "std::vector<Tensor> state;\n";
+  EXPECT_EQ(rules_of(analyze_as("src/fl/fedavg.cpp", src)),
+            std::vector<std::string>{"api-flatstate"});
+  EXPECT_EQ(rules_of(analyze_as("src/core/checkpoint.cpp", "std::vector<nn::Tensor> s;\n")),
+            std::vector<std::string>{"api-flatstate"});
+  // The parameter plane's own implementation may talk per-tensor.
+  EXPECT_TRUE(analyze_as("src/nn/state.cpp", src).empty());
+  EXPECT_TRUE(analyze_as("src/nn/state.h", "#pragma once\n" + src).empty());
+  // Out of scope: tests/tools/bench are free to build per-tensor fixtures.
+  EXPECT_TRUE(analyze_as("tests/nn/x.cpp", src).empty());
+  EXPECT_TRUE(analyze_as("tools/some_cli.cpp", src).empty());
+}
+
 TEST(LintRules, TimeSeedOutsideSeedContextIsSilent) {
   // Timing a computation with steady_clock is fine; only seeding from it is
   // flagged.

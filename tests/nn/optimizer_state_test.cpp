@@ -63,9 +63,8 @@ TEST(StateTest, SaveLoadRoundTrip) {
   const auto sa = state_of(*a);
   load_state(*b, sa);
   const auto sb = state_of(*b);
-  for (std::size_t i = 0; i < sa.size(); ++i) {
-    for (std::int64_t j = 0; j < sa[i].numel(); ++j) EXPECT_FLOAT_EQ(sa[i].at(j), sb[i].at(j));
-  }
+  ASSERT_EQ(sa.numel(), sb.numel());
+  for (std::int64_t i = 0; i < sa.numel(); ++i) EXPECT_FLOAT_EQ(sa.at(i), sb.at(i));
 }
 
 TEST(StateTest, StateIsDeepCopy) {
@@ -75,37 +74,39 @@ TEST(StateTest, StateIsDeepCopy) {
   Rng rng(1);
   auto model = make_convnet(cfg, rng);
   auto state = state_of(*model);
-  const float before = state[0].at(0);
+  const float before = state.at(0);
   model->parameters()[0].mutable_value().at(0) = before + 42.0f;
-  EXPECT_FLOAT_EQ(state[0].at(0), before);
+  EXPECT_FLOAT_EQ(state.at(0), before);
 }
 
 TEST(StateTest, Arithmetic) {
-  ModelState a = {Tensor({2}, {1, 2}), Tensor({1}, {3})};
-  ModelState b = {Tensor({2}, {10, 20}), Tensor({1}, {30})};
+  const Tensor t0({2}, {1, 2}), t1({1}, {3});
+  auto a = FlatState::from_tensors(std::vector<Tensor>{t0, t1});
+  auto b = FlatState::from_tensors(
+      std::vector<Tensor>{Tensor({2}, {10, 20}), Tensor({1}, {30})});
   axpy(a, b, 0.1f);
-  EXPECT_FLOAT_EQ(a[0].at(0), 2.0f);
-  EXPECT_FLOAT_EQ(a[1].at(0), 6.0f);
+  EXPECT_FLOAT_EQ(a.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(a.at(2), 6.0f);
   scale(a, 2.0f);
-  EXPECT_FLOAT_EQ(a[0].at(1), 8.0f);
+  EXPECT_FLOAT_EQ(a.at(1), 8.0f);
   const auto d = subtract(b, a);
-  EXPECT_FLOAT_EQ(d[0].at(0), 6.0f);
+  EXPECT_FLOAT_EQ(d.at(0), 6.0f);
   EXPECT_EQ(state_numel(a), 3);
   EXPECT_EQ(state_bytes(a), 12);
 }
 
 TEST(StateTest, L2Norm) {
-  ModelState s = {Tensor({2}, {3, 4})};
+  const auto s = FlatState::from_tensors(std::vector<Tensor>{Tensor({2}, {3, 4})});
   EXPECT_NEAR(l2_norm(s), 5.0, 1e-6);
 }
 
 TEST(StateTest, WeightedAverage) {
-  ModelState a = {Tensor({1}, {0.0f})};
-  ModelState b = {Tensor({1}, {10.0f})};
+  const auto a = FlatState::from_tensors(std::vector<Tensor>{Tensor({1}, {0.0f})});
+  const auto b = FlatState::from_tensors(std::vector<Tensor>{Tensor({1}, {10.0f})});
   const std::vector<ModelState> states = {a, b};
   const std::vector<float> weights = {0.25f, 0.75f};
   const auto avg = weighted_average(states, weights);
-  EXPECT_FLOAT_EQ(avg[0].at(0), 7.5f);
+  EXPECT_FLOAT_EQ(avg.at(0), 7.5f);
 }
 
 TEST(StateTest, WeightedAverageValidation) {
@@ -115,18 +116,20 @@ TEST(StateTest, WeightedAverageValidation) {
 }
 
 TEST(StateTest, SerializeRoundTrip) {
-  ModelState s = {Tensor({2, 2}, {1, -2, 3.5f, 0}), Tensor({3}, {9, 8, 7})};
+  const auto s = FlatState::from_tensors(
+      std::vector<Tensor>{Tensor({2, 2}, {1, -2, 3.5f, 0}), Tensor({3}, {9, 8, 7})});
   const auto bytes = serialize_state(s);
   const auto back = deserialize_state(bytes);
   ASSERT_EQ(back.size(), 2u);
-  EXPECT_EQ(back[0].shape(), (Shape{2, 2}));
-  EXPECT_EQ(back[1].shape(), (Shape{3}));
-  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(back[0].at(i), s[0].at(i));
-  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(back[1].at(i), s[1].at(i));
+  EXPECT_EQ(back.layout()->shape(0), (Shape{2, 2}));
+  EXPECT_EQ(back.layout()->shape(1), (Shape{3}));
+  EXPECT_EQ(back.layout()->hash(), s.layout()->hash());
+  ASSERT_EQ(back.numel(), s.numel());
+  for (std::int64_t i = 0; i < s.numel(); ++i) EXPECT_FLOAT_EQ(back.at(i), s.at(i));
 }
 
 TEST(StateTest, DeserializeRejectsTruncated) {
-  ModelState s = {Tensor({2}, {1, 2})};
+  const auto s = FlatState::from_tensors(std::vector<Tensor>{Tensor({2}, {1, 2})});
   auto bytes = serialize_state(s);
   bytes.pop_back();
   EXPECT_THROW(deserialize_state(bytes), std::invalid_argument);
@@ -138,7 +141,7 @@ TEST(StateTest, LoadRejectsMismatch) {
   cfg.depth = 1;
   Rng rng(1);
   auto model = make_convnet(cfg, rng);
-  ModelState wrong = {Tensor({1})};
+  const auto wrong = FlatState::from_tensors(std::vector<Tensor>{Tensor({1})});
   EXPECT_THROW(load_state(*model, wrong), std::invalid_argument);
 }
 

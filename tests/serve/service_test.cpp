@@ -76,11 +76,9 @@ struct MiniFederation {
 void expect_states_bitwise_equal(const nn::ModelState& a, const nn::ModelState& b,
                                  const char* what) {
   ASSERT_EQ(a.size(), b.size()) << what;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a[i].numel(), b[i].numel()) << what;
-    for (std::int64_t j = 0; j < a[i].numel(); ++j) {
-      ASSERT_EQ(a[i].at(j), b[i].at(j)) << what << ": tensor " << i << " entry " << j;
-    }
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  for (std::int64_t j = 0; j < a.numel(); ++j) {
+    ASSERT_EQ(a.at(j), b.at(j)) << what << ": flat entry " << j;
   }
 }
 
@@ -187,6 +185,22 @@ TEST(ServiceTest, RunBitIdenticalAcrossThreadCountsUnderFaultPlan) {
   const auto parallel = run_service(SchedulerPolicy::kFifo, 4, cfg);
   expect_states_bitwise_equal(serial.final_state, parallel.final_state, "faulted service state");
   EXPECT_EQ(serial.json, parallel.json);
+}
+
+TEST(ServiceTest, RejectsLayoutMismatchedInitialState) {
+  // The layout-hash gate: a state restored from the wrong checkpoint
+  // (different net architecture) must fail at construction, not as a shape
+  // error mid-request.
+  ThreadGuard guard;
+  set_num_threads(1);
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients,
+                                              MiniFederation::config(), 5);
+  ServiceConfig config;
+  EXPECT_NO_THROW(UnlearningService(qd, qd->initial_state(), config));
+  EXPECT_THROW(UnlearningService(qd, nn::ModelState{}, config), std::invalid_argument);
+  nn::ModelState wrong_architecture{nn::StateLayout::of_shapes({{3, 3}, {3}})};
+  EXPECT_THROW(UnlearningService(qd, wrong_architecture, config), std::invalid_argument);
 }
 
 TEST(ServiceTest, RejectsInvalidTraceRequestsWithReasons) {

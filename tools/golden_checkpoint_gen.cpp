@@ -1,0 +1,110 @@
+// Generates the committed golden checkpoint used by the checkpoint
+// compatibility test (tests/core/golden_checkpoint_test.cpp).
+//
+// The golden file pins the on-disk format: it was written by the pre-FlatState
+// code (checkpoint format v3, per-tensor global state) and must keep loading —
+// and evaluating bitwise-identically — through every later format revision's
+// compatibility shim. Regenerate ONLY when intentionally re-baselining:
+//
+//   ./build/tools/golden_checkpoint_gen tests/core/golden/checkpoint_v3.qdcp
+//
+// The deployment is deliberately tiny (2 clients, 8x8 synthetic images,
+// width-12 convnet) so the binary stays a few hundred KB. Every knob needed to
+// rebuild the evaluation context is recorded in the checkpoint metadata, with
+// float results stored as hexfloat strings so the comparison is exact.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/quickdrop.h"
+#include "data/synthetic.h"
+#include "metrics/evaluate.h"
+#include "nn/convnet.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace quickdrop;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output.qdcp>\n", argv[0]);
+    return 1;
+  }
+
+  // Evaluation happens at whatever --threads the loader uses; the state and
+  // eval kernels are thread-count invariant, but pin the pool anyway so the
+  // generator itself is reproducible byte-for-byte.
+  set_num_threads(1);
+
+  // Mirror of tests/core/golden_checkpoint_test.cpp — keep in sync.
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_per_class = 30;
+  spec.test_per_class = 10;
+  spec.noise = 0.35f;
+  spec.seed = 63;
+  const auto tt = data::make_synthetic(spec);
+
+  std::vector<data::Dataset> clients;
+  {
+    std::vector<int> even, odd;
+    for (int i = 0; i < tt.train.size(); ++i) (i % 2 == 0 ? even : odd).push_back(i);
+    clients = {tt.train.subset(even), tt.train.subset(odd)};
+  }
+
+  nn::ConvNetConfig net;
+  net.in_channels = 1;
+  net.image_size = 8;
+  net.num_classes = 3;
+  net.width = 12;
+  net.depth = 1;
+  auto shared = std::make_shared<Rng>(65);
+  fl::ModelFactory factory = [shared, net] { return nn::make_convnet(net, *shared); };
+
+  core::QuickDropConfig cfg;
+  cfg.fl_rounds = 12;
+  cfg.local_steps = 6;
+  cfg.batch_size = 16;
+  cfg.train_lr = 0.1f;
+  cfg.scale = 10;
+  cfg.unlearn_lr = 0.05f;
+  cfg.recover_lr = 0.05f;
+
+  core::QuickDrop coordinator(factory, clients, cfg, 66);
+  const auto trained = coordinator.train();
+
+  auto model = factory();
+  nn::load_state(*model, trained);
+  const double test_accuracy = metrics::accuracy(*model, tt.test, 32);
+  const double test_loss = metrics::mean_loss(*model, tt.test, 32);
+  const auto per_class = metrics::per_class_accuracy(*model, tt.test, 32);
+
+  auto cp = core::make_checkpoint(trained, coordinator.stores());
+  cp.metadata["golden.format"] = "v3";
+  cp.metadata["golden.note"] = "pre-FlatState golden; regenerate via tools/golden_checkpoint_gen";
+  cp.metadata["eval.test_accuracy_hex"] = hex_double(test_accuracy);
+  cp.metadata["eval.test_loss_hex"] = hex_double(test_loss);
+  for (std::size_t c = 0; c < per_class.size(); ++c) {
+    cp.metadata["eval.class" + std::to_string(c) + "_accuracy_hex"] = hex_double(per_class[c]);
+  }
+  core::save_checkpoint(cp, argv[1]);
+
+  std::printf("wrote %s\n", argv[1]);
+  std::printf("  test_accuracy = %.6f (%s)\n", test_accuracy,
+              cp.metadata["eval.test_accuracy_hex"].c_str());
+  std::printf("  test_loss     = %.6f (%s)\n", test_loss,
+              cp.metadata["eval.test_loss_hex"].c_str());
+  return 0;
+}

@@ -15,7 +15,7 @@ const std::vector<std::string> kAllRules = {
     "det-random-device", "det-rand",        "det-time-seed",   "det-sleep",
     "det-unordered-iter", "conc-raw-thread", "conc-detach",     "conc-ref-capture",
     "conc-static-local",  "num-float-eq",    "num-narrow-literal",
-    "api-raw-io",         "api-pragma-once",
+    "api-raw-io",         "api-pragma-once", "api-flatstate",
 };
 
 struct Ctx {
@@ -406,6 +406,35 @@ void rule_raw_io(Ctx& c) {
   }
 }
 
+void rule_flatstate(Ctx& c) {
+  // Model states are nn::FlatState (one contiguous buffer + shared layout
+  // manifest); per-tensor vector<Tensor> state manipulation outside the
+  // parameter plane's own implementation forfeits layout sharing, the pooled
+  // flat kernels, and the layout-hash compatibility checks. Genuine
+  // per-tensor lists (gradient lists feeding Sgd::step_tensors, image
+  // batches) carry a NOLINT with a justification.
+  if (!c.file.in_src) return;
+  if (c.file.path.rfind("src/nn/state", 0) == 0) return;
+  // autograd's API is tensor-level by design (gradients of arbitrary input
+  // lists); it never represents a model state.
+  if (c.file.path.rfind("src/autograd/", 0) == 0) return;
+  for (std::size_t i = 0; i + 2 < c.toks.size(); ++i) {
+    if (!c.ident(i, "vector") || !c.punct(i + 1, "<")) continue;
+    // Skip nested-name qualifiers on the element type: vector<nn::Tensor>.
+    std::size_t j = i + 2;
+    while (j + 1 < c.toks.size() && c.toks[j].kind == TokKind::kIdent && c.punct(j + 1, "::")) {
+      j += 2;
+    }
+    if (!c.ident(j, "Tensor")) continue;
+    if (!(c.punct(j + 1, ">") || c.punct(j + 1, ">>"))) continue;
+    c.report("api-flatstate", c.toks[i],
+             "vector<Tensor> model-state representation bypasses the flat parameter plane",
+             "use nn::FlatState (nn/state.h) so states share layout manifests and the pooled "
+             "flat kernels; NOLINT(qdlint-api-flatstate) only for genuine per-tensor lists "
+             "(gradients, image batches) with a comment saying why");
+  }
+}
+
 void rule_pragma_once(Ctx& c) {
   if (!c.file.is_header) return;
   for (const Token& t : c.toks) {
@@ -463,6 +492,7 @@ std::vector<Finding> analyze(const FileContext& ctx, const std::string& source) 
   rule_narrow_literal(c);
   rule_raw_io(c);
   rule_pragma_once(c);
+  rule_flatstate(c);
   std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     if (a.col != b.col) return a.col < b.col;
