@@ -11,13 +11,13 @@
 // compatible requests costs one cycle instead of k, so total FL rounds drop
 // and tail latency collapses whenever requests cluster in time.
 #include <cstdio>
-#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/world.h"
 #include "serve/service.h"
+#include "util/atomic_file.h"
 #include "util/table.h"
 
 namespace qd = quickdrop;
@@ -119,10 +119,8 @@ int main(int argc, char** argv) {
       run_policy(world, trace, qd::serve::SchedulerPolicy::kCoalesce, max_batch, cost_model);
   print_report(coalesce);
 
-  std::ofstream out(out_path);
-  if (!out) throw std::runtime_error("cannot write " + out_path);
-  out << "{\n\"fifo\": " << fifo.to_json() << ",\n\"coalesce\": " << coalesce.to_json() << "}\n";
-  out.close();
+  qd::write_file_atomic(out_path, "{\n\"fifo\": " + fifo.to_json() +
+                                      ",\n\"coalesce\": " + coalesce.to_json() + "}\n");
   std::printf("metrics written to %s\n", out_path.c_str());
 
   std::printf("\nexpected: coalescing serves clustered requests in fewer cycles (%d vs %d) and\n"

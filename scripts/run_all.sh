@@ -14,15 +14,19 @@ scripts/lint.sh "$BUILD" 2>&1 | tee lint_output.txt
 echo "lint pass exit: ${PIPESTATUS[0]}" | tee -a lint_output.txt
 
 # Sanitizer pass: rebuild the fault-tolerance-critical suites (fl + core)
-# with ASan/UBSan and run the binaries directly. Catches lifetime and UB
-# bugs that the fault-injection paths could otherwise hide.
+# plus the crash-safe store (engine fuzz + kill-point sweep — the recovery
+# scan parses attacker-controlled bytes, exactly where UB would hide) with
+# ASan/UBSan and run the binaries directly.
 SAN_BUILD="${BUILD}-asan"
 {
   cmake -B "$SAN_BUILD" -S . -DQUICKDROP_SANITIZE="address;undefined" &&
-  cmake --build "$SAN_BUILD" -j --target fl_test core_test util_test &&
+  cmake --build "$SAN_BUILD" -j --target fl_test core_test util_test \
+    store_test store_crash_sweep_test &&
   "$SAN_BUILD"/tests/fl_test &&
   "$SAN_BUILD"/tests/core_test &&
-  "$SAN_BUILD"/tests/util_test
+  "$SAN_BUILD"/tests/util_test &&
+  "$SAN_BUILD"/tests/store_test &&
+  "$SAN_BUILD"/tests/store_crash_sweep_test
 } 2>&1 | tee sanitizer_output.txt
 echo "sanitizer pass exit: ${PIPESTATUS[0]}" | tee -a sanitizer_output.txt
 
@@ -77,4 +81,12 @@ if [ -f BENCH_state_ops.json ]; then
   echo "state-ops bench: BENCH_state_ops.json written" | tee -a bench_output.txt
 else
   echo "state-ops bench: MISSING BENCH_state_ops.json" | tee -a bench_output.txt
+fi
+
+# Likewise the store microbenchmark (bench/ext_store): commit/recover/vacuum
+# throughput and store-vs-blob checkpoint saves — see DESIGN.md §12.
+if [ -f BENCH_store.json ]; then
+  echo "store bench: BENCH_store.json written" | tee -a bench_output.txt
+else
+  echo "store bench: MISSING BENCH_store.json" | tee -a bench_output.txt
 fi

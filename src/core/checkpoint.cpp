@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/atomic_file.h"
+
 namespace quickdrop::core {
 namespace {
 
@@ -243,15 +245,16 @@ Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes) {
 }
 
 void save_checkpoint(const Checkpoint& cp, const std::string& path) {
-  const auto bytes = serialize_checkpoint(cp);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+  // Atomic replace: a crash mid-save leaves the previous checkpoint intact.
+  write_file_atomic(path, serialize_checkpoint(cp));
 }
 
 Checkpoint load_checkpoint(const std::string& path) {
+  // A path can hold either format; the page magic disambiguates.
+  if (store::Store::sniff(path)) {
+    store::Store store(path);
+    return load_latest_checkpoint(store);
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
   const auto size = static_cast<std::size_t>(in.tellg());
@@ -260,6 +263,76 @@ Checkpoint load_checkpoint(const std::string& path) {
   in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
   if (!in) throw std::runtime_error("load_checkpoint: read failed for " + path);
   return deserialize_checkpoint(bytes);
+}
+
+std::uint64_t checkpoint_layout_hash(const Checkpoint& cp) {
+  const auto& layout = cp.global.layout();
+  return layout ? layout->hash() : 0;
+}
+
+void save_checkpoint(const Checkpoint& cp, store::Store& store, std::uint64_t round) {
+  const store::Key key{checkpoint_layout_hash(cp), kRecordCheckpoint, round};
+  store.put(key, serialize_checkpoint(cp));
+  store.commit();
+}
+
+Checkpoint load_checkpoint(store::Store& store, std::uint64_t layout_hash,
+                           std::uint64_t round) {
+  return deserialize_checkpoint(store.get({layout_hash, kRecordCheckpoint, round}));
+}
+
+std::optional<std::uint64_t> latest_checkpoint_round(store::Store& store,
+                                                     std::uint64_t layout_hash) {
+  const auto key = store.latest(layout_hash, kRecordCheckpoint);
+  if (!key) return std::nullopt;
+  return key->cursor;
+}
+
+Checkpoint load_latest_checkpoint(store::Store& store) {
+  std::optional<store::Key> best;
+  for (const auto& key : store.keys()) {
+    if (key.kind != kRecordCheckpoint) continue;
+    if (!best || key.cursor > best->cursor ||
+        (key.cursor == best->cursor && key.layout_hash > best->layout_hash)) {
+      best = key;
+    }
+  }
+  if (!best) throw store::StoreError("store: no checkpoint records in " + store.path());
+  return deserialize_checkpoint(store.get(*best));
+}
+
+void save_client_store(store::Store& store, std::uint64_t layout_hash, std::uint64_t client,
+                       const Checkpoint::ClientStore& cs) {
+  Writer w;
+  w.u64(static_cast<std::uint64_t>(cs.num_classes));
+  w.u64(cs.image_shape.size());
+  for (const auto d : cs.image_shape) w.u64(static_cast<std::uint64_t>(d));
+  for (int c = 0; c < cs.num_classes; ++c) {
+    w.tensor(cs.synthetic[static_cast<std::size_t>(c)]);
+    w.tensor(cs.augmentation[static_cast<std::size_t>(c)]);
+  }
+  store.put({layout_hash, kRecordClientStore, client}, w.take());
+}
+
+Checkpoint::ClientStore load_client_store(store::Store& store, std::uint64_t layout_hash,
+                                          std::uint64_t client) {
+  const auto bytes = store.get({layout_hash, kRecordClientStore, client});
+  Reader r(bytes);
+  Checkpoint::ClientStore cs;
+  cs.num_classes = static_cast<int>(r.u64());
+  if (cs.num_classes <= 0 || cs.num_classes > 1 << 20) {
+    throw std::invalid_argument("client store record: bad class count");
+  }
+  const auto rank = r.u64();
+  if (rank > 8) throw std::invalid_argument("client store record: absurd shape rank");
+  cs.image_shape.resize(rank);
+  for (auto& d : cs.image_shape) d = static_cast<std::int64_t>(r.u64());
+  for (int c = 0; c < cs.num_classes; ++c) {
+    cs.synthetic.push_back(r.tensor());
+    cs.augmentation.push_back(r.tensor());
+  }
+  if (!r.done()) throw std::invalid_argument("client store record: trailing bytes");
+  return cs;
 }
 
 std::vector<SyntheticStore> restore_stores(const Checkpoint& cp) {

@@ -16,9 +16,16 @@
 
 #include "core/synthetic_store.h"
 #include "nn/state.h"
+#include "store/store.h"
 #include "util/rng.h"
 
 namespace quickdrop::core {
+
+/// Record kinds inside a crash-safe store file (store::Key::kind). The store
+/// itself treats kinds as opaque; these are quickdrop's assignments.
+inline constexpr std::uint32_t kRecordCheckpoint = 1;     ///< full Checkpoint; cursor = round
+inline constexpr std::uint32_t kRecordUnlearnCursor = 2;  ///< serve mid-request cursor; cursor = (phase<<32)|rounds
+inline constexpr std::uint32_t kRecordClientStore = 3;    ///< one client's SyntheticStore; cursor = client id
 
 /// Position of an interrupted multi-round phase, persisted so a killed run
 /// can resume from the last completed round instead of from scratch. The
@@ -62,9 +69,41 @@ Checkpoint make_checkpoint(const nn::ModelState& global,
 std::vector<std::uint8_t> serialize_checkpoint(const Checkpoint& checkpoint);
 Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes);
 
-/// File I/O. Throws std::runtime_error on I/O failure.
+/// File I/O. The write is atomic (tmp + fsync + rename), so a crash mid-save
+/// leaves either the old checkpoint or the new one, never a torn file.
+/// `load_checkpoint(path)` sniffs the format: a crash-safe store file (page
+/// magic) loads its latest committed checkpoint record; anything else is
+/// parsed as a legacy single-blob checkpoint. Throws std::runtime_error on
+/// I/O failure.
 void save_checkpoint(const Checkpoint& checkpoint, const std::string& path);
 Checkpoint load_checkpoint(const std::string& path);
+
+/// Layout hash of the checkpoint's global state — the store key namespace
+/// for this deployment (0 when the global state is empty).
+std::uint64_t checkpoint_layout_hash(const Checkpoint& checkpoint);
+
+/// Store-backed persistence. Writes the checkpoint under
+/// (layout hash, kRecordCheckpoint, round) and commits; round-over-round
+/// saves dedup unchanged pages (synthetic stores that did not change between
+/// rounds are stored once). Throws store::StoreError on failure.
+void save_checkpoint(const Checkpoint& checkpoint, store::Store& store, std::uint64_t round);
+Checkpoint load_checkpoint(store::Store& store, std::uint64_t layout_hash, std::uint64_t round);
+/// Highest round holding a checkpoint for this layout, if any.
+std::optional<std::uint64_t> latest_checkpoint_round(store::Store& store,
+                                                     std::uint64_t layout_hash);
+/// Loads the newest committed checkpoint in the store regardless of layout
+/// (the record with the highest round; ties broken by layout hash). Throws
+/// store::StoreError when the store holds no checkpoint records.
+Checkpoint load_latest_checkpoint(store::Store& store);
+
+/// Per-client synthetic-store persistence: one record per client under
+/// (layout hash, kRecordClientStore, client id), so a single client's store
+/// can be rewritten after unlearning without touching the others. Not
+/// committed — call store.commit() after the batch of puts.
+void save_client_store(store::Store& store, std::uint64_t layout_hash, std::uint64_t client,
+                       const Checkpoint::ClientStore& client_store);
+Checkpoint::ClientStore load_client_store(store::Store& store, std::uint64_t layout_hash,
+                                          std::uint64_t client);
 
 /// Rebuilds live stores from a checkpoint (shapes/classes restored exactly).
 std::vector<SyntheticStore> restore_stores(const Checkpoint& checkpoint);

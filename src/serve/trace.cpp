@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.h"
+
 namespace quickdrop::serve {
 
 std::vector<ServiceRequest> generate_trace(const ArrivalConfig& config, Rng& rng) {
@@ -74,15 +76,40 @@ std::string format_trace(const std::vector<ServiceRequest>& trace) {
 }
 
 std::vector<ServiceRequest> parse_trace(const std::string& text) {
+  // No legitimate trace line approaches this; longer means a binary or
+  // corrupted file was fed in, and the error should say so rather than let a
+  // multi-megabyte "line" reach the request parser.
+  constexpr std::size_t kMaxLine = 4096;
+  // A well-formed trace file ends in a newline (format_trace guarantees it);
+  // a final line without one is the signature of a file truncated mid-write.
+  if (!text.empty() && text.back() != '\n') {
+    const int lines = 1 + static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+    throw TraceError(lines, "truncated trace (no final newline)");
+  }
   std::vector<ServiceRequest> trace;
   std::istringstream in(text);
   std::string line;
+  int line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
+    if (line.size() > kMaxLine) {
+      throw TraceError(line_number, "line exceeds " + std::to_string(kMaxLine) +
+                                        " bytes (garbage or binary input)");
+    }
     while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
     std::size_t start = 0;
     while (start < line.size() && (line[start] == ' ' || line[start] == '\t')) ++start;
     if (start == line.size() || line[start] == '#') continue;
-    trace.push_back(parse_request(line.substr(start)));
+    try {
+      trace.push_back(parse_request(line.substr(start)));
+    } catch (const TraceError&) {
+      throw;
+    } catch (const std::exception& e) {
+      // parse_request throws invalid_argument; std::stoi/stod can also throw
+      // out_of_range on absurd numerals. Both become a typed, line-numbered
+      // TraceError.
+      throw TraceError(line_number, e.what());
+    }
   }
   std::stable_sort(trace.begin(), trace.end(),
                    [](const ServiceRequest& a, const ServiceRequest& b) {
@@ -92,10 +119,7 @@ std::vector<ServiceRequest> parse_trace(const std::string& text) {
 }
 
 void save_trace(const std::vector<ServiceRequest>& trace, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
-  out << format_trace(trace);
-  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+  write_file_atomic(path, format_trace(trace));
 }
 
 std::vector<ServiceRequest> load_trace(const std::string& path) {

@@ -8,6 +8,7 @@
 // contract "identical trace + seed => identical final model and metrics".
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,17 @@
 #include "util/rng.h"
 
 namespace quickdrop::serve {
+
+/// Malformed, truncated, or garbage trace input. Mirrors nn/state.h
+/// StateError: derives from std::invalid_argument so generic catch sites keep
+/// working, while carrying the 1-based line number of the offending input so
+/// a hand-edited trace error is pinpointable.
+struct TraceError : std::invalid_argument {
+  TraceError(int line, const std::string& what)
+      : std::invalid_argument("trace line " + std::to_string(line) + ": " + what),
+        line_number(line) {}
+  int line_number;
+};
 
 /// Parameters of the synthetic arrival process.
 struct ArrivalConfig {
@@ -47,10 +59,16 @@ std::string format_trace(const std::vector<ServiceRequest>& trace);
 
 /// Inverse of format_trace(). Blank lines and '#' comment lines are skipped.
 /// Requests are re-sorted by arrival time (stable), so hand-edited traces
-/// need not be pre-sorted. Throws std::invalid_argument on malformed lines.
+/// need not be pre-sorted. Malformed lines, over-long lines (> 4096 bytes —
+/// a binary file fed in by mistake), and a missing final newline (the
+/// signature of a mid-line truncated file) all throw TraceError with the
+/// offending line number; no input can make parsing crash or yield a
+/// silently-shortened trace.
 std::vector<ServiceRequest> parse_trace(const std::string& text);
 
-/// File round-trip. Throws std::runtime_error on I/O failure.
+/// File round-trip. save_trace writes atomically (tmp + fsync + rename), so
+/// a crash mid-save never leaves a torn trace. Throws std::runtime_error on
+/// I/O failure.
 void save_trace(const std::vector<ServiceRequest>& trace, const std::string& path);
 std::vector<ServiceRequest> load_trace(const std::string& path);
 

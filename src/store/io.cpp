@@ -1,0 +1,152 @@
+#include "store/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace quickdrop::store {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw StoreError("store io: " + what + " for " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FileIo::FileIo(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) fail("cannot open", path_);
+}
+
+FileIo::~FileIo() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t FileIo::read_at(std::uint64_t offset, std::span<std::uint8_t> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ::ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                                static_cast<::off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("pread failed", path_);
+    }
+    if (n == 0) break;  // end of file
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+void FileIo::write_at(std::uint64_t offset, std::span<const std::uint8_t> bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ::ssize_t n = ::pwrite(fd_, bytes.data() + done, bytes.size() - done,
+                                 static_cast<::off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("pwrite failed", path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void FileIo::sync() {
+  if (::fsync(fd_) != 0) fail("fsync failed", path_);
+}
+
+void FileIo::truncate(std::uint64_t size) {
+  if (::ftruncate(fd_, static_cast<::off_t>(size)) != 0) fail("ftruncate failed", path_);
+}
+
+std::uint64_t FileIo::size() {
+  const ::off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) fail("lseek failed", path_);
+  return static_cast<std::uint64_t>(end);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyIo
+// ---------------------------------------------------------------------------
+
+void FaultyIo::check_dead() const {
+  if (dead_) throw StoreError("store io: injected crash (backend is dead)");
+}
+
+std::size_t FaultyIo::read_at(std::uint64_t offset, std::span<std::uint8_t> out) {
+  check_dead();
+  return inner_->read_at(offset, out);
+}
+
+void FaultyIo::write_at(std::uint64_t offset, std::span<const std::uint8_t> bytes) {
+  check_dead();
+  ++writes_seen_;
+  if (spec_.op == FaultSpec::Op::kWrite && writes_seen_ == spec_.at_op && !fired_) {
+    fired_ = true;
+    switch (spec_.mode) {
+      case FaultSpec::Mode::kFailStop:
+        dead_ = true;
+        throw StoreError("store io: injected fail-stop at write " +
+                         std::to_string(writes_seen_));
+      case FaultSpec::Mode::kTorn: {
+        const std::uint64_t keep =
+            spec_.torn_bytes < bytes.size() ? spec_.torn_bytes : bytes.size();
+        inner_->write_at(offset, bytes.first(static_cast<std::size_t>(keep)));
+        dead_ = true;
+        throw StoreError("store io: injected torn write at write " +
+                         std::to_string(writes_seen_));
+      }
+      case FaultSpec::Mode::kBitFlip:
+      case FaultSpec::Mode::kSilentFlip: {
+        std::vector<std::uint8_t> flipped(bytes.begin(), bytes.end());
+        if (!flipped.empty()) {
+          const std::uint64_t bit = spec_.flip_bit % (8 * flipped.size());
+          flipped[static_cast<std::size_t>(bit / 8)] ^=
+              static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        inner_->write_at(offset, flipped);
+        if (spec_.mode == FaultSpec::Mode::kBitFlip) {
+          dead_ = true;
+          throw StoreError("store io: injected bit-flip crash at write " +
+                           std::to_string(writes_seen_));
+        }
+        return;  // kSilentFlip: corrupted bytes landed, execution continues
+      }
+    }
+  }
+  inner_->write_at(offset, bytes);
+}
+
+void FaultyIo::sync() {
+  check_dead();
+  ++syncs_seen_;
+  if (spec_.op == FaultSpec::Op::kSync && syncs_seen_ == spec_.at_op && !fired_) {
+    fired_ = true;
+    dead_ = true;
+    // A failed fsync gives no durability guarantee for writes since the last
+    // successful barrier; modelling it as fail-stop is the conservative
+    // reading (the data may or may not have reached the platter).
+    throw StoreError("store io: injected fail-stop at sync " + std::to_string(syncs_seen_));
+  }
+  inner_->sync();
+}
+
+void FaultyIo::truncate(std::uint64_t size) {
+  check_dead();
+  inner_->truncate(size);
+}
+
+std::uint64_t FaultyIo::size() {
+  check_dead();
+  return inner_->size();
+}
+
+IoFactory file_io_factory() {
+  return [](const std::string& path) -> std::unique_ptr<Io> {
+    return std::make_unique<FileIo>(path);
+  };
+}
+
+}  // namespace quickdrop::store

@@ -1,0 +1,178 @@
+// Byte-level I/O backends for the crash-safe state store.
+//
+// The storage engine never touches the filesystem directly: every read,
+// write, fsync and truncate goes through the `Io` interface. That indirection
+// is what makes the kill-point recovery harness possible — `FaultyIo` wraps
+// the real backend and can die (fail-stop), tear a write in half, or flip a
+// bit at exactly the N-th operation, deterministically and without real
+// crashes. Tier-1 tests sweep every kill point of a commit sequence and
+// assert the store reopens to the last committed state (see
+// tests/store/crash_sweep_test.cpp and DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace quickdrop::store {
+
+/// Any store failure: I/O errors, corruption detected by checksums, or
+/// malformed on-disk structures. Derives from std::runtime_error so generic
+/// catch sites keep working; corruption is ALWAYS reported through this type,
+/// never via UB or partial state.
+struct StoreError : std::runtime_error {
+  explicit StoreError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Positional byte I/O over one file-like object. Implementations must be
+/// usable from a single thread at a time (the store serializes access).
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  /// Reads up to out.size() bytes at `offset`; returns the number actually
+  /// read (short only at end-of-file). Throws StoreError on I/O failure.
+  virtual std::size_t read_at(std::uint64_t offset, std::span<std::uint8_t> out) = 0;
+
+  /// Writes all of `bytes` at `offset`, extending the file as needed.
+  virtual void write_at(std::uint64_t offset, std::span<const std::uint8_t> bytes) = 0;
+
+  /// Durability barrier: everything written before sync() survives a crash
+  /// after sync() returns.
+  virtual void sync() = 0;
+
+  /// Truncates (or extends with zeros) to exactly `size` bytes.
+  virtual void truncate(std::uint64_t size) = 0;
+
+  /// Current size in bytes.
+  virtual std::uint64_t size() = 0;
+};
+
+/// POSIX file backend (pread/pwrite/fsync/ftruncate). Creates the file when
+/// absent.
+class FileIo : public Io {
+ public:
+  explicit FileIo(const std::string& path);
+  ~FileIo() override;
+  FileIo(const FileIo&) = delete;
+  FileIo& operator=(const FileIo&) = delete;
+
+  std::size_t read_at(std::uint64_t offset, std::span<std::uint8_t> out) override;
+  void write_at(std::uint64_t offset, std::span<const std::uint8_t> bytes) override;
+  void sync() override;
+  void truncate(std::uint64_t size) override;
+  std::uint64_t size() override;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Where in an operation stream a fault fires and what it does there.
+struct FaultSpec {
+  enum class Op {
+    kWrite,  ///< trigger on the N-th write_at
+    kSync,   ///< trigger on the N-th sync
+  };
+  enum class Mode {
+    kFailStop,  ///< the op does nothing and throws — clean process death
+    kTorn,      ///< (writes only) a prefix of the bytes lands, then death
+    kBitFlip,   ///< the write lands with one bit flipped, then death
+    kSilentFlip,  ///< the write lands with one bit flipped; execution CONTINUES
+  };
+
+  Op op = Op::kWrite;
+  Mode mode = Mode::kFailStop;
+  /// 1-based index of the triggering operation among ops of type `op`.
+  int at_op = 1;
+  /// kTorn: how many leading bytes land (clamped to the write size).
+  std::uint64_t torn_bytes = 0;
+  /// kBitFlip/kSilentFlip: which bit of the written range to flip
+  /// (bit_index % (8 * size)).
+  std::uint64_t flip_bit = 0;
+};
+
+/// Fault-injecting wrapper: forwards to `inner` until the scripted fault
+/// point, injects, and (except kSilentFlip) throws StoreError from that op
+/// and every subsequent one — the process is "dead" until the harness reopens
+/// the file with a fresh backend. Counting is deterministic: the same store
+/// operation sequence always yields the same op indices.
+class FaultyIo : public Io {
+ public:
+  FaultyIo(std::unique_ptr<Io> inner, FaultSpec spec)
+      : inner_(std::move(inner)), spec_(spec) {}
+
+  std::size_t read_at(std::uint64_t offset, std::span<std::uint8_t> out) override;
+  void write_at(std::uint64_t offset, std::span<const std::uint8_t> bytes) override;
+  void sync() override;
+  void truncate(std::uint64_t size) override;
+  std::uint64_t size() override;
+
+  [[nodiscard]] int writes_seen() const { return writes_seen_; }
+  [[nodiscard]] int syncs_seen() const { return syncs_seen_; }
+  /// True once the fault has fired (and, except kSilentFlip, the backend is
+  /// dead).
+  [[nodiscard]] bool fired() const { return fired_; }
+
+ private:
+  void check_dead() const;
+
+  std::unique_ptr<Io> inner_;
+  FaultSpec spec_;
+  int writes_seen_ = 0;
+  int syncs_seen_ = 0;
+  bool fired_ = false;
+  bool dead_ = false;
+};
+
+/// Pass-through wrapper that only counts operations. A dry run through
+/// CountingIo tells the crash sweep how many kill points a commit sequence
+/// has.
+class CountingIo : public Io {
+ public:
+  explicit CountingIo(std::unique_ptr<Io> inner) : inner_(std::move(inner)) {}
+  /// Also mirrors counts into externally-owned tallies that outlive this Io —
+  /// how a dry run learns each file's kill-point count after the store (and
+  /// its backends) are gone.
+  CountingIo(std::unique_ptr<Io> inner, int* writes_sink, int* syncs_sink)
+      : inner_(std::move(inner)), writes_sink_(writes_sink), syncs_sink_(syncs_sink) {}
+
+  std::size_t read_at(std::uint64_t offset, std::span<std::uint8_t> out) override {
+    return inner_->read_at(offset, out);
+  }
+  void write_at(std::uint64_t offset, std::span<const std::uint8_t> bytes) override {
+    ++writes_;
+    if (writes_sink_ != nullptr) ++*writes_sink_;
+    inner_->write_at(offset, bytes);
+  }
+  void sync() override {
+    ++syncs_;
+    if (syncs_sink_ != nullptr) ++*syncs_sink_;
+    inner_->sync();
+  }
+  void truncate(std::uint64_t size) override { inner_->truncate(size); }
+  std::uint64_t size() override { return inner_->size(); }
+
+  [[nodiscard]] int writes() const { return writes_; }
+  [[nodiscard]] int syncs() const { return syncs_; }
+
+ private:
+  std::unique_ptr<Io> inner_;
+  int* writes_sink_ = nullptr;
+  int* syncs_sink_ = nullptr;
+  int writes_ = 0;
+  int syncs_ = 0;
+};
+
+/// Creates the backend for a store file. The store routes every open —
+/// including reopen-after-vacuum and the vacuum scratch file — through this,
+/// so a test factory can wrap any of them in FaultyIo/CountingIo.
+using IoFactory = std::function<std::unique_ptr<Io>(const std::string& path)>;
+
+/// The default factory: plain FileIo.
+IoFactory file_io_factory();
+
+}  // namespace quickdrop::store

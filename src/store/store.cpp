@@ -1,0 +1,361 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "util/crc64.h"
+
+namespace quickdrop::store {
+namespace {
+
+// Index snapshot payload ("QDIX"): the complete key->entry map, serialized in
+// key order, chunked across kIndex pages. A commit page ("QDCM") names the
+// snapshot's page range plus its byte length and CRC64, so recovery can tell
+// a genuine snapshot from stale pages that happen to sit at the same ids.
+constexpr std::uint32_t kIndexMagic = 0x58494451;   // "QDIX"
+constexpr std::uint32_t kCommitMagic = 0x4D434451;  // "QDCM"
+constexpr std::size_t kCommitPayloadSize = 4 + 8 + 8 + 8 + 8 + 8;
+
+// Parsing caps: a corrupt count field must yield a typed error, not an
+// attempt to allocate petabytes.
+constexpr std::uint64_t kMaxIndexEntries = 1ull << 22;
+constexpr std::uint64_t kMaxPagesPerEntry = 1ull << 28;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+class Cursor {
+ public:
+  Cursor(std::span<const std::uint8_t> bytes, const char* what)
+      : bytes_(bytes), what_(what) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (bytes_.size() - pos_ < n) {
+      throw StoreError(std::string("store: truncated ") + what_);
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Store::Store(std::string path, IoFactory factory)
+    : path_(std::move(path)), factory_(std::move(factory)) {
+  io_ = factory_(path_);
+  pager_ = std::make_unique<Pager>(*io_);
+  open();
+}
+
+bool Store::sniff(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");  // NOLINT(api-durable-io): read-only probe
+  if (f == nullptr) return false;
+  std::uint8_t head[4] = {0, 0, 0, 0};
+  const std::size_t got = std::fread(head, 1, sizeof(head), f);
+  std::fclose(f);
+  if (got == 0) return false;
+  for (std::size_t i = 0; i < got && i < 4; ++i) {
+    if (head[i] != static_cast<std::uint8_t>(kPageMagic >> (8 * i))) return false;
+  }
+  return true;
+}
+
+void Store::open() {
+  index_.clear();
+  dedup_.clear();
+  seq_ = 0;
+  const std::uint64_t pages = pager_->file_pages();
+  pager_->set_next_page(0);
+  // Scan backward: the youngest commit whose whole reachable state verifies
+  // wins. A store that crashed mid-transaction has only a dead tail after its
+  // last commit, so this loop normally stops within a few pages.
+  for (std::uint64_t id = pages; id-- > 0;) {
+    if (try_recover_commit(id)) {
+      pager_->set_next_page(id + 1);
+      // Discard the torn tail so the file ends exactly at the commit record.
+      io_->truncate((id + 1) * kPageSize);
+      return;
+    }
+  }
+  // No valid commit anywhere: empty store. The file (possibly a torn
+  // first-ever transaction) is overwritten from page 0 by future appends.
+}
+
+bool Store::try_recover_commit(std::uint64_t id) {
+  try {
+    const Page page = pager_->read(id);
+    if (page.kind != PageKind::kCommit) return false;
+    if (page.payload.size() != kCommitPayloadSize) return false;
+    Cursor commit(page.payload, "commit record");
+    if (commit.u32() != kCommitMagic) return false;
+    const std::uint64_t seq = commit.u64();
+    const std::uint64_t index_start = commit.u64();
+    const std::uint64_t index_pages = commit.u64();
+    const std::uint64_t index_len = commit.u64();
+    const std::uint64_t index_crc = commit.u64();
+    if (index_pages == 0 || index_start + index_pages != id) return false;
+    if (index_len > index_pages * kPagePayload) return false;
+
+    // Reassemble and checksum the index snapshot.
+    std::vector<std::uint8_t> snapshot;
+    snapshot.reserve(index_len);
+    for (std::uint64_t p = 0; p < index_pages; ++p) {
+      const std::vector<std::uint8_t> chunk =
+          pager_->read_expect(index_start + p, PageKind::kIndex);
+      snapshot.insert(snapshot.end(), chunk.begin(), chunk.end());
+    }
+    if (snapshot.size() != index_len) return false;
+    if (crc64(snapshot) != index_crc) return false;
+
+    Cursor in(snapshot, "index snapshot");
+    if (in.u32() != kIndexMagic) return false;
+    const std::uint64_t count = in.u64();
+    if (count > kMaxIndexEntries) return false;
+    std::map<Key, Entry> index;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Key key;
+      key.layout_hash = in.u64();
+      key.kind = in.u32();
+      key.cursor = in.u64();
+      Entry entry;
+      entry.value_len = in.u64();
+      entry.value_crc = in.u64();
+      const std::uint64_t n_pages = in.u64();
+      if (n_pages > kMaxPagesPerEntry) return false;
+      entry.pages.reserve(static_cast<std::size_t>(n_pages));
+      for (std::uint64_t p = 0; p < n_pages; ++p) {
+        const std::uint64_t data_page = in.u64();
+        if (data_page >= id) return false;  // data must precede the commit
+        entry.pages.push_back(data_page);
+      }
+      if (!index.emplace(key, std::move(entry)).second) return false;  // dup key
+    }
+    if (!in.done()) return false;
+
+    // Verify every record end-to-end (page CRCs + whole-value CRC) and build
+    // the dedup map from live pages as we go. This is what protects against
+    // stale commit pages in the dead tail: a commit whose data was since
+    // overwritten cannot pass, and recovery falls back to an older commit.
+    std::map<Digest, std::uint64_t> dedup;
+    for (auto& [key, entry] : index) {
+      std::vector<std::uint8_t> value;
+      value.reserve(static_cast<std::size_t>(entry.value_len));
+      for (std::uint64_t data_page : entry.pages) {
+        const std::vector<std::uint8_t> chunk =
+            pager_->read_expect(data_page, PageKind::kData);
+        dedup.emplace(Digest{crc64(chunk), fnv1a(chunk), chunk.size()}, data_page);
+        value.insert(value.end(), chunk.begin(), chunk.end());
+      }
+      if (value.size() != entry.value_len) return false;
+      if (crc64(value) != entry.value_crc) return false;
+    }
+
+    seq_ = seq;
+    index_ = std::move(index);
+    dedup_ = std::move(dedup);
+    return true;
+  } catch (const StoreError&) {
+    return false;  // torn/corrupt candidate: keep scanning backward
+  }
+}
+
+std::uint64_t Store::append_chunk(std::span<const std::uint8_t> chunk) {
+  const Digest digest{crc64(chunk), fnv1a(chunk), chunk.size()};
+  const auto it = dedup_.find(digest);
+  if (it != dedup_.end()) return it->second;
+  const std::uint64_t id = pager_->append(PageKind::kData, chunk);
+  dedup_.emplace(digest, id);
+  return id;
+}
+
+void Store::put(const Key& key, std::span<const std::uint8_t> value) {
+  Entry entry;
+  entry.value_len = value.size();
+  entry.value_crc = crc64(value);
+  // Fixed chunking (full pages + tail) keeps page boundaries stable across
+  // versions of a record, so unchanged sections dedup between commits.
+  for (std::size_t off = 0; off < value.size(); off += kPagePayload) {
+    const std::size_t len = std::min<std::size_t>(kPagePayload, value.size() - off);
+    entry.pages.push_back(append_chunk(value.subspan(off, len)));
+  }
+  if (value.empty()) {
+    // An empty value still needs a durable existence proof: one empty page.
+    entry.pages.push_back(append_chunk(value));
+  }
+  index_[key] = std::move(entry);
+}
+
+std::vector<std::uint8_t> Store::read_value(const Entry& entry) {
+  std::vector<std::uint8_t> value;
+  value.reserve(static_cast<std::size_t>(entry.value_len));
+  for (std::uint64_t page : entry.pages) {
+    const std::vector<std::uint8_t> chunk = pager_->read_expect(page, PageKind::kData);
+    value.insert(value.end(), chunk.begin(), chunk.end());
+  }
+  if (value.size() != entry.value_len) {
+    throw StoreError("store: record length mismatch (" + std::to_string(value.size()) +
+                     " vs " + std::to_string(entry.value_len) + ")");
+  }
+  if (crc64(value) != entry.value_crc) {
+    throw StoreError("store: record CRC mismatch");
+  }
+  return value;
+}
+
+std::vector<std::uint8_t> Store::get(const Key& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    throw StoreError("store: no record for key (layout " + std::to_string(key.layout_hash) +
+                     ", kind " + std::to_string(key.kind) + ", cursor " +
+                     std::to_string(key.cursor) + ")");
+  }
+  return read_value(it->second);
+}
+
+bool Store::erase(const Key& key) { return index_.erase(key) > 0; }
+
+void Store::commit() {
+  std::vector<std::uint8_t> snapshot;
+  put_u32(snapshot, kIndexMagic);
+  put_u64(snapshot, index_.size());
+  for (const auto& [key, entry] : index_) {
+    put_u64(snapshot, key.layout_hash);
+    put_u32(snapshot, key.kind);
+    put_u64(snapshot, key.cursor);
+    put_u64(snapshot, entry.value_len);
+    put_u64(snapshot, entry.value_crc);
+    put_u64(snapshot, entry.pages.size());
+    for (std::uint64_t page : entry.pages) put_u64(snapshot, page);
+  }
+  const std::uint64_t index_crc = crc64(snapshot);
+
+  const std::uint64_t index_start = pager_->next_page();
+  const std::span<const std::uint8_t> view(snapshot);
+  std::uint64_t index_pages = 0;
+  for (std::size_t off = 0; off < snapshot.size(); off += kPagePayload) {
+    const std::size_t len = std::min<std::size_t>(kPagePayload, snapshot.size() - off);
+    pager_->append(PageKind::kIndex, view.subspan(off, len));
+    ++index_pages;
+  }
+  // Phase 1: all data + index pages durable before the commit record exists.
+  pager_->sync();
+
+  std::vector<std::uint8_t> commit_payload;
+  put_u32(commit_payload, kCommitMagic);
+  put_u64(commit_payload, seq_ + 1);
+  put_u64(commit_payload, index_start);
+  put_u64(commit_payload, index_pages);
+  put_u64(commit_payload, snapshot.size());
+  put_u64(commit_payload, index_crc);
+  pager_->append(PageKind::kCommit, commit_payload);
+  // Phase 2: the commit record itself. Only after THIS sync returns is the
+  // transaction recoverable; a crash between the two syncs loses only the
+  // uncommitted transaction.
+  pager_->sync();
+  ++seq_;
+}
+
+std::vector<Key> Store::keys() const {
+  std::vector<Key> out;
+  out.reserve(index_.size());
+  for (const auto& [key, entry] : index_) out.push_back(key);
+  return out;
+}
+
+std::optional<Key> Store::latest(std::uint64_t layout_hash, std::uint32_t kind) const {
+  std::optional<Key> best;
+  // Entries with one (layout_hash, kind) are contiguous in the sorted map;
+  // the last of them has the highest cursor.
+  const auto end = index_.upper_bound(
+      Key{layout_hash, kind, std::numeric_limits<std::uint64_t>::max()});
+  const auto begin = index_.lower_bound(Key{layout_hash, kind, 0});
+  if (begin == end) return best;
+  auto it = end;
+  --it;
+  best = it->first;
+  return best;
+}
+
+VacuumStats Store::vacuum() {
+  commit();
+  VacuumStats out;
+  out.pages_before = pager_->file_pages();
+
+  const std::string scratch_path = path_ + ".vacuum";
+  std::remove(scratch_path.c_str());
+  {
+    // Rebuild into the scratch file in key order: one transaction holding
+    // every live record, fully synced by its commit. Any crash in here leaves
+    // the original store untouched.
+    Store compact(scratch_path, factory_);
+    for (const auto& [key, entry] : index_) {
+      const std::vector<std::uint8_t> value = read_value(entry);
+      compact.put(key, value);
+    }
+    compact.commit();
+  }
+
+  // Swap the compact file in atomically, then reopen through the factory.
+  pager_.reset();
+  io_.reset();
+  if (std::rename(scratch_path.c_str(), path_.c_str()) != 0) {
+    throw StoreError("store: vacuum rename failed for " + path_);
+  }
+  io_ = factory_(path_);
+  pager_ = std::make_unique<Pager>(*io_);
+  open();
+  out.pages_after = pager_->file_pages();
+  return out;
+}
+
+StoreStats Store::stats() {
+  StoreStats out;
+  out.committed_seq = seq_;
+  out.file_pages = pager_->file_pages();
+  std::set<std::uint64_t> live;
+  for (const auto& [key, entry] : index_) live.insert(entry.pages.begin(), entry.pages.end());
+  out.live_pages = live.size();
+  out.records = index_.size();
+  return out;
+}
+
+}  // namespace quickdrop::store

@@ -1,0 +1,53 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace quickdrop {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("write_file_atomic: " + what + " for " + path + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open temp file", tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write failed", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync BEFORE the rename: otherwise a crash shortly after could leave the
+  // rename durable but the data not, i.e. the exact torn file this exists to
+  // prevent.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync failed", tmp);
+  }
+  if (::close(fd) != 0) fail("close failed", tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) fail("rename failed", path);
+}
+
+void write_file_atomic(const std::string& path, const std::string& text) {
+  write_file_atomic(path,
+                    std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+}  // namespace quickdrop

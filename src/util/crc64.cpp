@@ -1,0 +1,35 @@
+#include "util/crc64.h"
+
+#include <array>
+
+namespace quickdrop {
+namespace {
+
+// Reflected ECMA-182 polynomial (CRC-64/XZ): init and xorout are all-ones.
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;
+
+constexpr std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint64_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint64_t crc64(std::span<const std::uint8_t> bytes, std::uint64_t seed) {
+  std::uint64_t crc = ~seed;
+  for (const std::uint8_t b : bytes) {
+    crc = kTable[static_cast<std::size_t>((crc ^ b) & 0xFF)] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace quickdrop

@@ -1,0 +1,22 @@
+// CRC64 (ECMA-182, reflected — the xz/"CRC-64/XZ" parameterization).
+//
+// The storage engine (src/store) uses this as its torn-write and bit-rot
+// detector: every page and commit record carries a CRC64 over its payload,
+// and recovery-on-open trusts nothing whose checksum does not verify. CRC64
+// is preferred over the checkpoint format's FNV-1a here because it has
+// guaranteed burst-error detection (FNV is a hash, not an error code) while
+// remaining dependency-free and deterministic across platforms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace quickdrop {
+
+/// CRC64 of `bytes` continuing from `seed` (pass the previous return value to
+/// checksum a buffer in chunks). `crc64(b)` == `crc64(b2, crc64(b1))` when
+/// b == b1 + b2. The empty range returns `seed` unchanged.
+std::uint64_t crc64(std::span<const std::uint8_t> bytes, std::uint64_t seed = 0);
+
+}  // namespace quickdrop

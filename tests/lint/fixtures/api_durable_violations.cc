@@ -1,0 +1,24 @@
+// qdlint fixture: API durable-I/O rule — raw persistence outside the
+// crash-safe layers. Analyzed as src/fake/api_durable_violations.cpp — never compiled.
+#include <cstdio>
+#include <fstream>
+
+void durable_examples(const char* path, const void* buf) {
+  std::ofstream out(path);
+  std::fstream rw(path);
+  std::FILE* f = std::fopen(path, "wb");
+  fwrite(buf, 1, 8, f);
+  std::FILE* g = std::fopen(path, "r+");
+  std::FILE* h = fopen(path, mode_of(path));
+}
+
+// Reads are not persistence: never fire.
+void reads_are_fine(const char* path) {
+  std::ifstream in(path);
+  std::FILE* f = std::fopen(path, "rb");
+}
+
+// A justified tear-tolerant write carries a NOLINT.
+void justified(const char* path) {
+  std::ofstream out(path);  // NOLINT(qdlint-api-durable-io) scratch file, regenerated on boot
+}

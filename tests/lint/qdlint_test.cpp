@@ -34,6 +34,7 @@ const std::map<std::string, std::string> kFixtureContexts = {
     {"kernel_violations.cc", "src/tensor/kernel_violations.cpp"},
     {"num_violations.cc", "src/fake/num_violations.cpp"},
     {"api_violations.cc", "src/fake/api_violations.cpp"},
+    {"api_durable_violations.cc", "src/fake/api_durable_violations.cpp"},
     {"header_missing_pragma.hh", "src/fake/header_missing_pragma.h"},
     {"clean_tricky.cc", "src/tensor/clean_tricky.cpp"},
 };
@@ -185,6 +186,32 @@ TEST(LintRules, RawIoAllowedInLoggingToolsAndBench) {
   EXPECT_TRUE(analyze_as("src/util/logging.cpp", src).empty());
   EXPECT_TRUE(analyze_as("tools/some_cli.cpp", src).empty());
   EXPECT_TRUE(analyze_as("bench/some_bench.cpp", src).empty());
+}
+
+TEST(LintRules, DurableIoFiresEverywhereExceptStoreAndUtil) {
+  const std::string src = "#include <fstream>\nstd::ofstream out(\"x.bin\");\n";
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", src)),
+            std::vector<std::string>{"api-durable-io"});
+  // Unlike api-raw-io, tools and bench persist artifacts too — they are NOT
+  // exempt; only the crash-safe layers' own implementations are.
+  EXPECT_EQ(rules_of(analyze_as("tools/some_cli.cpp", src)),
+            std::vector<std::string>{"api-durable-io"});
+  EXPECT_EQ(rules_of(analyze_as("bench/some_bench.cpp", src)),
+            std::vector<std::string>{"api-durable-io"});
+  EXPECT_TRUE(analyze_as("src/store/pager.cpp", src).empty());
+  EXPECT_TRUE(analyze_as("src/util/atomic_file.cpp", src).empty());
+}
+
+TEST(LintRules, DurableIoDistinguishesFopenModes) {
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", "auto* f = std::fopen(p, \"wb\");\n")),
+            std::vector<std::string>{"api-durable-io"});
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", "auto* f = std::fopen(p, \"a\");\n")),
+            std::vector<std::string>{"api-durable-io"});
+  // A non-literal mode cannot be proven read-only: flagged.
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", "auto* f = std::fopen(p, mode());\n")),
+            std::vector<std::string>{"api-durable-io"});
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", "auto* f = std::fopen(p, \"rb\");\n").empty());
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", "std::ifstream in(p);\n").empty());
 }
 
 TEST(LintRules, PragmaOnceSatisfiedHeaderIsSilent) {

@@ -109,6 +109,60 @@ TEST(TraceTest, ParseRejectsMalformedLines) {
   EXPECT_THROW(parse_request("1.0 class 3 what=1"), std::invalid_argument);  // unknown field
 }
 
+TEST(TraceTest, ParseReportsLineNumbersInTypedErrors) {
+  // Errors surface as TraceError carrying the 1-based line of the offender,
+  // comments and blanks included in the count.
+  try {
+    parse_trace("# header\n1.0 class 3\n\n2.0 shard 9\n");
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.line_number, 4);
+    EXPECT_NE(std::string(e.what()).find("trace line 4"), std::string::npos);
+  }
+  // TraceError IS-A invalid_argument, so pre-existing catch sites still work.
+  EXPECT_THROW(parse_trace("1.0 class notanint\n"), std::invalid_argument);
+}
+
+TEST(TraceTest, ParseRejectsMidLineTruncation) {
+  // A crash mid-write leaves the final line without its newline; the parser
+  // must refuse the file rather than silently accept a possibly-torn record.
+  try {
+    parse_trace("1.0 class 3\n2.0 client 1");
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.line_number, 2);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  // Same text with its newline restored parses fine.
+  EXPECT_EQ(parse_trace("1.0 class 3\n2.0 client 1\n").size(), 2u);
+}
+
+TEST(TraceTest, ParseRejectsOverlongLines) {
+  // Binary garbage fed as a trace tends to decode as one enormous "line";
+  // cap at 4096 bytes with a typed error instead of attempting to tokenize.
+  std::string text = "1.0 class 3\n2.0 client 1 ";
+  text.append(5000, 'x');
+  text += "\n";
+  try {
+    parse_trace(text);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.line_number, 2);
+    EXPECT_NE(std::string(e.what()).find("4096"), std::string::npos);
+  }
+}
+
+TEST(TraceTest, ParseWrapsOutOfRangeNumbersWithLineNumbers) {
+  // std::stoi/stod throw out_of_range, not invalid_argument; the parser must
+  // translate those into line-numbered TraceErrors too.
+  try {
+    parse_trace("1.0 class 99999999999999999999\n");
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.line_number, 1);
+  }
+}
+
 TEST(TraceTest, GenerateRejectsNonsense) {
   Rng rng(1);
   ArrivalConfig bad;

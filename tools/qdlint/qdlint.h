@@ -15,7 +15,8 @@
 //          static locals in kernel TUs)
 //   NUM  — numeric safety (float ==/!=, double literals in float kernels)
 //   API  — I/O and header hygiene (logging only via util/logging, #pragma
-//          once everywhere)
+//          once everywhere, durable writes only via store/ or
+//          util/atomic_file — raw ofstream/fwrite persistence can tear)
 //
 // Suppressions:
 //   // NOLINT(qdlint-<rule>)          same line
@@ -96,6 +97,7 @@ struct FileContext {
   bool is_kernel_tu = false;    // src/tensor/*.cpp — hot kernels
   bool is_thread_pool = false;  // src/util/thread_pool.* — the one home of raw threads
   bool is_logging = false;      // src/util/logging.* — the one home of raw I/O
+  bool is_durable_io = false;   // src/store/*, src/util/* — the home of raw durable writes
 };
 
 /// Classifies `relpath` (repo-relative, '/'-separated).

@@ -15,7 +15,7 @@ const std::vector<std::string> kAllRules = {
     "det-random-device", "det-rand",        "det-time-seed",   "det-sleep",
     "det-unordered-iter", "conc-raw-thread", "conc-detach",     "conc-ref-capture",
     "conc-static-local",  "num-float-eq",    "num-narrow-literal",
-    "api-raw-io",         "api-pragma-once", "api-flatstate",
+    "api-raw-io",         "api-pragma-once", "api-flatstate",   "api-durable-io",
 };
 
 struct Ctx {
@@ -455,6 +455,51 @@ void rule_pragma_once(Ctx& c) {
            "add `#pragma once` as the first directive");
 }
 
+void rule_durable_io(Ctx& c) {
+  // Persistence must go through the crash-safe layers: store/ (paged,
+  // CRC'd, two-phase committed) or util/atomic_file.h (tmp + fsync +
+  // rename). A raw std::ofstream / fwrite / write-mode fopen can tear on
+  // crash, leaving a half-written checkpoint, trace or report that the
+  // reader then mis-parses. Those two directories are the rule's home and
+  // are exempt; reads (ifstream, read-mode fopen) are always fine.
+  if (c.file.is_durable_io) return;
+  const char* hint =
+      "persist through store::Store (transactional) or util/atomic_file.h "
+      "write_file_atomic (atomic replace); NOLINT(qdlint-api-durable-io) if "
+      "the write is genuinely tear-tolerant";
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = c.toks[i].text;
+    if (t == "ofstream" || t == "fstream") {
+      // std::fstream opened for writing shares the tearing problem; plain
+      // `fstream` idents also cover `using std::ofstream` styles.
+      c.report("api-durable-io", c.toks[i],
+               "raw " + t + " persistence can tear on crash", hint);
+      continue;
+    }
+    const bool callish = (!c.member_or_qualified(i) || c.std_qualified(i)) && c.punct(i + 1, "(");
+    if (!callish) continue;
+    if (t == "fwrite") {
+      c.report("api-durable-io", c.toks[i], "raw fwrite persistence can tear on crash", hint);
+    } else if (t == "fopen") {
+      // Only write modes are durable-io; inspect the mode string literal.
+      const std::size_t end = c.match_paren(i + 1);
+      const Token* mode = nullptr;
+      for (std::size_t j = i + 2; j < end; ++j) {
+        if (c.toks[j].kind == TokKind::kString) mode = &c.toks[j];
+      }
+      const bool writes = mode == nullptr ||  // non-literal mode: assume the worst
+                          mode->text.find('w') != std::string::npos ||
+                          mode->text.find('a') != std::string::npos ||
+                          mode->text.find('+') != std::string::npos;
+      if (writes) {
+        c.report("api-durable-io", c.toks[i],
+                 "fopen in a write mode can tear on crash", hint);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& all_rules() { return kAllRules; }
@@ -472,6 +517,7 @@ FileContext classify(const std::string& relpath) {
   ctx.is_kernel_tu = starts("src/tensor/") && ends(".cpp");
   ctx.is_thread_pool = starts("src/util/thread_pool.");
   ctx.is_logging = starts("src/util/logging.");
+  ctx.is_durable_io = starts("src/store/") || starts("src/util/");
   return ctx;
 }
 
@@ -493,6 +539,7 @@ std::vector<Finding> analyze(const FileContext& ctx, const std::string& source) 
   rule_raw_io(c);
   rule_pragma_once(c);
   rule_flatstate(c);
+  rule_durable_io(c);
   std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     if (a.col != b.col) return a.col < b.col;

@@ -28,11 +28,11 @@
 #include <stdexcept>
 #include <string>
 
-#include <fstream>
-
 #include "core/checkpoint.h"
 #include "core/quickdrop.h"
 #include "serve/service.h"
+#include "store/store.h"
+#include "util/atomic_file.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "metrics/evaluate.h"
@@ -274,6 +274,13 @@ int cmd_train(qd::CliFlags& flags) {
                 spec.dataset.c_str(), spec.rounds, spec.scale);
   }
 
+  // With --checkpoint-every the output file is a crash-safe store: every
+  // partial checkpoint is a committed transaction, rounds dedup unchanged
+  // pages against each other, and a kill at any point reopens to the last
+  // committed round. Without it, the output is a legacy single-blob
+  // checkpoint (written atomically). load_checkpoint() sniffs either format.
+  std::optional<qd::store::Store> store;
+  if (checkpoint_every > 0) store.emplace(out);
   qd::fl::RoundCursorCallback cursor_cb;
   if (checkpoint_every > 0) {
     cursor_cb = [&](int round, const qd::nn::ModelState& state, const qd::Rng& rng) {
@@ -282,8 +289,9 @@ int cmd_train(qd::CliFlags& flags) {
       auto cp = qd::core::make_checkpoint(state, fed.quickdrop->stores());
       cp.metadata = spec.to_metadata();
       cp.cursor = qd::core::RoundCursor{"train", done, rng.serialize()};
-      qd::core::save_checkpoint(cp, out);
-      std::printf("  partial checkpoint at round %d -> %s\n", done, out.c_str());
+      qd::core::save_checkpoint(cp, *store, static_cast<std::uint64_t>(done));
+      std::printf("  partial checkpoint at round %d committed to %s (seq %llu)\n", done,
+                  out.c_str(), static_cast<unsigned long long>(store->committed_seq()));
     };
   }
 
@@ -301,8 +309,19 @@ int cmd_train(qd::CliFlags& flags) {
   }
   auto cp = qd::core::make_checkpoint(state, fed.quickdrop->stores());
   cp.metadata = spec.to_metadata();
-  qd::core::save_checkpoint(cp, out);
-  std::printf("checkpoint written to %s\n", out.c_str());
+  if (store) {
+    qd::core::save_checkpoint(cp, *store, static_cast<std::uint64_t>(spec.rounds));
+    const auto stats = store->stats();
+    std::printf("checkpoint committed to %s (seq %llu, %llu records, %llu live / %llu file "
+                "pages)\n",
+                out.c_str(), static_cast<unsigned long long>(stats.committed_seq),
+                static_cast<unsigned long long>(stats.records),
+                static_cast<unsigned long long>(stats.live_pages),
+                static_cast<unsigned long long>(stats.file_pages));
+  } else {
+    qd::core::save_checkpoint(cp, out);
+    std::printf("checkpoint written to %s\n", out.c_str());
+  }
   return 0;
 }
 
@@ -325,6 +344,15 @@ int cmd_eval(qd::CliFlags& flags) {
 int cmd_inspect(qd::CliFlags& flags) {
   const auto path = flags.get_string("checkpoint", "model.qdcp");
   flags.check_unused();
+  if (qd::store::Store::sniff(path)) {
+    qd::store::Store store(path);
+    const auto stats = store.stats();
+    std::printf("store file: seq %llu, %llu records, %llu live / %llu file pages\n",
+                static_cast<unsigned long long>(stats.committed_seq),
+                static_cast<unsigned long long>(stats.records),
+                static_cast<unsigned long long>(stats.live_pages),
+                static_cast<unsigned long long>(stats.file_pages));
+  }
   const auto cp = qd::core::load_checkpoint(path);
   std::printf("checkpoint %s\n", path.c_str());
   for (const auto& [key, value] : cp.metadata) std::printf("  %s = %s\n", key.c_str(), value.c_str());
@@ -449,9 +477,7 @@ int cmd_serve(qd::CliFlags& flags) {
   print_eval(fed, service.state());
 
   if (!json_path.empty()) {
-    std::ofstream json_out(json_path);
-    if (!json_out) throw std::runtime_error("cannot write " + json_path);
-    json_out << report.to_json();
+    qd::write_file_atomic(json_path, report.to_json());
     std::printf("metrics written to %s\n", json_path.c_str());
   }
   if (!out.empty()) {
