@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "data/partition.h"
+#include "fl/quantize.h"
 #include "nn/convnet.h"
 #include "util/table.h"
 
@@ -34,6 +35,8 @@ WorldConfig WorldConfig::from_flags(CliFlags& flags) {
   cfg.net_width = flags.get_int("width", cfg.net_width);
   cfg.net_depth = flags.get_int("depth", cfg.net_depth);
   cfg.eraser_interval = flags.get_int("eraser-interval", cfg.eraser_interval);
+  cfg.quantize = flags.get_string("quantize-updates", cfg.quantize);
+  fl::codec_from_string(cfg.quantize);  // validate early: throws on a typo
   return cfg;
 }
 
@@ -116,6 +119,7 @@ World build_world(const WorldConfig& config) {
   qd.recovery_rounds = config.recovery_rounds;
   qd.unlearn_local_steps = config.local_steps;
   qd.unlearn_batch_size = config.unlearn_batch > 0 ? config.unlearn_batch : config.batch_size;
+  qd.transport.codec = fl::codec_from_string(config.quantize);
 
   World world{.config = config,
               .train = tt.train,

@@ -53,6 +53,11 @@ struct WorldConfig {
 
   int eraser_interval = 3;
 
+  /// Client→server update transport for every FL phase: "off" | "int8" |
+  /// "bf16" (see fl/quantize.h). Applies to training and to every method's
+  /// unlearn/recovery rounds run through this world.
+  std::string quantize = "off";
+
   /// Reads overrides from --dataset, --clients, --alpha, --rounds, ... .
   static WorldConfig from_flags(CliFlags& flags);
 };

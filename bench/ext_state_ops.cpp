@@ -5,13 +5,20 @@
 // loops, float accumulation) as the baseline. Results land in
 // BENCH_state_ops.json (see main below) for machine consumption; run_all.sh
 // checks the file exists after the bench sweep.
+// The *Scalar/*Simd pairs pin the microkernel dispatch (tensor/simd.h) to
+// one table on L2-resident buffers, isolating the SIMD speedup from memory
+// bandwidth (acceptance: >= 2x at 1 thread on axpy / weighted_average /
+// l2_distance). The Quantize* benchmarks measure the int8/bf16 update codec
+// (fl/quantize.h) and report the wire/fp32 byte ratio as a counter.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
+#include "fl/quantize.h"
 #include "nn/state.h"
+#include "tensor/simd.h"
 #include "util/thread_pool.h"
 
 namespace qd = quickdrop;
@@ -198,6 +205,111 @@ void BM_SerializePerTensor(benchmark::State& state) {
                           static_cast<std::int64_t>(sizeof(float)));
 }
 BENCHMARK(BM_SerializePerTensor);
+
+// ---------------------------------------------------------------------------
+// Scalar vs SIMD dispatch columns (1 thread, L2-resident working set)
+// ---------------------------------------------------------------------------
+
+// Pins the microkernel table for one benchmark run. kAuto restores the
+// startup selection on scope exit.
+struct DispatchScope {
+  explicit DispatchScope(qd::simd::Dispatch d) { qd::simd::force_dispatch(d); }
+  ~DispatchScope() { qd::simd::force_dispatch(qd::simd::Dispatch::kAuto); }
+};
+
+qd::simd::Dispatch dispatch_of(std::int64_t arg) {
+  return arg == 0 ? qd::simd::Dispatch::kScalar : qd::simd::Dispatch::kAvx2;
+}
+
+// 32k floats (128 KB) per buffer: resident in L2, so the elementwise pairs
+// compare compute throughput rather than memory bandwidth.
+nn::ModelState make_small(float phase) {
+  auto layout = nn::StateLayout::of_shapes({qd::Shape{32768}});
+  std::vector<float> values(static_cast<std::size_t>(layout->total()));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 0.001f * static_cast<float>((i * 2654435761ULL) % 2003) - 1.0f + phase;
+  }
+  return {std::move(layout), std::move(values)};
+}
+
+void BM_AxpyDispatch(benchmark::State& state) {
+  PoolScope pool(1);
+  DispatchScope dispatch(dispatch_of(state.range(0)));
+  auto y = make_small(0.0f);
+  const auto x = make_small(0.5f);
+  for (auto _ : state) {
+    nn::axpy(y, x, 0.001f);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * y.numel());
+}
+BENCHMARK(BM_AxpyDispatch)->ArgNames({"simd"})->Arg(0)->Arg(1);
+
+void BM_WeightedAverageDispatch(benchmark::State& state) {
+  PoolScope pool(1);
+  DispatchScope dispatch(dispatch_of(state.range(0)));
+  std::vector<nn::ModelState> states;
+  std::vector<float> weights;
+  for (int c = 0; c < 8; ++c) {
+    states.push_back(make_small(0.01f * static_cast<float>(c)));
+    weights.push_back(0.125f);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::weighted_average(states, weights));
+  }
+  state.SetItemsProcessed(state.iterations() * states.front().numel() * 8);
+}
+BENCHMARK(BM_WeightedAverageDispatch)->ArgNames({"simd"})->Arg(0)->Arg(1);
+
+void BM_L2DistanceDispatch(benchmark::State& state) {
+  PoolScope pool(1);
+  DispatchScope dispatch(dispatch_of(state.range(0)));
+  const auto a = make_small(0.0f);
+  const auto b = make_small(0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::l2_distance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_L2DistanceDispatch)->ArgNames({"simd"})->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------------
+// Quantized update transport: codec throughput and the fp32-vs-quantized
+// byte ratio (acceptance: int8 wire <= 30% of raw fp32)
+// ---------------------------------------------------------------------------
+
+qd::fl::Codec codec_of(std::int64_t arg) {
+  return arg == 0 ? qd::fl::Codec::kInt8 : qd::fl::Codec::kBf16;
+}
+
+void BM_QuantizeEncode(benchmark::State& state) {
+  const auto delta = make_flat(0.25f);
+  const auto codec = codec_of(state.range(0));
+  std::size_t wire_bytes = 0;
+  for (auto _ : state) {
+    const auto wire = qd::fl::encode_delta(delta, codec);
+    wire_bytes = wire.size();
+    benchmark::DoNotOptimize(wire.data());
+  }
+  const auto fp32_bytes = static_cast<double>(nn::state_bytes(delta));
+  state.counters["wire_bytes"] = static_cast<double>(wire_bytes);
+  state.counters["fp32_bytes"] = fp32_bytes;
+  state.counters["bytes_ratio"] = static_cast<double>(wire_bytes) / fp32_bytes;
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(fp32_bytes));
+}
+BENCHMARK(BM_QuantizeEncode)->ArgNames({"bf16"})->Arg(0)->Arg(1);
+
+void BM_QuantizeDecode(benchmark::State& state) {
+  const auto delta = make_flat(0.25f);
+  const auto codec = codec_of(state.range(0));
+  const auto wire = qd::fl::encode_delta(delta, codec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qd::fl::decode_delta(wire, delta.layout()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nn::state_bytes(delta)));
+}
+BENCHMARK(BM_QuantizeDecode)->ArgNames({"bf16"})->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -16,6 +16,7 @@
 #include "fl/client_update.h"
 #include "nn/convnet.h"
 #include "tensor/kernels.h"
+#include "tensor/simd.h"
 #include "util/thread_pool.h"
 
 namespace qd = quickdrop;
@@ -166,6 +167,33 @@ void BM_ConvForwardBackwardThreads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_ConvForwardBackwardThreads)->ArgNames({"threads"})->Apply(thread_args);
+
+// --- Scalar vs SIMD microkernel dispatch (tensor/simd.h) on the blocked
+// --- matmul, 1 thread: the same fixed-block partitioning runs with either
+// --- table, so this isolates the AVX2 tile speedup.
+
+struct DispatchScope {
+  explicit DispatchScope(qd::simd::Dispatch d) { qd::simd::force_dispatch(d); }
+  ~DispatchScope() { qd::simd::force_dispatch(qd::simd::Dispatch::kAuto); }
+};
+
+void BM_MatMulDispatch(benchmark::State& state) {
+  const PoolScope pool(1);
+  const DispatchScope dispatch(state.range(1) == 0 ? qd::simd::Dispatch::kScalar
+                                                   : qd::simd::Dispatch::kAvx2);
+  const auto n = state.range(0);
+  qd::Rng rng(1);
+  const auto a = qd::Tensor::randn({n, n}, rng);
+  const auto b = qd::Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(k::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulDispatch)
+    ->ArgNames({"n", "simd"})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
 
 void BM_SgaUnlearnStep(benchmark::State& state) {
   // One SGA ascent step on a QuickDrop-sized synthetic forget batch.

@@ -83,6 +83,14 @@ else
   echo "state-ops bench: MISSING BENCH_state_ops.json" | tee -a bench_output.txt
 fi
 
+# Likewise the substrate microbenchmark (bench/micro_ops): kernel/autograd
+# unit costs plus the scalar-vs-SIMD matmul dispatch columns (DESIGN.md §13).
+if [ -f BENCH_micro_ops.json ]; then
+  echo "micro-ops bench: BENCH_micro_ops.json written" | tee -a bench_output.txt
+else
+  echo "micro-ops bench: MISSING BENCH_micro_ops.json" | tee -a bench_output.txt
+fi
+
 # Likewise the store microbenchmark (bench/ext_store): commit/recover/vacuum
 # throughput and store-vs-blob checkpoint saves — see DESIGN.md §12.
 if [ -f BENCH_store.json ]; then

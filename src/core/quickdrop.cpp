@@ -34,6 +34,7 @@ nn::ModelState QuickDrop::train(const fl::RoundCallback& callback,
   fl::FedAvgConfig fed{.rounds = config_.fl_rounds, .participation = config_.participation};
   fed.faults = config_.faults;
   fed.defense = config_.defense;
+  fed.transport = config_.transport;
   // Concurrent clients, except when fine-tuning follows: finetune_store
   // re-initializes models from the shared factory RNG, and the number of
   // factory calls the parallel engine makes depends on the thread count —
@@ -165,6 +166,7 @@ nn::ModelState QuickDrop::run_phase(const nn::ModelState& start,
   fl::FedAvgConfig fed{.rounds = rounds, .participation = participation};
   fed.faults = config_.faults;
   fed.defense = config_.defense;
+  fed.transport = config_.transport;
   fed.start_round = start_round;
   fed.client_model_factory = factory_;
   fl::CostMeter cost;

@@ -51,6 +51,10 @@ struct QuickDropConfig {
   fl::FaultPlan faults;
   /// Server-side defenses (update validation, quorum/retry) for every phase.
   fl::DefenseConfig defense;
+  /// Client→server update transport for every phase (train/unlearn/recover/
+  /// relearn). Quantizing codecs cut uploaded bytes ~4× (int8) at a small,
+  /// bounded accuracy cost (see fl/quantize.h and DESIGN.md §13).
+  fl::TransportConfig transport;
   /// Relearning trains on the (synthetic) forget set ONLY, so it must be
   /// gentle enough not to catastrophically forget the retained classes.
   float relearn_lr = 0.02f;
@@ -181,6 +185,10 @@ class QuickDrop {
   /// Toggles §3.3.1 recovery augmentation (used by the ablation bench; does
   /// not require retraining).
   void set_augment_recovery(bool enabled) { config_.augment_recovery = enabled; }
+
+  /// Swaps the update-transport codec for subsequent phases (used by the
+  /// accuracy-vs-compression sweep bench; does not require retraining).
+  void set_transport(fl::TransportConfig transport) { config_.transport = transport; }
 
   /// Replaces the synthetic stores, e.g. with stores restored from a
   /// checkpoint (see core/checkpoint.h) — unlearning requests can then be

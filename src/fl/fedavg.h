@@ -39,6 +39,8 @@ struct FedAvgConfig {
   /// Optional: enables concurrent client execution (see
   /// ResilientConfig::client_model_factory). Empty = serial clients.
   ModelFactory client_model_factory;
+  /// Client→server update transport (see ResilientConfig::transport).
+  TransportConfig transport;
 };
 
 /// Runs `config.rounds` rounds of FedAvg (Algorithm 1's outer loop):

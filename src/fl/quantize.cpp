@@ -1,0 +1,231 @@
+#include "fl/quantize.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace quickdrop::fl {
+namespace {
+
+constexpr std::uint64_t kWireMagicV1 = 0x5144'5751'0000'0001ULL;  // "QDWQ" v1
+
+constexpr std::uint8_t kZeroBlock = 0;
+constexpr std::uint8_t kInt8Block = 1;
+constexpr std::uint8_t kRawBlock = 2;
+constexpr std::uint8_t kBf16Block = 3;
+
+void put_u64(std::vector<std::uint8_t>& bytes, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f32(std::vector<std::uint8_t>& bytes, float v) {
+  const auto bits = std::bit_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+/// bf16 with round-to-nearest-even truncation of the low 16 mantissa bits.
+/// Callers only pass finite values (non-finite blocks go through kRawBlock),
+/// so the carry can at most round a near-FLT_MAX value up to infinity —
+/// which decodes as non-finite and is quarantined like any exploded update.
+std::uint16_t to_bf16(float v) {
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  bits += 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<std::uint16_t>(bits >> 16);
+}
+
+float from_bf16(std::uint16_t h) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(h) << 16);
+}
+
+/// Per-block scan: largest absolute value, and whether every value is finite.
+struct BlockStats {
+  float amax = 0.0f;
+  bool finite = true;
+};
+
+BlockStats scan_block(const float* x, std::int64_t n) {
+  BlockStats s;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i])) {
+      s.finite = false;
+      return s;
+    }
+    s.amax = std::max(s.amax, std::fabs(x[i]));
+  }
+  return s;
+}
+
+struct WireReader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  [[noreturn]] static void fail(const char* what) {
+    throw nn::StateError(std::string("decode_delta: ") + what);
+  }
+
+  std::uint8_t u8(const char* what) {
+    if (pos + 1 > bytes.size()) fail(what);
+    return bytes[pos++];
+  }
+
+  std::uint64_t u64(const char* what) {
+    if (pos + 8 > bytes.size()) fail(what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+
+  float f32(const char* what) {
+    if (pos + 4 > bytes.size()) fail(what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    pos += 4;
+    return std::bit_cast<float>(v);
+  }
+
+  std::span<const std::uint8_t> raw(std::size_t n, const char* what) {
+    if (pos + n > bytes.size()) fail(what);
+    const auto out = bytes.subspan(pos, n);
+    pos += n;
+    return out;
+  }
+};
+
+}  // namespace
+
+Codec codec_from_string(const std::string& name) {
+  if (name == "off" || name == "none") return Codec::kNone;
+  if (name == "int8") return Codec::kInt8;
+  if (name == "bf16") return Codec::kBf16;
+  throw std::invalid_argument("unknown update codec '" + name + "' (off|int8|bf16)");
+}
+
+const char* codec_name(Codec codec) {
+  switch (codec) {
+    case Codec::kNone: return "off";
+    case Codec::kInt8: return "int8";
+    case Codec::kBf16: return "bf16";
+  }
+  throw std::invalid_argument("codec_name: unknown codec");
+}
+
+std::vector<std::uint8_t> encode_delta(const nn::ModelState& delta, Codec codec) {
+  if (delta.empty()) throw std::invalid_argument("encode_delta: empty state");
+  if (codec == Codec::kNone) {
+    throw std::invalid_argument("encode_delta: kNone ships raw states, not wire frames");
+  }
+  const auto d = delta.data();
+  const std::int64_t n = delta.numel();
+  std::vector<std::uint8_t> bytes;
+  // Worst case is every block raw: header + per-block tag + fp32 payload.
+  bytes.reserve(static_cast<std::size_t>(25 + n / kQuantBlock + 1 + n * 4));
+  put_u64(bytes, kWireMagicV1);
+  put_u64(bytes, delta.layout()->hash());
+  bytes.push_back(static_cast<std::uint8_t>(codec));
+  put_u64(bytes, static_cast<std::uint64_t>(n));
+
+  for (std::int64_t lo = 0; lo < n; lo += kQuantBlock) {
+    const std::int64_t len = std::min(n - lo, kQuantBlock);
+    const float* x = d.data() + lo;
+    const BlockStats stats = scan_block(x, len);
+    if (!stats.finite) {
+      // Ship the block bit-exactly: server-side validation must still see
+      // the corruption, and float→int8 conversion of NaN/Inf is UB.
+      bytes.push_back(kRawBlock);
+      for (std::int64_t i = 0; i < len; ++i) put_f32(bytes, x[i]);
+      continue;
+    }
+    // Exact sentinel: amax is a max of absolute values, 0.0f iff every input
+    // is exactly ±0. NOLINTNEXTLINE(qdlint-num-float-eq)
+    if (stats.amax == 0.0f) {
+      bytes.push_back(kZeroBlock);
+      continue;
+    }
+    if (codec == Codec::kBf16) {
+      bytes.push_back(kBf16Block);
+      for (std::int64_t i = 0; i < len; ++i) {
+        const std::uint16_t h = to_bf16(x[i]);
+        bytes.push_back(static_cast<std::uint8_t>(h & 0xFFu));
+        bytes.push_back(static_cast<std::uint8_t>(h >> 8));
+      }
+      continue;
+    }
+    // int8: symmetric per-block scale. std::lround is half-away-from-zero
+    // regardless of the runtime rounding mode, so encoding is deterministic.
+    const float scale = stats.amax / 127.0f;
+    const double inv = 1.0 / static_cast<double>(scale);
+    bytes.push_back(kInt8Block);
+    put_f32(bytes, scale);
+    for (std::int64_t i = 0; i < len; ++i) {
+      const long q = std::lround(static_cast<double>(x[i]) * inv);
+      const long clamped = std::clamp(q, -127L, 127L);
+      bytes.push_back(static_cast<std::uint8_t>(static_cast<std::int8_t>(clamped)));
+    }
+  }
+  return bytes;
+}
+
+nn::ModelState decode_delta(std::span<const std::uint8_t> bytes,
+                            const std::shared_ptr<const nn::StateLayout>& layout) {
+  if (!layout) throw nn::StateError("decode_delta: null layout");
+  WireReader r{bytes};
+  if (r.u64("magic") != kWireMagicV1) WireReader::fail("bad magic");
+  if (r.u64("layout hash") != layout->hash()) WireReader::fail("layout hash mismatch");
+  const auto codec = r.u8("codec");
+  if (codec != static_cast<std::uint8_t>(Codec::kInt8) &&
+      codec != static_cast<std::uint8_t>(Codec::kBf16)) {
+    WireReader::fail("unknown codec");
+  }
+  const auto numel = r.u64("total numel");
+  if (numel != static_cast<std::uint64_t>(layout->total())) {
+    WireReader::fail("numel does not match layout");
+  }
+  const auto n = static_cast<std::int64_t>(numel);
+  std::vector<float> values(static_cast<std::size_t>(n), 0.0f);
+  for (std::int64_t lo = 0; lo < n; lo += kQuantBlock) {
+    const std::int64_t len = std::min(n - lo, kQuantBlock);
+    float* out = values.data() + lo;
+    const std::uint8_t tag = r.u8("block tag");
+    switch (tag) {
+      case kZeroBlock:
+        break;  // values are pre-zeroed
+      case kRawBlock: {
+        const auto payload = r.raw(static_cast<std::size_t>(len) * 4, "raw payload");
+        std::memcpy(out, payload.data(), payload.size());
+        break;
+      }
+      case kBf16Block: {
+        const auto payload = r.raw(static_cast<std::size_t>(len) * 2, "bf16 payload");
+        for (std::int64_t i = 0; i < len; ++i) {
+          const auto u = static_cast<std::size_t>(i) * 2;
+          out[i] = from_bf16(static_cast<std::uint16_t>(
+              payload[u] | (static_cast<std::uint16_t>(payload[u + 1]) << 8)));
+        }
+        break;
+      }
+      case kInt8Block: {
+        const float scale = r.f32("int8 scale");
+        if (!std::isfinite(scale) || scale <= 0.0f) WireReader::fail("bad int8 scale");
+        const auto payload = r.raw(static_cast<std::size_t>(len), "int8 payload");
+        for (std::int64_t i = 0; i < len; ++i) {
+          const auto q = static_cast<std::int8_t>(payload[static_cast<std::size_t>(i)]);
+          out[i] = static_cast<float>(q) * scale;
+        }
+        break;
+      }
+      default:
+        WireReader::fail("unknown block tag");
+    }
+  }
+  if (r.pos != bytes.size()) WireReader::fail("trailing bytes");
+  return {layout, std::move(values)};
+}
+
+}  // namespace quickdrop::fl

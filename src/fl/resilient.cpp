@@ -11,10 +11,13 @@
 namespace quickdrop::fl {
 namespace {
 
-/// One upload that reached the server in time.
+/// One upload that reached the server in time. With a quantizing transport
+/// codec the client fills `wire` (the encoded delta) instead of `state`; the
+/// server decodes and reconstructs the state when it collects the slot.
 struct Delivery {
   int client = 0;
   nn::ModelState state;
+  std::vector<std::uint8_t> wire;
   double update_norm = 0.0;
 };
 
@@ -138,10 +141,22 @@ nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
                                      static_cast<std::uint64_t>(c));
           apply_corruption(fault, state, global, fault_rng);
         }
-        ccost.add_exchange(nn::state_bytes(state), nn::state_bytes(global));
         Delivery d;
         d.client = c;
-        d.state = std::move(state);
+        if (config.transport.codec != Codec::kNone) {
+          // Quantized transport: ship the encoded delta against the round's
+          // global state. Encoding happens after fault corruption, so a
+          // corrupted update crosses the wire the way a real faulty client
+          // would send it (non-finite blocks ride the raw-block escape and
+          // reach server-side validation bit-exactly).
+          const nn::ModelState delta = nn::subtract(state, global);
+          d.wire = encode_delta(delta, config.transport.codec);
+          ccost.add_exchange(static_cast<std::int64_t>(d.wire.size()),
+                             nn::state_bytes(global));
+        } else {
+          ccost.add_exchange(nn::state_bytes(state), nn::state_bytes(global));
+          d.state = std::move(state);
+        }
         slots[idx] = std::move(d);
       };
 
@@ -170,7 +185,26 @@ nn::ModelState run_resilient(nn::Module& model, nn::ModelState global,
       delivered.reserve(cohort.size());
       for (std::size_t idx = 0; idx < cohort.size(); ++idx) {
         cost += slot_costs[idx];
-        if (slots[idx]) delivered.push_back(std::move(*slots[idx]));
+        if (!slots[idx]) continue;
+        Delivery d = std::move(*slots[idx]);
+        if (!d.wire.empty()) {
+          // Serial decode in cohort order: reconstruct global + delta into
+          // the delivery before validation sees it. A frame that fails to
+          // decode is quarantined exactly like a corrupted raw upload.
+          try {
+            const nn::ModelState delta = decode_delta(d.wire, layout);
+            d.state = global;
+            nn::axpy(d.state, delta, 1.0f);
+          } catch (const nn::StateError&) {
+            ++cost.quarantined_updates;
+            QD_LOG_WARN << "round " << round << ": quarantined update from client " << d.client
+                        << " (undecodable transport frame)";
+            continue;
+          }
+          d.wire.clear();
+          d.wire.shrink_to_fit();
+        }
+        delivered.push_back(std::move(d));
       }
 
       // Server phase: validate deliveries before they touch the aggregate.

@@ -19,6 +19,7 @@
 #include "fl/client_update.h"
 #include "fl/cost.h"
 #include "fl/faults.h"
+#include "fl/quantize.h"
 #include "nn/state.h"
 
 namespace quickdrop::fl {
@@ -68,6 +69,12 @@ struct ResilientConfig {
   /// fixed client-index order. When empty (default), clients run serially
   /// on the caller's scratch model.
   ModelFactory client_model_factory;
+  /// Client→server update transport. With a quantizing codec, each client
+  /// ships its encoded state delta (see fl/quantize.h) instead of the raw
+  /// fp32 state; the server decodes and reconstructs `global + delta` before
+  /// validation, and a delta that fails to decode is quarantined like a
+  /// corrupted upload. Uploaded-byte accounting reflects the wire size.
+  TransportConfig transport;
 };
 
 /// Runs rounds [config.start_round, config.rounds) of fault-tolerant FedAvg:

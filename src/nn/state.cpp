@@ -1,20 +1,22 @@
 #include "nn/state.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <functional>
 #include <utility>
 
+#include "tensor/simd.h"
 #include "util/thread_pool.h"
 
 namespace quickdrop::nn {
 namespace {
 
-// Fixed reduction block: block boundaries depend only on the element count —
-// never on the pool size — and per-block partials are combined serially in
-// block order, so reductions are bitwise-identical at any --threads.
-constexpr std::int64_t kReductionBlock = 1 << 14;
+// Elementwise per-chunk work that weighted_average folds through its on-stack
+// double scratch at a time. Sub-chunk boundaries cannot affect result bits:
+// each element's accumulation chain is independent of where the cuts fall.
+constexpr std::int64_t kWavgChunk = 2048;
 
 // Hardening caps for deserialize_state. Generous (a state of 2^31 floats is
 // 8 GiB) but finite, so a corrupted length field cannot drive a near-infinite
@@ -53,18 +55,20 @@ void check_compatible(const FlatState& a, const FlatState& b, const char* contex
   throw StateError(std::string(context) + ": state layout mismatch");
 }
 
-/// Sum of squares over a fixed-block partition, combined in block order.
-double block_sum_squares(std::int64_t n, const std::function<double(std::int64_t, std::int64_t)>& block_fn) {
-  if (n == 0) return 0.0;
-  const std::int64_t num_blocks = (n + kReductionBlock - 1) / kReductionBlock;
+/// Sum of squares over the layout's hoisted fixed-block partition, combined
+/// serially in block order.
+double block_sum_squares(const StateLayout& layout,
+                         const std::function<double(std::int64_t, std::int64_t)>& block_fn) {
+  const std::int64_t num_blocks = layout.num_blocks();
+  if (num_blocks == 0) return 0.0;
+  const auto& bounds = layout.block_bounds();
   std::vector<double> partials(static_cast<std::size_t>(num_blocks), 0.0);
   ThreadPool::global().parallel_for(
       // qdlint: shared-write(each chunk writes its own disjoint partials[lo,hi) slice)
       0, num_blocks, 1, [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t b = lo; b < hi; ++b) {
-          const std::int64_t begin = b * kReductionBlock;
-          const std::int64_t end = std::min(n, begin + kReductionBlock);
-          partials[static_cast<std::size_t>(b)] = block_fn(begin, end);
+          partials[static_cast<std::size_t>(b)] =
+              block_fn(bounds[static_cast<std::size_t>(b)], bounds[static_cast<std::size_t>(b) + 1]);
         }
       });
   double acc = 0.0;
@@ -81,6 +85,13 @@ StateLayout::StateLayout(std::vector<Shape> shapes) : shapes_(std::move(shapes))
     offsets_.push_back(offsets_.back() + quickdrop::numel(shape));
   }
   hash_ = hash_shapes(shapes_);
+  // Hoist the fixed-block partition once per layout: reductions and the
+  // weighted-average fold reuse these bounds across clients and rounds
+  // instead of re-deriving begin/end per call.
+  const std::int64_t n = offsets_.back();
+  block_bounds_.reserve(static_cast<std::size_t>(n / kStateBlock) + 2);
+  for (std::int64_t b = 0; b < n; b += kStateBlock) block_bounds_.push_back(b);
+  block_bounds_.push_back(n);
 }
 
 std::shared_ptr<const StateLayout> StateLayout::of(Module& module) {
@@ -177,22 +188,21 @@ void axpy(ModelState& y, const ModelState& x, float a) {
   check_compatible(y, x, "axpy");
   auto yd = y.data();
   const auto xd = x.data();
+  const auto& k = simd::active();
   ThreadPool::global().parallel_for(
       // qdlint: shared-write(each chunk writes its own disjoint yd[lo,hi) slice)
       0, y.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const auto u = static_cast<std::size_t>(i);
-          yd[u] += a * xd[u];
-        }
+        k.axpy(yd.data() + lo, xd.data() + lo, a, hi - lo);
       });
 }
 
 void scale(ModelState& state, float factor) {
   auto d = state.data();
+  const auto& k = simd::active();
   ThreadPool::global().parallel_for(
       // qdlint: shared-write(each chunk writes its own disjoint d[lo,hi) slice)
       0, state.numel(), grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) d[static_cast<std::size_t>(i)] *= factor;
+        k.scale(d.data() + lo, factor, hi - lo);
       });
 }
 
@@ -202,57 +212,49 @@ ModelState subtract(const ModelState& a, const ModelState& b) {
   ModelState out{a.layout()};
   const auto ad = a.data(), bd = b.data();
   auto od = out.data();
+  const auto& k = simd::active();
   ThreadPool::global().parallel_for(
       // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
       0, out.numel(), grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const auto u = static_cast<std::size_t>(i);
-          od[u] = ad[u] - bd[u];
-        }
+        k.subtract(od.data() + lo, ad.data() + lo, bd.data() + lo, hi - lo);
       });
   return out;
 }
 
 double l2_norm(const ModelState& state) {
+  if (state.empty()) return 0.0;
   const auto d = state.data();
-  return std::sqrt(block_sum_squares(state.numel(), [&](std::int64_t lo, std::int64_t hi) {
-    double acc = 0.0;
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const double v = d[static_cast<std::size_t>(i)];
-      acc += v * v;
-    }
-    return acc;
+  const auto& k = simd::active();
+  return std::sqrt(block_sum_squares(*state.layout(), [&](std::int64_t lo, std::int64_t hi) {
+    return k.sum_squares(d.data() + lo, hi - lo);
   }));
 }
 
 double l2_distance(const ModelState& a, const ModelState& b) {
   check_compatible(a, b, "l2_distance");
+  if (a.empty()) return 0.0;
   const auto ad = a.data(), bd = b.data();
-  return std::sqrt(block_sum_squares(a.numel(), [&](std::int64_t lo, std::int64_t hi) {
-    double acc = 0.0;
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const auto u = static_cast<std::size_t>(i);
-      // Same per-element expression as l2_norm over subtract(a, b): the
-      // float difference is formed first, then widened.
-      const double v = static_cast<float>(ad[u] - bd[u]);
-      acc += v * v;
-    }
-    return acc;
+  const auto& k = simd::active();
+  // Per-element the float difference is formed first, then widened — the
+  // same lane-structured fold as l2_norm over subtract(a, b), so the two
+  // stay bitwise equal.
+  return std::sqrt(block_sum_squares(*a.layout(), [&](std::int64_t lo, std::int64_t hi) {
+    return k.sum_squared_diff(ad.data() + lo, bd.data() + lo, hi - lo);
   }));
 }
 
 bool all_finite(const ModelState& state) {
   const auto d = state.data();
-  const std::int64_t n = state.numel();
-  if (n == 0) return true;
-  const std::int64_t num_blocks = (n + kReductionBlock - 1) / kReductionBlock;
+  if (state.numel() == 0) return true;
+  const auto& bounds = state.layout()->block_bounds();
+  const std::int64_t num_blocks = state.layout()->num_blocks();
   std::vector<std::uint8_t> finite(static_cast<std::size_t>(num_blocks), 1);
   ThreadPool::global().parallel_for(
       // qdlint: shared-write(each chunk writes its own disjoint finite[lo,hi) slice)
       0, num_blocks, 1, [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t b = lo; b < hi; ++b) {
-          const std::int64_t begin = b * kReductionBlock;
-          const std::int64_t end = std::min(n, begin + kReductionBlock);
+          const std::int64_t begin = bounds[static_cast<std::size_t>(b)];
+          const std::int64_t end = bounds[static_cast<std::size_t>(b) + 1];
           for (std::int64_t i = begin; i < end; ++i) {
             if (!std::isfinite(d[static_cast<std::size_t>(i)])) {
               finite[static_cast<std::size_t>(b)] = 0;
@@ -278,23 +280,36 @@ ModelState weighted_average(std::span<const ModelState> states, std::span<const 
   ModelState out{states[0].layout()};
   const std::size_t k = states.size();
   std::vector<const float*> src(k);
-  for (std::size_t i = 0; i < k; ++i) src[i] = states[i].data().data();
+  std::vector<double> w(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    src[i] = states[i].data().data();
+    w[i] = static_cast<double>(weights[i]);
+  }
   auto od = out.data();
+  const auto& kern = simd::active();
+  // Parallelized over the layout's hoisted block plan (one partition reused
+  // across clients and rounds). Each element is accumulated in double
+  // precision over the clients in index order: the order is fixed and
+  // independent of both the block cut and the dispatch path, so the result
+  // is bitwise identical at any thread count, and small-weight clients keep
+  // their low-order bits.
+  const auto& bounds = out.layout()->block_bounds();
   ThreadPool::global().parallel_for(
-      0, out.numel(), grain_for(static_cast<std::int64_t>(2 * k)),
-      // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
-      [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t j = lo; j < hi; ++j) {
-          const auto u = static_cast<std::size_t>(j);
-          // Double accumulation over the clients in index order: the order is
-          // fixed and independent of the chunk cut, so the result is bitwise
-          // identical at any thread count, and small-weight clients keep
-          // their low-order bits.
-          double acc = 0.0;
-          for (std::size_t i = 0; i < k; ++i) {
-            acc += static_cast<double>(weights[i]) * static_cast<double>(src[i][u]);
+      0, out.layout()->num_blocks(), 1,
+      // qdlint: shared-write(each chunk writes its own disjoint od blocks; scratch is per-chunk)
+      [&](std::int64_t b0, std::int64_t b1) {
+        std::array<double, kWavgChunk> scratch;
+        for (std::int64_t b = b0; b < b1; ++b) {
+          const std::int64_t begin = bounds[static_cast<std::size_t>(b)];
+          const std::int64_t end = bounds[static_cast<std::size_t>(b) + 1];
+          for (std::int64_t lo = begin; lo < end; lo += kWavgChunk) {
+            const std::int64_t len = std::min(end - lo, kWavgChunk);
+            scratch.fill(0.0);
+            for (std::size_t i = 0; i < k; ++i) {
+              kern.wavg_fold(scratch.data(), src[i] + lo, w[i], len);
+            }
+            kern.wavg_store(od.data() + lo, scratch.data(), len);
           }
-          od[u] = static_cast<float>(acc);
         }
       });
   return out;

@@ -31,6 +31,11 @@
 
 namespace quickdrop::nn {
 
+/// Fixed reduction/aggregation block: block boundaries depend only on the
+/// element count — never on the pool size — so every state kernel's partition
+/// (and therefore its result bits) is identical at any --threads setting.
+inline constexpr std::int64_t kStateBlock = 1 << 14;
+
 /// Malformed or incompatible serialized state (truncated, oversized,
 /// shape-mismatched, corrupt). Derives from std::invalid_argument so existing
 /// catch sites keep working.
@@ -63,10 +68,20 @@ class StateLayout {
   /// FNV-1a over (count, rank, dims...) — equal iff the shape lists match.
   [[nodiscard]] std::uint64_t hash() const { return hash_; }
 
+  /// Hoisted fixed-block partition: bounds of kStateBlock-sized blocks over
+  /// [0, total()), computed once per layout and reused by every reduction and
+  /// by weighted_average's fold across clients and rounds (block b spans
+  /// [block_bounds()[b], block_bounds()[b+1])).
+  [[nodiscard]] const std::vector<std::int64_t>& block_bounds() const { return block_bounds_; }
+  [[nodiscard]] std::int64_t num_blocks() const {
+    return static_cast<std::int64_t>(block_bounds_.size()) - 1;
+  }
+
  private:
   explicit StateLayout(std::vector<Shape> shapes);
   std::vector<Shape> shapes_;
   std::vector<std::int64_t> offsets_;  ///< size()+1 entries, offsets_[0] == 0
+  std::vector<std::int64_t> block_bounds_;  ///< num_blocks()+1 entries
   std::uint64_t hash_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/simd.h"
 #include "util/thread_pool.h"
 
 // Parallelization strategy (see DESIGN.md "Threading model"): every kernel
@@ -192,6 +193,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   // the inner j loop branch-free and vectorizable (the old `av == 0` skip
   // defeated both).
   constexpr std::int64_t kKTile = 128;
+  const auto& simd_k = simd::active();
   ThreadPool::global().parallel_for(
       // qdlint: shared-write(each chunk owns output rows [i0,i1); db/da are read-only)
       0, m, grain_for(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
@@ -202,19 +204,17 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
             const float* arow = da.data() + i * k;
             std::int64_t kk = kk0;
             for (; kk + 4 <= kk1; kk += 4) {
-              const float a0 = arow[kk], a1 = arow[kk + 1], a2 = arow[kk + 2], a3 = arow[kk + 3];
               const float* b0 = db.data() + kk * n;
-              const float* b1 = b0 + n;
-              const float* b2 = b1 + n;
-              const float* b3 = b2 + n;
-              for (std::int64_t j = 0; j < n; ++j) {
-                orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-              }
+              // The dispatched tile keeps the exact left-associated
+              // mul-then-add chain of the scalar expression
+              // orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j],
+              // so results stay bitwise identical across dispatch paths.
+              simd_k.matmul_tile4(orow, arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3], b0,
+                                  b0 + n, b0 + 2 * n, b0 + 3 * n, n);
             }
             for (; kk < kk1; ++kk) {
-              const float av = arow[kk];
-              const float* brow = db.data() + kk * n;
-              for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+              // Remainder rows are plain axpy over the output row.
+              simd_k.axpy(orow, db.data() + kk * n, arow[kk], n);
             }
           }
         }

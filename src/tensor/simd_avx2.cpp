@@ -1,0 +1,154 @@
+// AVX2 microkernel table. This translation unit is the ONLY one compiled
+// with -mavx2 — and deliberately NOT -mfma: fusing a*b+c would change result
+// bits versus the scalar oracle's mul-then-add, breaking the cross-dispatch
+// bitwise contract (see simd.h and DESIGN.md §13). Every arithmetic step
+// below uses explicit mul/add intrinsics in the same association order as
+// the scalar oracle. The dispatch layer never selects this table unless the
+// running CPU reports AVX2.
+#include "tensor/simd.h"
+
+#if defined(QUICKDROP_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace quickdrop::simd {
+namespace {
+
+void axpy_avx2(float* y, const float* x, float a, std::int64_t n) {
+  const __m256 av = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    const __m256 yv = _mm256_loadu_ps(y + i);
+    // qdlint: shared-write(caller passes a disjoint y[0,n) slice; this tile writes only it)
+    _mm256_storeu_ps(y + i, _mm256_add_ps(yv, _mm256_mul_ps(av, xv)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale_avx2(float* y, float a, std::int64_t n) {
+  const __m256 av = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // qdlint: shared-write(caller passes a disjoint y[0,n) slice; this tile writes only it)
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), av));
+  }
+  for (; i < n; ++i) y[i] *= a;
+}
+
+void subtract_avx2(float* o, const float* a, const float* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // qdlint: shared-write(caller passes a disjoint o[0,n) slice; this tile writes only it)
+    _mm256_storeu_ps(o + i, _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] - b[i];
+}
+
+/// Reduces a 4x64-bit accumulator to ((l0 + l2) + (l1 + l3)) — the lane fold
+/// the scalar oracle mirrors.
+double reduce_lanes(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);        // (l0, l1)
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);      // (l2, l3)
+  const __m128d sums = _mm_add_pd(lo, hi);               // (l0+l2, l1+l3)
+  return _mm_cvtsd_f64(_mm_hadd_pd(sums, sums));         // (l0+l2) + (l1+l3)
+}
+
+double sum_squares_avx2(const float* x, std::int64_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double v = x[i];
+    tail += v * v;
+  }
+  return reduce_lanes(acc) + tail;
+}
+
+double sum_squared_diff_avx2(const float* a, const float* b, std::int64_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Float difference first, then widen — matches the oracle and l2_norm
+    // over subtract(a, b).
+    const __m128 d = _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    const __m256d v = _mm256_cvtps_pd(d);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double v = static_cast<float>(a[i] - b[i]);
+    tail += v * v;
+  }
+  return reduce_lanes(acc) + tail;
+}
+
+void wavg_fold_avx2(double* acc, const float* x, double w, std::int64_t n) {
+  const __m256d wv = _mm256_set1_pd(w);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xv = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    const __m256d av = _mm256_loadu_pd(acc + i);
+    // qdlint: shared-write(caller passes a disjoint acc[0,n) scratch; this tile writes only it)
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(av, _mm256_mul_pd(wv, xv)));
+  }
+  for (; i < n; ++i) acc[i] += w * static_cast<double>(x[i]);
+}
+
+void wavg_store_avx2(float* o, const double* acc, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // _mm256_cvtpd_ps rounds to nearest-even — identical to the C cast.
+    // qdlint: shared-write(caller passes a disjoint o[0,n) slice; this tile writes only it)
+    _mm_storeu_ps(o + i, _mm256_cvtpd_ps(_mm256_loadu_pd(acc + i)));
+  }
+  for (; i < n; ++i) o[i] = static_cast<float>(acc[i]);
+}
+
+void matmul_tile4_avx2(float* c, float a0, float a1, float a2, float a3, const float* b0,
+                       const float* b1, const float* b2, const float* b3, std::int64_t n) {
+  const __m256 a0v = _mm256_set1_ps(a0), a1v = _mm256_set1_ps(a1);
+  const __m256 a2v = _mm256_set1_ps(a2), a3v = _mm256_set1_ps(a3);
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    // Same left-associated mul-then-add chain as the scalar expression
+    // c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j].
+    __m256 t = _mm256_mul_ps(a0v, _mm256_loadu_ps(b0 + j));
+    t = _mm256_add_ps(t, _mm256_mul_ps(a1v, _mm256_loadu_ps(b1 + j)));
+    t = _mm256_add_ps(t, _mm256_mul_ps(a2v, _mm256_loadu_ps(b2 + j)));
+    t = _mm256_add_ps(t, _mm256_mul_ps(a3v, _mm256_loadu_ps(b3 + j)));
+    // qdlint: shared-write(caller owns this output row; the tile writes only c[0,n))
+    _mm256_storeu_ps(c + j, _mm256_add_ps(_mm256_loadu_ps(c + j), t));
+  }
+  for (; j < n; ++j) {
+    c[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+  }
+}
+
+constexpr Kernels kAvx2Kernels = {
+    "avx2",          axpy_avx2,      scale_avx2,      subtract_avx2,
+    sum_squares_avx2, sum_squared_diff_avx2, wavg_fold_avx2, wavg_store_avx2,
+    matmul_tile4_avx2,
+};
+
+}  // namespace
+
+bool avx2_compiled() { return true; }
+const Kernels& avx2_kernels() { return kAvx2Kernels; }
+
+}  // namespace quickdrop::simd
+
+#else  // !QUICKDROP_HAVE_AVX2
+
+namespace quickdrop::simd {
+
+bool avx2_compiled() { return false; }
+const Kernels& avx2_kernels() { return scalar_kernels(); }
+
+}  // namespace quickdrop::simd
+
+#endif

@@ -1,0 +1,29 @@
+// Deliberate SIMD-rule violations plus tricky negatives. Analyzed as
+// src/tensor/simd_violations.cpp, so the kernel-TU conc-simd-store scope is
+// active alongside the src-wide num-simd-lane-eq rule.
+
+#include <immintrin.h>
+
+void lane_equality(__m256 a, __m256 b, float* out) {
+  __m256 eq = _mm256_cmp_ps(a, b, _CMP_EQ_OQ);  // VIOLATION num-simd-lane-eq (line 8)
+  __m128 lo = _mm_cmpeq_ps(_mm256_castps256_ps128(a),
+                           _mm256_castps256_ps128(b));  // VIOLATION num-simd-lane-eq (line 9)
+  __m256d ne = _mm256_cmp_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(a)),
+                             _mm256_cvtps_pd(_mm256_castps256_ps128(b)),
+                             _CMP_NEQ_UQ);  // VIOLATION num-simd-lane-eq (line 11)
+  _mm256_storeu_ps(out, eq);  // VIOLATION conc-simd-store (line 14): no annotation
+  (void)lo;
+  (void)ne;
+}
+
+void ordering_compare_is_fine(__m256 a, __m256 b, float* out) {
+  const __m256 lt = _mm256_cmp_ps(a, b, _CMP_LT_OQ);  // negative: ordering, not equality
+  // qdlint: shared-write(each worker owns a disjoint [lo,hi) output slice)
+  _mm256_storeu_ps(out, lt);
+  _mm256_stream_ps(out + 8, lt);  // qdlint: shared-write(disjoint tail slice)
+}
+
+void integer_lanes_compare_exactly(__m256i a, __m256i b) {
+  const __m256i m = _mm256_cmpeq_epi32(a, b);  // negative: integer lanes, exact by nature
+  (void)m;
+}

@@ -35,6 +35,7 @@ const std::map<std::string, std::string> kFixtureContexts = {
     {"num_violations.cc", "src/fake/num_violations.cpp"},
     {"api_violations.cc", "src/fake/api_violations.cpp"},
     {"api_durable_violations.cc", "src/fake/api_durable_violations.cpp"},
+    {"simd_violations.cc", "src/tensor/simd_violations.cpp"},
     {"header_missing_pragma.hh", "src/fake/header_missing_pragma.h"},
     {"clean_tricky.cc", "src/tensor/clean_tricky.cpp"},
 };
@@ -260,6 +261,48 @@ TEST(LintRules, FlatStateRuleFiresInSrcButNotInStateImplOrTests) {
   // Out of scope: tests/tools/bench are free to build per-tensor fixtures.
   EXPECT_TRUE(analyze_as("tests/nn/x.cpp", src).empty());
   EXPECT_TRUE(analyze_as("tools/some_cli.cpp", src).empty());
+}
+
+TEST(LintRules, SimdLaneEqFlagsFloatLanesOnly) {
+  // Equality on float/double lanes fires; integer lanes and ordering
+  // predicates do not.
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", "auto m = _mm256_cmp_ps(a, b, _CMP_EQ_OQ);\n")),
+            std::vector<std::string>{"num-simd-lane-eq"});
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", "auto m = _mm_cmpeq_ss(a, b);\n")),
+            std::vector<std::string>{"num-simd-lane-eq"});
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", "auto m = _mm256_cmp_ps(a, b, _CMP_LE_OQ);\n").empty());
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", "auto m = _mm256_cmpeq_epi32(a, b);\n").empty());
+  // Out of scope: tests may compare lanes exactly (that is what parity means).
+  EXPECT_TRUE(analyze_as("tests/tensor/x.cpp", "auto m = _mm_cmpeq_ps(a, b);\n").empty());
+}
+
+TEST(LintRules, SimdLaneEqSuppressibleLikeFloatEq) {
+  const std::string src =
+      "// NOLINTNEXTLINE(qdlint-num-simd-lane-eq)\n"
+      "auto m = _mm256_cmp_ps(x, zero, _CMP_EQ_OQ);\n";
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", src).empty());
+}
+
+TEST(LintRules, SimdStoreRequiresAnnotationInKernelTus) {
+  const std::string bare = "void f(float* y, __m256 v) { _mm256_storeu_ps(y, v); }\n";
+  EXPECT_EQ(rules_of(analyze_as("src/tensor/x.cpp", bare)),
+            std::vector<std::string>{"conc-simd-store"});
+  // Same line or line-above annotations both satisfy the rule, mirroring
+  // conc-ref-capture.
+  EXPECT_TRUE(analyze_as("src/tensor/x.cpp",
+                         "void f(float* y, __m256 v) {\n"
+                         "  _mm256_storeu_ps(y, v);  // qdlint: shared-write(disjoint rows)\n"
+                         "}\n")
+                  .empty());
+  EXPECT_TRUE(analyze_as("src/tensor/x.cpp",
+                         "void f(float* y, __m256 v) {\n"
+                         "  // qdlint: shared-write(each chunk owns y[lo,hi))\n"
+                         "  _mm256_stream_ps(y, v);\n"
+                         "}\n")
+                  .empty());
+  // Loads are reads; non-kernel TUs are out of scope.
+  EXPECT_TRUE(analyze_as("src/tensor/x.cpp", "auto v = _mm256_loadu_ps(y);\n").empty());
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", bare).empty());
 }
 
 TEST(LintRules, TimeSeedOutsideSeedContextIsSilent) {

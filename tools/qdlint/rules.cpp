@@ -14,7 +14,8 @@ namespace {
 const std::vector<std::string> kAllRules = {
     "det-random-device", "det-rand",        "det-time-seed",   "det-sleep",
     "det-unordered-iter", "conc-raw-thread", "conc-detach",     "conc-ref-capture",
-    "conc-static-local",  "num-float-eq",    "num-narrow-literal",
+    "conc-static-local",  "conc-simd-store", "num-float-eq",    "num-simd-lane-eq",
+    "num-narrow-literal",
     "api-raw-io",         "api-pragma-once", "api-flatstate",   "api-durable-io",
 };
 
@@ -339,6 +340,43 @@ void rule_static_local(Ctx& c) {
   }
 }
 
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Intrinsic name operating on floating-point lanes: _ps/_ss (float) or
+/// _pd/_sd (double). Integer-lane suffixes (_epi32, _si256, ...) compare
+/// exactly and are out of scope.
+bool float_lane_intrinsic(const std::string& t) {
+  return ends_with(t, "_ps") || ends_with(t, "_ss") || ends_with(t, "_pd") ||
+         ends_with(t, "_sd");
+}
+
+void rule_simd_store(Ctx& c) {
+  // SIMD stores in kernel TUs write 4-8 lanes at once from whichever pool
+  // worker runs the tile; like [&] captures in parallel regions, the
+  // disjointness argument must be stated next to the write.
+  if (!c.file.is_kernel_tu) return;
+  for (std::size_t i = 0; i + 1 < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = c.toks[i].text;
+    if (!starts_with(t, "_mm")) continue;
+    if (t.find("store") == std::string::npos && t.find("stream") == std::string::npos) continue;
+    if (!c.punct(i + 1, "(")) continue;
+    const int line = c.toks[i].line;
+    if (c.marks.shared_write.count(line) || c.marks.shared_write.count(line - 1)) continue;
+    c.report("conc-simd-store", c.toks[i],
+             t + " writes a multi-lane span from a pool worker without a disjointness note",
+             "annotate the store (same line or the line above) with "
+             "`// qdlint: shared-write(<why the written lanes are disjoint>)`");
+  }
+}
+
 // --------------------------------------------------------------------------
 // NUM rules
 // --------------------------------------------------------------------------
@@ -358,6 +396,39 @@ void rule_float_eq(Ctx& c) {
              "exact floating-point " + c.toks[i].text + " comparison",
              "compare against a tolerance, or NOLINT(qdlint-num-float-eq) if this is an "
              "exact sentinel value that is only ever assigned, never computed");
+  }
+}
+
+void rule_simd_lane_eq(Ctx& c) {
+  // The intrinsics spelling of num-float-eq: exact equality on float lanes
+  // (_mm*_cmpeq_ps, or _mm*_cmp_* with an _CMP_EQ_*/_CMP_NEQ_* predicate)
+  // inherits all the usual float-comparison hazards, eight lanes at a time.
+  if (!c.file.in_src) return;
+  const char* hint =
+      "compare |a-b| against a tolerance lane-wise, or NOLINT(qdlint-num-simd-lane-eq) "
+      "for an exact sentinel that is only ever assigned, never computed";
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = c.toks[i].text;
+    if (!starts_with(t, "_mm") || !float_lane_intrinsic(t)) continue;
+    if (t.find("cmpeq") != std::string::npos || t.find("cmpneq") != std::string::npos) {
+      c.report("num-simd-lane-eq", c.toks[i],
+               t + " is an exact floating-point lane comparison", hint);
+      continue;
+    }
+    // Predicate form: _mm256_cmp_ps(a, b, _CMP_EQ_OQ) and friends.
+    if (t.find("_cmp_") == std::string::npos || !c.punct(i + 1, "(")) continue;
+    const std::size_t end = c.match_paren(i + 1);
+    for (std::size_t j = i + 2; j + 1 < end; ++j) {
+      if (c.toks[j].kind != TokKind::kIdent) continue;
+      if (starts_with(c.toks[j].text, "_CMP_EQ") || starts_with(c.toks[j].text, "_CMP_NEQ")) {
+        c.report("num-simd-lane-eq", c.toks[i],
+                 t + " with predicate " + c.toks[j].text +
+                     " is an exact floating-point lane comparison",
+                 hint);
+        break;
+      }
+    }
   }
 }
 
@@ -534,7 +605,9 @@ std::vector<Finding> analyze(const FileContext& ctx, const std::string& source) 
   rule_detach(c);
   rule_ref_capture(c);
   rule_static_local(c);
+  rule_simd_store(c);
   rule_float_eq(c);
+  rule_simd_lane_eq(c);
   rule_narrow_literal(c);
   rule_raw_io(c);
   rule_pragma_once(c);

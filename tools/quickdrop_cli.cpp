@@ -30,6 +30,7 @@
 
 #include "core/checkpoint.h"
 #include "core/quickdrop.h"
+#include "fl/quantize.h"
 #include "serve/service.h"
 #include "store/store.h"
 #include "util/atomic_file.h"
@@ -72,6 +73,11 @@ struct FedSpec {
   int max_attempts = 1;
   double outlier_mult = 8.0;
 
+  /// Client→server update transport codec ("off", "int8" or "bf16"),
+  /// persisted so serve/unlearn/relearn phases replay the training
+  /// transport. Validated eagerly in from_flags/from_metadata.
+  std::string quantize = "off";
+
   static FedSpec from_flags(qd::CliFlags& flags) {
     FedSpec s;
     s.dataset = flags.get_string("dataset", s.dataset);
@@ -95,6 +101,8 @@ struct FedSpec {
     s.quorum = flags.get_double("quorum", s.quorum);
     s.max_attempts = flags.get_int("max-attempts", s.max_attempts);
     s.outlier_mult = flags.get_double("outlier-mult", s.outlier_mult);
+    s.quantize = flags.get_string("quantize-updates", s.quantize);
+    qd::fl::codec_from_string(s.quantize);  // validate early, with a clear error
     return s;
   }
 
@@ -118,7 +126,8 @@ struct FedSpec {
             {"fault_seed", std::to_string(fault_seed)},
             {"quorum", qd::fmt_double(quorum, 6)},
             {"max_attempts", std::to_string(max_attempts)},
-            {"outlier_mult", qd::fmt_double(outlier_mult, 6)}};
+            {"outlier_mult", qd::fmt_double(outlier_mult, 6)},
+            {"quantize", quantize}};
   }
 
   static FedSpec from_metadata(const std::map<std::string, std::string>& m) {
@@ -156,6 +165,8 @@ struct FedSpec {
     s.quorum = std::stod(get_or("quorum", "0"));
     s.max_attempts = std::stoi(get_or("max_attempts", "1"));
     s.outlier_mult = std::stod(get_or("outlier_mult", "8"));
+    s.quantize = get_or("quantize", "off");  // pre-quantization checkpoints
+    qd::fl::codec_from_string(s.quantize);
     return s;
   }
 };
@@ -212,6 +223,7 @@ Federation build(const FedSpec& spec) {
   cfg.defense.norm_outlier_multiplier = static_cast<float>(spec.outlier_mult);
   cfg.defense.min_quorum = static_cast<float>(spec.quorum);
   cfg.defense.max_round_attempts = spec.max_attempts;
+  cfg.transport.codec = qd::fl::codec_from_string(spec.quantize);
   fed.quickdrop = std::make_unique<qd::core::QuickDrop>(fed.factory, std::move(clients), cfg,
                                                         spec.seed);
   fed.eval_model = fed.factory();
@@ -495,7 +507,8 @@ int usage() {
                "  train   --dataset D --clients N --rounds R --scale S --out FILE\n"
                "          [--fault-crash P] [--fault-straggler P] [--fault-corrupt P]\n"
                "          [--fault-stale P] [--fault-seed S] [--quorum F] [--max-attempts N]\n"
-               "          [--outlier-mult M] [--checkpoint-every K] [--resume]\n"
+               "          [--outlier-mult M] [--quantize-updates off|int8|bf16]\n"
+               "          [--checkpoint-every K] [--resume]\n"
                "  eval    --checkpoint FILE\n"
                "  unlearn --checkpoint FILE (--class C | --client I) --out FILE\n"
                "  relearn --checkpoint FILE (--class C | --client I) --out FILE\n"
