@@ -1,0 +1,122 @@
+// google-benchmark microbenchmarks of the qdlint driver (DESIGN.md §14):
+// cold (empty cache) versus warm (fully primed cache) whole-tree runs at
+// 1, 4 and 8 worker threads over a generated synthetic repo, so numbers do
+// not drift as the real tree grows. Results land in BENCH_qdlint.json (see
+// main below); run_all.sh checks the file exists after the bench sweep.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "driver.h"
+#include "util/atomic_file.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Synthetic repo: kFiles headers spread over three layers with a realistic
+// include fan-out and enough token mass per file (~40 lines) that lexing,
+// fact extraction and the project stage all do real work. Built once.
+// ---------------------------------------------------------------------------
+
+constexpr int kFiles = 120;
+
+const std::string& bench_root() {
+  static const std::string root = [] {
+    const fs::path r = fs::temp_directory_path() / "qdlint_bench_repo";
+    fs::remove_all(r);
+    fs::create_directories(r / "tools/qdlint");
+    quickdrop::write_file_atomic(
+        (r / "tools/qdlint/layers.txt").string(),
+        "layer base src/base\nlayer mid src/mid\nlayer app src/app\n");
+    const char* layers[] = {"base", "mid", "app"};
+    for (int i = 0; i < kFiles; ++i) {
+      const std::string layer = layers[(i * 3) / kFiles];
+      fs::create_directories(r / "src" / layer);
+      std::string body = "#pragma once\n";
+      // Downward includes only: app -> mid -> base stays layer-clean.
+      if (layer == "mid") body += "#include \"base/f0.h\"\n";
+      if (layer == "app") body += "#include \"mid/f" + std::to_string(kFiles / 3) + ".h\"\n";
+      body += "namespace bench_ns {\n";
+      for (int fn = 0; fn < 6; ++fn) {
+        const std::string name = "fn_" + std::to_string(i) + "_" + std::to_string(fn);
+        body += "inline int " + name + "(int x) {\n";
+        body += "  int acc = x;\n";
+        body += "  for (int k = 0; k < 4; ++k) { acc += k * x; }\n";
+        body += "  return acc;\n";
+        body += "}\n";
+      }
+      body += "}  // namespace bench_ns\n";
+      quickdrop::write_file_atomic(
+          (r / "src" / layer / ("f" + std::to_string(i) + ".h")).string(), body);
+    }
+    return r.string();
+  }();
+  return root;
+}
+
+qdlint::DriverOptions bench_opts(int threads) {
+  qdlint::DriverOptions o;
+  o.root = bench_root();
+  o.cache_path = bench_root() + "/build/qdlint.cache";
+  o.threads = threads;
+  return o;
+}
+
+void BM_LintCold(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove(bench_opts(threads).cache_path.c_str());
+    state.ResumeTiming();
+    const qdlint::DriverResult r = qdlint::run_driver(bench_opts(threads));
+    if (!r.ok || r.cache_hits != 0) state.SkipWithError("cold run not cold/ok");
+    benchmark::DoNotOptimize(r.findings.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kFiles);
+}
+BENCHMARK(BM_LintCold)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_LintWarm(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::remove(bench_opts(threads).cache_path.c_str());
+  const qdlint::DriverResult prime = qdlint::run_driver(bench_opts(threads));
+  if (!prime.ok) state.SkipWithError("prime run failed");
+  for (auto _ : state) {
+    const qdlint::DriverResult r = qdlint::run_driver(bench_opts(threads));
+    if (!r.ok || r.cache_hits != r.files_scanned) state.SkipWithError("warm run not cached");
+    benchmark::DoNotOptimize(r.findings.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kFiles);
+}
+BENCHMARK(BM_LintWarm)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Writes BENCH_qdlint.json in the working directory unless the caller already
+// passed an explicit --benchmark_out.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    has_out |= std::strncmp(argv[i], "--benchmark_out", 15) == 0;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_qdlint.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fs::remove_all(bench_root());
+  return 0;
+}

@@ -1,0 +1,19 @@
+// qdlint arch fixture: the sanitized twin of reach_violations.cpp — the
+// global write is lock-guarded and the draw comes from a tag-split child,
+// so both reachability rules stay silent. Never compiled.
+std::mutex g_reach_mu;
+int g_reach_safe = 0;
+
+void reach_add() {
+  std::lock_guard<std::mutex> guard(g_reach_mu);
+  g_reach_safe += 1;
+}
+
+int reach_draw_split(Rng& rng) {
+  Rng child = rng.split(1);
+  return child.uniform_int(0, 9);
+}
+
+void reach_launch_clean(ThreadPool& pool) {
+  pool.run_chunks(4, [&](int chunk) { reach_add(); reach_draw_split(); });
+}

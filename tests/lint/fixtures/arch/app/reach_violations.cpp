@@ -1,0 +1,11 @@
+// qdlint arch fixture: a parallel site whose callees write an unguarded
+// global and draw from a shared Rng — conc-unguarded-global and
+// det-rng-in-parallel both fire at the submit site. Never compiled.
+int g_reach_total = 0;
+
+void reach_bump() { g_reach_total += 1; }
+int reach_draw(Rng& rng) { return rng.uniform_int(0, 9); }
+
+void reach_launch(ThreadPool& pool) {
+  pool.run_chunks(4, [&](int chunk) { reach_bump(); reach_draw(); });
+}

@@ -1,0 +1,7 @@
+#pragma once
+#include "arch/base/low.h"      // clean downward edge
+#include "arch/missing/gone.h"  // missing header: skipped, never fatal
+#include "arch/app/top.h"       // self-include: a one-node cycle
+#ifdef QD_EXTRA
+#include "arch/base/low.h"      // include behind #ifdef: recorded as conditional
+#endif

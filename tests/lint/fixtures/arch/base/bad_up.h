@@ -1,0 +1,2 @@
+#pragma once
+#include "arch/app/top.h"  // layer violation: base -> app is an upward edge

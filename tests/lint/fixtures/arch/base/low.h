@@ -1,0 +1,3 @@
+#pragma once
+// Lowest layer: includes nothing. Everyone may include this.
+inline int low() { return 0; }

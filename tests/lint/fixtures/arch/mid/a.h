@@ -1,0 +1,2 @@
+#pragma once
+#include "arch/mid/b.h"  // first edge of the 3-cycle a -> b -> c -> a

@@ -1,0 +1,2 @@
+#pragma once
+#include "arch/mid/c.h"

@@ -1,0 +1,2 @@
+#pragma once
+#include "arch/mid/a.h"  // closes the cycle

@@ -1,0 +1,45 @@
+// qdlint fixture: det-iter-order-escape — hash-order iteration feeding a
+// serialized sink, plus order-insensitive uses that must stay silent.
+// Analyzed as tools/fake/iter_escape_violations.cpp (outside src/, so the
+// broader det-unordered-iter rule stays quiet and this fixture isolates the
+// escape analysis) — never compiled.
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// Range-for into a stream: the serialized bytes depend on hash order.
+std::string render(const std::unordered_map<std::string, int>& counts) {
+  std::ostringstream os;
+  for (const auto& kv : counts) {
+    os << kv.first << "=" << kv.second << "\n";
+  }
+  return os.str();
+}
+
+// Iterator-form loop appending to a string built for output: same problem.
+std::string append_csv(const std::unordered_map<int, int>& hist) {
+  std::string csv;
+  for (auto it = hist.begin(); it != hist.end(); ++it) {
+    csv += std::to_string(it->first) + ",";
+  }
+  return csv;
+}
+
+// Order-insensitive accumulation: silent.
+int total(const std::unordered_map<int, int>& hist) {
+  int sum = 0;
+  for (const auto& kv : hist) sum += kv.second;
+  return sum;
+}
+
+// Collect-then-sort, then serialize the ordered copy: silent (and the
+// recommended fix for the two violations above).
+std::string sorted_render(const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> keys;
+  for (const auto& kv : counts) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream os;
+  for (const auto& key : keys) os << key << "\n";
+  return os.str();
+}

@@ -1,0 +1,64 @@
+// qdlint fixture: conc-lock-scope — manual lock()/unlock() pairs that do
+// not balance on every path, plus balanced/guarded shapes that must stay
+// silent. Analyzed as src/fake/lock_scope_violations.cpp — never compiled.
+#include <mutex>
+
+std::mutex m_early, m_branch, m_orphan, m_ok, m_guarded, m_waived, m_loop;
+int work();
+
+// The early return leaks the lock: flagged at the lock() line.
+int early_return(bool fail) {
+  m_early.lock();
+  if (fail) return -1;
+  int r = work();
+  m_early.unlock();
+  return r;
+}
+
+// Only the then-arm releases: the fall-through path stays locked.
+void one_branch(bool flag) {
+  m_branch.lock();
+  if (flag) {
+    m_branch.unlock();
+  }
+}
+
+// unlock() without a lock() on the flag==false path: flagged at unlock().
+void orphan_unlock(bool flag) {
+  if (flag) m_orphan.lock();
+  m_orphan.unlock();
+}
+
+// Balanced on every path, including the early return: silent.
+int balanced(bool fail) {
+  m_ok.lock();
+  if (fail) {
+    m_ok.unlock();
+    return -1;
+  }
+  int r = work();
+  m_ok.unlock();
+  return r;
+}
+
+// Loop bodies run zero or more times; a pair fully inside one body stays
+// balanced either way: silent.
+void loop_balanced(int n) {
+  for (int i = 0; i < n; ++i) {
+    m_loop.lock();
+    work();
+    m_loop.unlock();
+  }
+}
+
+// Scope-guarded: silent (and the recommended fix for everything above).
+int guarded() {
+  std::lock_guard<std::mutex> guard(m_guarded);
+  return work();
+}
+
+// Suppressed with a justification: silent.
+void waived() {
+  // NOLINTNEXTLINE(qdlint-conc-lock-scope) — released by the shutdown hook
+  m_waived.lock();
+}

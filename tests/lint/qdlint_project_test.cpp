@@ -1,0 +1,365 @@
+// Tests for qdlint's whole-project stage: layer-map parsing, include-graph
+// resolution against the declared DAG, cycle detection (including the
+// pathological shapes: self-include, #ifdef-guarded include, missing
+// header), and the call-graph-lite reachability rules. The arch fixture
+// tree under fixtures/arch/ has its own layers.txt and a golden.
+
+#include "qdlint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using qdlint::FileFacts;
+using qdlint::Finding;
+using qdlint::LayerMap;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(QDLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+FileFacts facts_of(const std::string& relpath, const std::string& source) {
+  return qdlint::extract_facts(qdlint::classify(relpath), qdlint::lex(source));
+}
+
+LayerMap parse_layers_or_die(const std::string& content) {
+  LayerMap map;
+  std::string err;
+  EXPECT_TRUE(qdlint::parse_layer_map(content, &map, &err)) << err;
+  return map;
+}
+
+/// The arch fixture tree: six headers under fixtures/arch/ analyzed as the
+/// repo-relative paths "arch/...", linked against fixtures/arch/layers.txt.
+const std::vector<std::string> kArchFiles = {
+    "arch/app/reach_clean.cpp", "arch/app/reach_violations.cpp",
+    "arch/app/top.h",           "arch/base/bad_up.h",
+    "arch/base/low.h",          "arch/mid/a.h",
+    "arch/mid/b.h",             "arch/mid/c.h",
+};
+
+std::vector<Finding> link_arch_tree() {
+  std::vector<FileFacts> files;
+  for (const auto& rel : kArchFiles) files.push_back(facts_of(rel, read_fixture(rel)));
+  return qdlint::link_project(files, parse_layers_or_die(read_fixture("arch/layers.txt")));
+}
+
+const Finding* find_rule(const std::vector<Finding>& fs, const std::string& rule,
+                         const std::string& path) {
+  for (const auto& f : fs) {
+    if (f.rule == rule && f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Layer map parsing
+// ---------------------------------------------------------------------------
+
+TEST(LintLayers, ParsesLayersAllowEdgesAndComments) {
+  const LayerMap map = parse_layers_or_die(
+      "# comment\n"
+      "layer util src/util\n"
+      "layer services src/fl src/store  # two sibling prefixes\n"
+      "allow src/fl src/util\n"
+      "\n");
+  ASSERT_EQ(map.layers.size(), 2u);
+  EXPECT_EQ(map.layers[0].name, "util");
+  EXPECT_EQ(map.layers[0].rank, 0);
+  EXPECT_EQ(map.layers[1].rank, 1);
+  EXPECT_EQ(map.prefix_to_layer.at("src/fl"), 1);
+  EXPECT_EQ(map.prefix_to_layer.at("src/store"), 1);
+  EXPECT_TRUE(map.allowed.count({"src/fl", "src/util"}));
+}
+
+TEST(LintLayers, RejectsMalformedMaps) {
+  LayerMap map;
+  std::string err;
+  EXPECT_FALSE(qdlint::parse_layer_map("layer lonely\n", &map, &err));
+  EXPECT_NE(err.find("layers.txt:1"), std::string::npos) << err;
+  EXPECT_FALSE(qdlint::parse_layer_map("layer a src/x\nlayer b src/x\n", &map, &err));
+  EXPECT_NE(err.find("duplicate prefix"), std::string::npos) << err;
+  EXPECT_FALSE(qdlint::parse_layer_map("allow src/a\n", &map, &err));
+  EXPECT_FALSE(qdlint::parse_layer_map("deny src/a src/b\n", &map, &err));
+  EXPECT_NE(err.find("unknown directive"), std::string::npos) << err;
+}
+
+TEST(LintLayers, LongestPrefixWinsAndUnmappedIsEmpty) {
+  const LayerMap map = parse_layers_or_die(
+      "layer everything src\n"
+      "layer util src/util\n");
+  EXPECT_EQ(qdlint::layer_prefix_of(map, "src/util/rng.h"), "src/util");
+  EXPECT_EQ(qdlint::layer_prefix_of(map, "src/core/x.cpp"), "src");
+  EXPECT_EQ(qdlint::layer_prefix_of(map, "src/utility/x.h"), "src")
+      << "prefix match must respect path-component boundaries";
+  EXPECT_EQ(qdlint::layer_prefix_of(map, "bench/x.cpp"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Arch fixture tree: layer violation, cycles, pathological includes
+// ---------------------------------------------------------------------------
+
+TEST(LintArch, FixtureTreeMatchesGolden) {
+  std::vector<std::string> actual;
+  for (const auto& f : link_arch_tree()) {
+    actual.push_back(f.path + "|" + f.rule + "|" + std::to_string(f.line));
+  }
+  std::sort(actual.begin(), actual.end());
+
+  std::vector<std::string> expected;
+  std::istringstream golden(read_fixture("arch/expected_project_findings.txt"));
+  std::string line;
+  while (std::getline(golden, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    expected.push_back(line);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(LintArch, CyclePathIsPrintedInIncludeOrder) {
+  const auto findings = link_arch_tree();
+  const Finding* cycle = find_rule(findings, "arch-include-cycle", "arch/mid/a.h");
+  ASSERT_NE(cycle, nullptr);
+  EXPECT_NE(cycle->message.find(
+                "arch/mid/a.h -> arch/mid/b.h -> arch/mid/c.h -> arch/mid/a.h"),
+            std::string::npos)
+      << cycle->message;
+}
+
+TEST(LintArch, SelfIncludeIsAOneNodeCycle) {
+  const auto findings = link_arch_tree();
+  const Finding* cycle = find_rule(findings, "arch-include-cycle", "arch/app/top.h");
+  ASSERT_NE(cycle, nullptr);
+  EXPECT_EQ(cycle->line, 4);
+  EXPECT_NE(cycle->message.find("arch/app/top.h -> arch/app/top.h"), std::string::npos);
+}
+
+TEST(LintArch, UpwardIncludeNamesBothLayers) {
+  const auto findings = link_arch_tree();
+  const Finding* viol = find_rule(findings, "arch-layer-violation", "arch/base/bad_up.h");
+  ASSERT_NE(viol, nullptr);
+  EXPECT_EQ(viol->line, 2);
+  EXPECT_NE(viol->message.find("layer 'base'"), std::string::npos) << viol->message;
+  EXPECT_NE(viol->message.find("layer 'app'"), std::string::npos) << viol->message;
+}
+
+TEST(LintArch, MissingHeadersAreSkippedNeverFatal) {
+  // arch/app/top.h includes arch/missing/gone.h, which is not in the file
+  // set: the edge is dropped and no finding mentions it.
+  for (const auto& f : link_arch_tree()) {
+    EXPECT_EQ(f.message.find("gone.h"), std::string::npos) << f.message;
+  }
+}
+
+TEST(LintArch, IncludeBehindIfdefIsRecordedAsConditional) {
+  const FileFacts facts = facts_of("arch/app/top.h", read_fixture("arch/app/top.h"));
+  ASSERT_EQ(facts.includes.size(), 4u);
+  EXPECT_FALSE(facts.includes[0].conditional);  // arch/base/low.h
+  EXPECT_FALSE(facts.includes[2].conditional);  // the self-include
+  EXPECT_TRUE(facts.includes[3].conditional) << "#ifdef-guarded include not flagged";
+  EXPECT_EQ(facts.includes[3].target, "arch/base/low.h");
+}
+
+TEST(LintArch, AllowEdgePermitsAnOtherwiseUpwardInclude) {
+  const std::string lower = "#pragma once\n#include \"arch/app/top.h\"\n";
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("arch/base/bad_up.h", lower));
+  files.push_back(facts_of("arch/app/top.h", "#pragma once\n"));
+  const std::string base_map = "layer base arch/base\nlayer app arch/app\n";
+
+  const auto denied = qdlint::link_project(files, parse_layers_or_die(base_map));
+  ASSERT_EQ(denied.size(), 1u);
+  EXPECT_EQ(denied[0].rule, "arch-layer-violation");
+
+  const auto allowed = qdlint::link_project(
+      files, parse_layers_or_die(base_map + "allow arch/base arch/app\n"));
+  EXPECT_TRUE(allowed.empty());
+}
+
+TEST(LintArch, SiblingPrefixesInOneLayerMayIncludeEachOther) {
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("src/fl/x.h", "#pragma once\n#include \"store/y.h\"\n"));
+  files.push_back(facts_of("src/store/y.h", "#pragma once\n#include \"fl/x.h\"\n"));
+  const LayerMap map = parse_layers_or_die("layer services src/fl src/store\n");
+  // Same layer index: no arch-layer-violation in either direction. The
+  // mutual include IS still a cycle, which is the point of keeping the two
+  // rules separate.
+  const auto findings = qdlint::link_project(files, map);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "arch-include-cycle") << f.rule;
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(LintArch, UnmappedFilesAreExemptFromLayerRules) {
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("experimental/x.h", "#pragma once\n#include \"arch/base/low.h\"\n"));
+  files.push_back(facts_of("arch/base/low.h", "#pragma once\n"));
+  const auto findings =
+      qdlint::link_project(files, parse_layers_or_die("layer base arch/base\n"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintArch, NolintOnTheIncludeLineSuppresses) {
+  const std::string lower =
+      "#pragma once\n"
+      "#include \"arch/app/top.h\"  // NOLINT(qdlint-arch-layer-violation)\n";
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("arch/base/bad_up.h", lower));
+  files.push_back(facts_of("arch/app/top.h", "#pragma once\n"));
+  const auto findings = qdlint::link_project(
+      files, parse_layers_or_die("layer base arch/base\nlayer app arch/app\n"));
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Reachability: conc-unguarded-global
+// ---------------------------------------------------------------------------
+
+const char* kCounterDefs =
+    "int g_hits = 0;\n"
+    "void bump() { g_hits++; }\n";
+
+const char* kLaunchSite =
+    "void bump();\n"
+    "void launch(ThreadPool& pool) {\n"
+    "  pool.run_chunks(4, [&](int c) { bump(); });\n"
+    "}\n";
+
+TEST(LintReach, UnguardedGlobalReachableFromParallelSiteFires) {
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("src/fake/counter.cpp", kCounterDefs));
+  files.push_back(facts_of("src/fake/launch.cpp", kLaunchSite));
+  const auto findings = qdlint::link_project(files, parse_layers_or_die(""));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "conc-unguarded-global");
+  EXPECT_EQ(findings[0].path, "src/fake/launch.cpp");
+  EXPECT_EQ(findings[0].line, 3);  // reported at the submit site
+  EXPECT_NE(findings[0].message.find("g_hits"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("via bump()"), std::string::npos) << findings[0].message;
+}
+
+TEST(LintReach, LockGuardInTheUsingBodySilences) {
+  const std::string defs =
+      "std::mutex g_mu;\n"
+      "int g_hits = 0;\n"
+      "void bump() {\n"
+      "  std::lock_guard<std::mutex> guard(g_mu);\n"
+      "  g_hits++;\n"
+      "}\n";
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("src/fake/counter.cpp", defs));
+  files.push_back(facts_of("src/fake/launch.cpp", kLaunchSite));
+  EXPECT_TRUE(qdlint::link_project(files, parse_layers_or_die("")).empty());
+}
+
+TEST(LintReach, SharedWriteAnnotationAtTheSiteSilences) {
+  const std::string site =
+      "void bump();\n"
+      "void launch(ThreadPool& pool) {\n"
+      "  // qdlint: shared-write(bump only touches this chunk's row)\n"
+      "  pool.run_chunks(4, [&](int c) { bump(); });\n"
+      "}\n";
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("src/fake/counter.cpp", kCounterDefs));
+  files.push_back(facts_of("src/fake/launch.cpp", site));
+  EXPECT_TRUE(qdlint::link_project(files, parse_layers_or_die("")).empty());
+}
+
+TEST(LintReach, AtomicAndConstGlobalsAreNotIndexed) {
+  const FileFacts facts = facts_of("src/fake/x.cpp",
+                                   "std::atomic<int> g_count{0};\n"
+                                   "const int kLimit = 8;\n"
+                                   "constexpr float kEps = 1e-6f;\n"
+                                   "int g_mutable;\n");
+  ASSERT_EQ(facts.globals.size(), 1u);
+  EXPECT_EQ(facts.globals[0].name, "g_mutable");
+}
+
+TEST(LintReach, AmbiguousCalleeNamesAreNotTraversed) {
+  // Two definitions of helper(): following both would chain unrelated TUs
+  // together, so the BFS prunes the name entirely (documented false-negative
+  // envelope, DESIGN.md §14).
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("src/fake/a.cpp", "int g_a = 0;\nvoid helper() { g_a++; }\n"));
+  files.push_back(facts_of("src/fake/b.cpp", "void helper() {}\n"));
+  files.push_back(facts_of("src/fake/launch.cpp",
+                           "void launch(ThreadPool& pool) {\n"
+                           "  pool.run_chunks(4, [&](int c) { helper(c); });\n"
+                           "}\n"));
+  EXPECT_TRUE(qdlint::link_project(files, parse_layers_or_die("")).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Reachability: det-rng-in-parallel
+// ---------------------------------------------------------------------------
+
+TEST(LintReach, RngDrawReachableFromParallelSiteFires) {
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("src/fake/draw.cpp",
+                           "float draw(Rng& rng) { return rng.uniform(); }\n"));
+  files.push_back(facts_of("src/fake/launch.cpp",
+                           "float draw(Rng& rng);\n"
+                           "void launch(ThreadPool& pool, Rng& rng) {\n"
+                           "  pool.run_chunks(4, [&](int c) { draw(rng); });\n"
+                           "}\n"));
+  const auto findings = qdlint::link_project(files, parse_layers_or_die(""));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "det-rng-in-parallel");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("via draw()"), std::string::npos) << findings[0].message;
+}
+
+TEST(LintReach, TagSplitAtTheSubmitSiteSanitizes) {
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("src/fake/launch.cpp",
+                           "void launch(ThreadPool& pool, Rng& rng) {\n"
+                           "  pool.run_chunks(4, [&](int c) {\n"
+                           "    Rng child = rng.split(c);\n"
+                           "    (void)child.uniform();\n"
+                           "  });\n"
+                           "}\n"));
+  EXPECT_TRUE(qdlint::link_project(files, parse_layers_or_die("")).empty());
+}
+
+TEST(LintReach, TagSplitInACalleeSanitizesItsSubtree) {
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("src/fake/draw.cpp",
+                           "float seeded(Rng& rng, int tag) {\n"
+                           "  Rng child = rng.split(tag);\n"
+                           "  return child.uniform();\n"
+                           "}\n"));
+  files.push_back(facts_of("src/fake/launch.cpp",
+                           "float seeded(Rng& rng, int tag);\n"
+                           "void launch(ThreadPool& pool, Rng& rng) {\n"
+                           "  pool.run_chunks(4, [&](int c) { seeded(rng, c); });\n"
+                           "}\n"));
+  EXPECT_TRUE(qdlint::link_project(files, parse_layers_or_die("")).empty());
+}
+
+TEST(LintReach, StdDistributionTypesCountAsDraws) {
+  std::vector<FileFacts> files;
+  files.push_back(facts_of("src/fake/launch.cpp",
+                           "void launch(ThreadPool& pool) {\n"
+                           "  pool.run_chunks(4, [&](int c) {\n"
+                           "    std::uniform_real_distribution<float> dist(0.f, 1.f);\n"
+                           "    (void)dist;\n"
+                           "  });\n"
+                           "}\n"));
+  const auto findings = qdlint::link_project(files, parse_layers_or_die(""));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "det-rng-in-parallel");
+}
+
+}  // namespace

@@ -1,0 +1,331 @@
+#include "qdlint.h"
+
+#include <cstdint>
+#include <sstream>
+
+// On-disk analysis cache. Line-oriented, tab-separated, versioned: the
+// header embeds an FNV hash of the rule list so adding/renaming a rule
+// invalidates every entry at once, and any parse hiccup rejects the whole
+// file — a bad cache degrades to a cold run, never to stale findings.
+//
+// Format (one cache file, entries sorted by path):
+//   qdlint-cache 2 <rule-hash hex>
+//   F <mtime_ns> <size> <hash> <path>
+//   f <line> <col> <rule>\t<message>\t<hint>\t<trimmed line text>
+//   I <line> <conditional 0|1> <target>
+//   G <line> <name>            (mutable namespace-scope global)
+//   M <line> <name>            (mutex declaration)
+//   B <fn|site> <line> <flags bitmask: 1=lock_guard 2=split 4=annotated> <name>
+//   c|r|u <line> <name>        (call / rng draw / ident use, inside B..E)
+//   E                          (end of body)
+//   N <line> <rule,rule,...>   (NOLINT marks; '*' allowed)
+
+namespace qdlint {
+namespace {
+
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+std::uint64_t rule_set_hash() {
+  std::string joined;
+  for (const auto& r : all_rules()) {
+    joined += r;
+    joined += '\n';
+  }
+  return fnv1a64(joined);
+}
+
+std::string hex(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Splits a line into at most `max_fields` space-separated fields; the last
+/// field swallows the remainder (so paths/names may contain spaces).
+std::vector<std::string> fields(const std::string& line, std::size_t max_fields) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (out.size() + 1 < max_fields && pos < line.size()) {
+    const std::size_t sp = line.find(' ', pos);
+    if (sp == std::string::npos) break;
+    out.push_back(line.substr(pos, sp - pos));
+    pos = sp + 1;
+  }
+  out.push_back(line.substr(pos));
+  return out;
+}
+
+std::vector<std::string> tab_split(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t tab = s.find('\t', pos);
+    if (tab == std::string::npos) {
+      out.push_back(s.substr(pos));
+      return out;
+    }
+    out.push_back(s.substr(pos, tab - pos));
+    pos = tab + 1;
+  }
+}
+
+bool to_i64(const std::string& s, std::int64_t* out) {
+  if (s.empty()) return false;
+  std::int64_t v = 0;
+  std::size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+bool to_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+void write_body(std::ostringstream& out, const BodyFacts& b) {
+  const int flags = (b.has_lock_guard ? 1 : 0) | (b.has_split ? 2 : 0) | (b.annotated ? 4 : 0);
+  out << "B " << (b.is_site ? "site" : "fn") << ' ' << b.line << ' ' << flags << ' '
+      << esc(b.name) << '\n';
+  for (const auto& s : b.calls) out << "c " << s.line << ' ' << esc(s.name) << '\n';
+  for (const auto& s : b.rng_draws) out << "r " << s.line << ' ' << esc(s.name) << '\n';
+  for (const auto& s : b.ident_uses) out << "u " << s.line << ' ' << esc(s.name) << '\n';
+  out << "E\n";
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string serialize_cache(const Cache& cache) {
+  std::ostringstream out;
+  out << "qdlint-cache 2 " << hex(rule_set_hash()) << '\n';
+  for (const auto& [path, entry] : cache.entries) {
+    out << "F " << entry.mtime_ns << ' ' << entry.size << ' ' << entry.hash << ' ' << esc(path)
+        << '\n';
+    const AnalyzedFile& a = entry.analysis;
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+      const Finding& f = a.findings[i];
+      const std::string text = i < a.line_texts.size() ? a.line_texts[i] : std::string();
+      out << "f " << f.line << ' ' << f.col << ' ' << f.rule << '\t' << esc(f.message) << '\t'
+          << esc(f.hint) << '\t' << esc(text) << '\n';
+    }
+    for (const auto& inc : a.facts.includes) {
+      out << "I " << inc.line << ' ' << (inc.conditional ? 1 : 0) << ' ' << esc(inc.target)
+          << '\n';
+    }
+    for (const auto& g : a.facts.globals) out << "G " << g.line << ' ' << esc(g.name) << '\n';
+    for (const auto& m : a.facts.mutexes) out << "M " << m.line << ' ' << esc(m.name) << '\n';
+    for (const auto& b : a.facts.functions) write_body(out, b);
+    for (const auto& b : a.facts.sites) write_body(out, b);
+    for (const auto& [line, rules] : a.facts.nolint) {
+      out << "N " << line << ' ';
+      bool first = true;
+      for (const auto& r : rules) {
+        if (!first) out << ',';
+        out << r;
+        first = false;
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+bool parse_cache(const std::string& content, Cache* out) {
+  *out = Cache{};
+  std::istringstream ss(content);
+  std::string line;
+  if (!std::getline(ss, line)) return false;
+  if (line != "qdlint-cache 2 " + hex(rule_set_hash())) return false;
+
+  CacheEntry* entry = nullptr;
+  BodyFacts* body = nullptr;
+  bool body_is_site = false;
+  auto fail = [&] {
+    *out = Cache{};
+    return false;
+  };
+
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    const char tag = line[0];
+    if (line.size() < 2 || line[1] != ' ') {
+      if (tag == 'E' && line.size() == 1) {
+        if (body == nullptr || entry == nullptr) return fail();
+        body = nullptr;
+        continue;
+      }
+      return fail();
+    }
+    const std::string rest = line.substr(2);
+    switch (tag) {
+      case 'F': {
+        const auto f = fields(rest, 4);
+        std::int64_t mtime = 0;
+        std::uint64_t size = 0, hash = 0;
+        if (f.size() != 4 || !to_i64(f[0], &mtime) || !to_u64(f[1], &size) ||
+            !to_u64(f[2], &hash)) {
+          return fail();
+        }
+        const std::string path = unesc(f[3]);
+        if (path.empty() || out->entries.count(path)) return fail();
+        entry = &out->entries[path];
+        entry->mtime_ns = mtime;
+        entry->size = size;
+        entry->hash = hash;
+        entry->analysis.facts.path = path;
+        body = nullptr;
+        break;
+      }
+      case 'f': {
+        if (entry == nullptr || body != nullptr) return fail();
+        const auto head = fields(rest, 3);
+        std::int64_t ln = 0, col = 0;
+        if (head.size() != 3 || !to_i64(head[0], &ln) || !to_i64(head[1], &col)) return fail();
+        const auto tabbed = tab_split(head[2]);
+        if (tabbed.size() != 4) return fail();
+        Finding f;
+        f.rule = tabbed[0];
+        f.path = entry->analysis.facts.path;
+        f.line = static_cast<int>(ln);
+        f.col = static_cast<int>(col);
+        f.message = unesc(tabbed[1]);
+        f.hint = unesc(tabbed[2]);
+        entry->analysis.findings.push_back(std::move(f));
+        entry->analysis.line_texts.push_back(unesc(tabbed[3]));
+        break;
+      }
+      case 'I': {
+        if (entry == nullptr || body != nullptr) return fail();
+        const auto f = fields(rest, 3);
+        std::int64_t ln = 0, cond = 0;
+        if (f.size() != 3 || !to_i64(f[0], &ln) || !to_i64(f[1], &cond)) return fail();
+        entry->analysis.facts.includes.push_back(
+            {unesc(f[2]), static_cast<int>(ln), cond != 0});
+        break;
+      }
+      case 'G':
+      case 'M': {
+        if (entry == nullptr || body != nullptr) return fail();
+        const auto f = fields(rest, 2);
+        std::int64_t ln = 0;
+        if (f.size() != 2 || !to_i64(f[0], &ln)) return fail();
+        auto& vec = tag == 'G' ? entry->analysis.facts.globals : entry->analysis.facts.mutexes;
+        vec.push_back({unesc(f[1]), static_cast<int>(ln)});
+        break;
+      }
+      case 'B': {
+        if (entry == nullptr || body != nullptr) return fail();
+        const auto f = fields(rest, 4);
+        std::int64_t ln = 0, flags = 0;
+        if (f.size() != 4 || (f[0] != "fn" && f[0] != "site") || !to_i64(f[1], &ln) ||
+            !to_i64(f[2], &flags)) {
+          return fail();
+        }
+        body_is_site = f[0] == "site";
+        auto& vec = body_is_site ? entry->analysis.facts.sites : entry->analysis.facts.functions;
+        vec.push_back(BodyFacts{});
+        body = &vec.back();
+        body->name = unesc(f[3]);
+        body->line = static_cast<int>(ln);
+        body->is_site = body_is_site;
+        body->has_lock_guard = (flags & 1) != 0;
+        body->has_split = (flags & 2) != 0;
+        body->annotated = (flags & 4) != 0;
+        break;
+      }
+      case 'c':
+      case 'r':
+      case 'u': {
+        if (body == nullptr) return fail();
+        const auto f = fields(rest, 2);
+        std::int64_t ln = 0;
+        if (f.size() != 2 || !to_i64(f[0], &ln)) return fail();
+        auto& vec = tag == 'c' ? body->calls : tag == 'r' ? body->rng_draws : body->ident_uses;
+        vec.push_back({unesc(f[1]), static_cast<int>(ln)});
+        break;
+      }
+      case 'N': {
+        if (entry == nullptr || body != nullptr) return fail();
+        const auto f = fields(rest, 2);
+        std::int64_t ln = 0;
+        if (f.size() != 2 || !to_i64(f[0], &ln)) return fail();
+        std::set<std::string>& rules = entry->analysis.facts.nolint[static_cast<int>(ln)];
+        std::string cur;
+        for (char ch : f[1] + ",") {
+          if (ch == ',') {
+            if (!cur.empty()) rules.insert(cur);
+            cur.clear();
+          } else {
+            cur += ch;
+          }
+        }
+        break;
+      }
+      default:
+        return fail();
+    }
+  }
+  return body == nullptr;
+}
+
+}  // namespace qdlint

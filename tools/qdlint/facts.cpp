@@ -1,0 +1,461 @@
+#include "qdlint.h"
+
+#include <algorithm>
+#include <cctype>
+
+// Symbol index & include facts: the per-file half of the whole-project
+// stage. One token walk recognizes namespace/class/function structure well
+// enough to harvest function bodies, parallel-submit call sites, mutable
+// namespace-scope variables and mutex declarations. This is a heuristic
+// indexer, not a parser — names are recorded unresolved and matched by name
+// at link time (see project.cpp and DESIGN.md §14 for the accuracy
+// envelope).
+
+namespace qdlint {
+namespace {
+
+const std::set<std::string>& keywordish() {
+  static const std::set<std::string> kSet = {
+      // control / declaration keywords
+      "if", "else", "for", "while", "do", "switch", "case", "default", "return",
+      "break", "continue", "goto", "new", "delete", "sizeof", "alignof", "typeid",
+      "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast", "try",
+      "catch", "throw", "true", "false", "nullptr", "this", "operator", "template",
+      "typename", "using", "namespace", "class", "struct", "union", "enum",
+      "public", "private", "protected", "virtual", "override", "final", "static",
+      "inline", "constexpr", "consteval", "constinit", "const", "volatile",
+      "mutable", "extern", "register", "thread_local", "auto", "void", "bool",
+      "char", "short", "int", "long", "float", "double", "unsigned", "signed",
+      "wchar_t", "char8_t", "char16_t", "char32_t", "noexcept", "decltype",
+      "requires", "concept", "co_await", "co_yield", "co_return", "and", "or",
+      "not", "friend", "typedef", "asm", "std",
+      // ubiquitous vocabulary types — never globals, keep the index lean
+      "size_t", "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t", "uint16_t",
+      "uint32_t", "uint64_t", "ptrdiff_t", "string", "vector", "array", "span",
+      "map", "set", "pair", "tuple", "optional", "function", "unique_ptr",
+      "shared_ptr",
+  };
+  return kSet;
+}
+
+/// Rng draw methods: called on a generator object, these consume the stream.
+/// split() is deliberately absent — it derives a child stream and acts as the
+/// sanitizer for det-rng-in-parallel.
+bool is_rng_draw_member(const std::string& t) {
+  return t == "uniform" || t == "uniform_int" || t == "uniform_u64" || t == "normal" ||
+         t == "next_u64" || t == "sample_without_replacement" || t == "permutation" ||
+         t == "shuffle";
+}
+
+/// std <random> machinery: any appearance counts as a draw dependency.
+bool is_rng_dist_type(const std::string& t) {
+  return t == "uniform_int_distribution" || t == "uniform_real_distribution" ||
+         t == "normal_distribution" || t == "bernoulli_distribution" ||
+         t == "discrete_distribution" || t == "mt19937" || t == "mt19937_64" ||
+         t == "minstd_rand";
+}
+
+bool is_lock_guard_type(const std::string& t) {
+  return t == "lock_guard" || t == "scoped_lock" || t == "unique_lock";
+}
+
+bool is_submit_name(const std::string& t) {
+  return t == "parallel_for" || t == "run_chunks" || t == "submit";
+}
+
+struct Walker {
+  const std::vector<Token>& toks;
+
+  bool punct(std::size_t i, const char* text) const {
+    return i < toks.size() && toks[i].kind == TokKind::kPunct && toks[i].text == text;
+  }
+  bool ident(std::size_t i, const char* text) const {
+    return i < toks.size() && toks[i].kind == TokKind::kIdent && toks[i].text == text;
+  }
+  bool is_ident(std::size_t i) const {
+    return i < toks.size() && toks[i].kind == TokKind::kIdent;
+  }
+
+  /// Index just past the matching closer for the opener at `open`.
+  std::size_t match(std::size_t open, const char* op, const char* cl) const {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kPunct) continue;
+      if (toks[i].text == op) ++depth;
+      if (toks[i].text == cl && --depth == 0) return i + 1;
+    }
+    return toks.size();
+  }
+  std::size_t match_paren(std::size_t open) const { return match(open, "(", ")"); }
+  std::size_t match_brace(std::size_t open) const { return match(open, "{", "}"); }
+};
+
+/// Collects refs over the token span [b, e). `sites` receives parallel
+/// submit sites when non-null (null while already inside a site span, so
+/// nested submits fold into their enclosing site).
+void collect_body(const Walker& w, std::size_t b, std::size_t e, const LineMarks& marks,
+                  BodyFacts* out, std::vector<BodyFacts>* sites) {
+  std::set<std::string> seen_calls, seen_draws, seen_uses;
+  for (std::size_t j = b; j < e && j < w.toks.size(); ++j) {
+    const Token& t = w.toks[j];
+    if (t.kind != TokKind::kIdent) continue;
+    const std::string& name = t.text;
+    const bool next_is_call = w.punct(j + 1, "(");
+    const bool member = j > 0 && (w.punct(j - 1, ".") || w.punct(j - 1, "->"));
+
+    if (is_lock_guard_type(name)) out->has_lock_guard = true;
+    if (name == "split" && next_is_call) out->has_split = true;
+
+    if (((member && is_rng_draw_member(name)) || is_rng_dist_type(name)) &&
+        seen_draws.insert(name).second) {
+      out->rng_draws.push_back({name, t.line});
+    }
+
+    if (next_is_call) {
+      if (is_submit_name(name) && sites != nullptr) {
+        const std::size_t span_end = w.match_paren(j + 1);
+        BodyFacts site;
+        site.is_site = true;
+        site.line = t.line;
+        site.annotated = marks.shared_write.count(t.line) != 0 ||
+                         marks.shared_write.count(t.line - 1) != 0;
+        collect_body(w, j + 2, span_end > 0 ? span_end - 1 : j + 2, marks, &site, nullptr);
+        sites->push_back(std::move(site));
+      }
+      // Member calls (obj.f(), p->f()) are not recorded: the index has no
+      // receiver types, so matching them by bare name chains unrelated TUs
+      // together (k.axpy → nn::axpy). Free-function names only.
+      if (!member && !keywordish().count(name) && name != "split" &&
+          seen_calls.insert(name).second) {
+        out->calls.push_back({name, t.line});
+      }
+    } else if (!member && !keywordish().count(name) && seen_uses.insert(name).second) {
+      out->ident_uses.push_back({name, t.line});
+    }
+  }
+}
+
+/// Squeezes runs of spaces/tabs so "#  include  \"x\"" parses uniformly.
+std::string squeeze(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == ' ' || ch == '\t') {
+      if (!out.empty() && out.back() != ' ') out += ' ';
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Declaration scan result at namespace/class scope.
+struct DeclInfo {
+  bool is_const = false;
+  bool is_atomic = false;
+  bool is_mutex = false;
+  bool skip = false;  // using/typedef/friend/template/static_assert/...
+  std::string last_ident;
+  int last_ident_line = 0;
+};
+
+}  // namespace
+
+FileFacts extract_facts(const FileContext& ctx, const LexResult& lexed) {
+  FileFacts facts;
+  facts.path = ctx.path;
+  facts.nolint = lexed.marks.nolint;
+  const Walker w{lexed.tokens};
+  const std::vector<Token>& toks = lexed.tokens;
+
+  // -- includes, with #if nesting tracked for the `conditional` flag --------
+  int cond_depth = 0;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kPreproc) continue;
+    const std::string d = squeeze(t.text);
+    if (starts_with(d, "#if") || starts_with(d, "# if")) {
+      ++cond_depth;
+    } else if (starts_with(d, "#endif") || starts_with(d, "# endif")) {
+      if (cond_depth > 0) --cond_depth;
+    } else if (starts_with(d, "#include") || starts_with(d, "# include")) {
+      const std::size_t q1 = d.find('"');
+      if (q1 == std::string::npos) continue;  // <system> include: out of scope
+      const std::size_t q2 = d.find('"', q1 + 1);
+      if (q2 == std::string::npos) continue;
+      facts.includes.push_back({d.substr(q1 + 1, q2 - q1 - 1), t.line, cond_depth > 0});
+    }
+  }
+
+  // -- structural walk: namespaces, classes, functions, globals -------------
+  enum class Scope { kNamespace, kClass, kOther };
+  std::vector<Scope> scopes;  // implicit top-level namespace below the stack
+  std::size_t i = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPreproc || t.kind == TokKind::kString ||
+        t.kind == TokKind::kChar || t.kind == TokKind::kNumber) {
+      ++i;
+      continue;
+    }
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        scopes.push_back(Scope::kOther);  // stray block (should be rare here)
+      } else if (t.text == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+      }
+      ++i;
+      continue;
+    }
+
+    const Scope scope = scopes.empty() ? Scope::kNamespace : scopes.back();
+
+    // namespace [name] { ... }  /  extern "C" { ... }
+    if (t.text == "namespace") {
+      std::size_t j = i + 1;
+      while (j < toks.size() && !w.punct(j, "{") && !w.punct(j, ";") && !w.punct(j, "=")) ++j;
+      if (w.punct(j, "{")) {
+        scopes.push_back(Scope::kNamespace);
+        i = j + 1;
+      } else if (w.punct(j, "=")) {
+        // Namespace alias: consume through ';' so the target path is not
+        // mistaken for a variable declaration.
+        while (j < toks.size() && !w.punct(j, ";")) ++j;
+        i = j + 1;
+      } else {
+        i = j + 1;  // forward namespace declaration
+      }
+      continue;
+    }
+    if (t.text == "extern" && i + 2 < toks.size() && toks[i + 1].kind == TokKind::kString &&
+        w.punct(i + 2, "{")) {
+      scopes.push_back(Scope::kNamespace);
+      i += 3;
+      continue;
+    }
+
+    // class/struct/union/enum definitions open a class scope; forward
+    // declarations fall through to the generic declaration scan.
+    if ((t.text == "class" || t.text == "struct" || t.text == "union" || t.text == "enum") &&
+        (scope == Scope::kNamespace || scope == Scope::kClass)) {
+      std::size_t j = i + 1;
+      int angle = 0;
+      while (j < toks.size()) {
+        if (toks[j].kind == TokKind::kPunct) {
+          if (toks[j].text == "<") ++angle;
+          if (toks[j].text == ">") --angle;
+          if (toks[j].text == ">>") angle -= 2;
+          if (angle <= 0 && (toks[j].text == "{" || toks[j].text == ";" || toks[j].text == "(")) {
+            break;
+          }
+        }
+        ++j;
+      }
+      if (w.punct(j, "{")) {
+        scopes.push_back(t.text == "enum" ? Scope::kOther : Scope::kClass);
+        i = j + 1;
+        continue;
+      }
+      if (w.punct(j, ";")) {
+        i = j + 1;
+        continue;
+      }
+      // `(` — e.g. a variable `struct stat st(...)`; fall through.
+    }
+
+    // Generic declaration / function-definition scan from token i.
+    if (t.kind == TokKind::kIdent) {
+      DeclInfo info;
+      std::size_t j = i;
+      bool ended = false;
+      while (j < toks.size() && !ended) {
+        const Token& d = toks[j];
+        if (d.kind == TokKind::kIdent) {
+          if (d.text == "using" || d.text == "typedef" || d.text == "friend" ||
+              d.text == "template" || d.text == "static_assert" || d.text == "concept") {
+            info.skip = true;
+          }
+          if (d.text == "const" || d.text == "constexpr" || d.text == "constinit" ||
+              d.text == "consteval") {
+            info.is_const = true;
+          }
+          if (d.text == "atomic" || d.text == "atomic_flag") info.is_atomic = true;
+          if (d.text == "mutex" || d.text == "shared_mutex" || d.text == "recursive_mutex" ||
+              d.text == "timed_mutex") {
+            info.is_mutex = true;
+          }
+          info.last_ident = d.text;
+          info.last_ident_line = d.line;
+          ++j;
+          continue;
+        }
+        if (d.kind != TokKind::kPunct) {
+          ++j;
+          continue;
+        }
+        if (d.text == "<") {
+          // Template argument list on the declared type — skip, remembering
+          // atomic/mutex element types seen inside.
+          int depth = 0;
+          std::size_t k = j;
+          for (; k < toks.size(); ++k) {
+            const Token& a = toks[k];
+            if (a.kind == TokKind::kIdent) {
+              if (a.text == "atomic") info.is_atomic = true;
+              if (a.text == "mutex" || a.text == "shared_mutex") info.is_mutex = true;
+            }
+            if (a.kind != TokKind::kPunct) continue;
+            if (a.text == "<") ++depth;
+            else if (a.text == ">") {
+              if (--depth == 0) break;
+            } else if (a.text == ">>") {
+              depth -= 2;
+              if (depth <= 0) break;
+            } else if (a.text == ";" || a.text == "{") {
+              break;  // was a comparison, not a template list
+            }
+          }
+          j = k < toks.size() ? k + 1 : k;
+          continue;
+        }
+        if (d.text == "(") {
+          // Function candidate when the '(' directly follows an identifier.
+          const bool func_like = j > 0 && toks[j - 1].kind == TokKind::kIdent &&
+                                 !keywordish().count(toks[j - 1].text);
+          const std::size_t close = w.match_paren(j);
+          if (!func_like) {
+            j = close;
+            continue;
+          }
+          // Walk past cv-qualifiers / ctor-init-list / trailing return to
+          // find a body '{' (definition) or ';' (declaration).
+          std::size_t k = close;
+          bool body = false, decl = false;
+          while (k < toks.size()) {
+            const Token& a = toks[k];
+            if (a.kind == TokKind::kIdent || a.kind == TokKind::kNumber) {
+              ++k;
+              continue;
+            }
+            if (a.kind != TokKind::kPunct) {
+              ++k;
+              continue;
+            }
+            if (a.text == ";") {
+              decl = true;
+              break;
+            }
+            if (a.text == "(") {
+              k = w.match_paren(k);
+              continue;
+            }
+            if (a.text == "{") {
+              // A '{' directly after an identifier or '>' inside a ctor
+              // init list is a member-init brace; otherwise it is the body.
+              const Token& p = toks[k - 1];
+              const bool init_brace = p.kind == TokKind::kIdent ||
+                                      (p.kind == TokKind::kPunct && p.text == ">");
+              if (init_brace) {
+                k = w.match_brace(k);
+                continue;
+              }
+              body = true;
+              break;
+            }
+            if (a.text == "=") {
+              // `= default;` / `= delete;` / `= 0;` pure virtual.
+              decl = true;
+              std::size_t s = k;
+              while (s < toks.size() && !w.punct(s, ";")) ++s;
+              k = s;
+              break;
+            }
+            ++k;  // ::, ->, :, <, >, *, &, comma in trailing types...
+          }
+          if (body) {
+            BodyFacts fn;
+            fn.name = toks[j - 1].text;
+            fn.line = toks[j - 1].line;
+            const std::size_t body_end = w.match_brace(k);
+            if (!ctx.is_thread_pool) {
+              collect_body(w, k + 1, body_end > 0 ? body_end - 1 : k + 1, lexed.marks, &fn,
+                           &facts.sites);
+            }
+            facts.functions.push_back(std::move(fn));
+            i = body_end;
+            ended = true;
+            continue;
+          }
+          j = decl && k < toks.size() ? k + 1 : close;
+          if (decl) {
+            i = j;
+            ended = true;
+          }
+          continue;
+        }
+        if (d.text == "=") {
+          // Variable with initializer: skip a balanced initializer to ';'.
+          int pd = 0, bd = 0;
+          std::size_t k = j + 1;
+          for (; k < toks.size(); ++k) {
+            if (toks[k].kind != TokKind::kPunct) continue;
+            const std::string& p = toks[k].text;
+            if (p == "(") ++pd;
+            if (p == ")") --pd;
+            if (p == "{") ++bd;
+            if (p == "}") --bd;
+            if (p == ";" && pd == 0 && bd <= 0) break;
+          }
+          j = k < toks.size() ? k + 1 : k;
+          goto record_decl;
+        }
+        if (d.text == "{") {
+          // A '{' after ')' or a function qualifier is the body of an
+          // unindexed function (operator overload, conversion op): consume
+          // it without swallowing the next declaration.
+          const Token& p = toks[j - 1];
+          const bool anon_body =
+              (p.kind == TokKind::kPunct && p.text == ")") ||
+              (p.kind == TokKind::kIdent &&
+               (p.text == "const" || p.text == "noexcept" || p.text == "override" ||
+                p.text == "final"));
+          if (anon_body) {
+            i = w.match_brace(j);
+            ended = true;
+            continue;
+          }
+          // Brace-initialized variable: `std::mutex g_mu{};`
+          j = w.match_brace(j);
+          while (j < toks.size() && !w.punct(j, ";")) ++j;
+          if (j < toks.size()) ++j;
+          goto record_decl;
+        }
+        if (d.text == ";") {
+          ++j;
+          goto record_decl;
+        }
+        if (d.text == "}") goto record_decl;  // tolerate malformed input
+        ++j;
+        continue;
+      record_decl:
+        if (!info.skip && !info.last_ident.empty() && !ctx.is_thread_pool) {
+          if (info.is_mutex) {
+            facts.mutexes.push_back({info.last_ident, info.last_ident_line});
+          } else if (scope == Scope::kNamespace && !info.is_const && !info.is_atomic) {
+            facts.globals.push_back({info.last_ident, info.last_ident_line});
+          }
+        }
+        i = j;
+        ended = true;
+      }
+      if (!ended) i = j;
+      continue;
+    }
+    ++i;
+  }
+  return facts;
+}
+
+}  // namespace qdlint

@@ -1,0 +1,181 @@
+#include "qdlint.h"
+
+#include <algorithm>
+#include <cctype>
+
+// --fix: mechanical remediations. Two moves only, both conservative:
+//
+//  1. conc-lock-scope — when the flagged mutex has exactly one standalone
+//     `m.lock();` and one standalone `m.unlock();` line in the file, the
+//     lock comes first, and the mutex is not touched after the unlock, the
+//     pair becomes a std::lock_guard at the lock line (the unlock line is
+//     dropped). Anything fancier — multiple pairs, unlocks inside branches,
+//     condition-variable dances — is left to a human.
+//
+//  2. everything else — a `// NOLINTNEXTLINE(qdlint-<rule>, ...) — <note>`
+//     inserted above the finding, carrying the caller-supplied justification.
+//     An empty note skips insertion entirely: a suppression without a reason
+//     is worse than the finding.
+
+namespace qdlint {
+namespace {
+
+std::string indent_of(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return line.substr(0, i);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+/// Count non-overlapping occurrences of `needle` with identifier boundaries
+/// on the left (so `gmu.lock()` does not count as `mu.lock()`).
+int count_bounded(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t p = 0; (p = hay.find(needle, p)) != std::string::npos; p += needle.size()) {
+    if (p > 0) {
+      const char before = hay[p - 1];
+      if (std::isalnum(static_cast<unsigned char>(before)) || before == '_') continue;
+    }
+    ++n;
+  }
+  return n;
+}
+
+/// Extracts the mutex name from a conc-lock-scope message ("manual
+/// <name>.lock()/unlock() is not matched..."). Empty when unparseable.
+std::string mutex_of(const Finding& f) {
+  const std::string prefix = "manual ";
+  const std::size_t dot = f.message.find(".lock()");
+  if (f.message.rfind(prefix, 0) != 0 || dot == std::string::npos || dot <= prefix.size()) {
+    return {};
+  }
+  const std::string name = f.message.substr(prefix.size(), dot - prefix.size());
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return {};
+  }
+  return name;
+}
+
+struct LockRewrite {
+  std::size_t lock_line;    // 0-based index into lines
+  std::size_t unlock_line;  // 0-based
+  std::string mutex;
+};
+
+/// A pair is trivially safe to rewrite when the file contains exactly one
+/// lock and one unlock of this mutex, both as whole statements at the same
+/// indentation, in order, and the mutex is never named after the unlock.
+bool plan_lock_rewrite(const std::vector<std::string>& lines, const std::string& mutex,
+                       LockRewrite* out) {
+  const std::string whole = [&] {
+    std::string joined;
+    for (const auto& l : lines) joined += l + "\n";
+    return joined;
+  }();
+  if (count_bounded(whole, mutex + ".lock()") != 1 ||
+      count_bounded(whole, mutex + ".unlock()") != 1) {
+    return false;
+  }
+  std::size_t lock_at = lines.size(), unlock_at = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string t = trim(lines[i]);
+    if (t == mutex + ".lock();") lock_at = i;
+    if (t == mutex + ".unlock();") unlock_at = i;
+  }
+  if (lock_at >= lines.size() || unlock_at >= lines.size()) return false;  // not standalone
+  if (lock_at >= unlock_at) return false;
+  if (indent_of(lines[lock_at]) != indent_of(lines[unlock_at])) return false;  // scope differs
+  for (std::size_t i = unlock_at + 1; i < lines.size(); ++i) {
+    if (count_bounded(lines[i], mutex) > 0) return false;  // touched after the unlock
+  }
+  *out = {lock_at, unlock_at, mutex};
+  return true;
+}
+
+}  // namespace
+
+FixResult apply_fixes(const std::string& source, const std::vector<Finding>& findings,
+                      const std::string& note) {
+  FixResult result;
+  std::vector<std::string> lines = split_source_lines(source);
+  // split_source_lines appends one entry for the text after the last '\n';
+  // remember whether the file ended with a newline so we can reproduce it.
+  const bool trailing_newline = !source.empty() && source.back() == '\n';
+  if (trailing_newline && !lines.empty() && lines.back().empty()) lines.pop_back();
+  const int original_line_count = static_cast<int>(lines.size());
+
+  // Pass 1: lock_guard rewrites (they delete a line, so do them before
+  // computing NOLINT insertion points — both passes work on descending line
+  // numbers to keep earlier indices stable).
+  std::vector<LockRewrite> rewrites;
+  std::set<std::string> rewritten_mutexes;
+  for (const Finding& f : findings) {
+    if (f.rule != "conc-lock-scope") continue;
+    const std::string mutex = mutex_of(f);
+    if (mutex.empty() || rewritten_mutexes.count(mutex)) continue;
+    LockRewrite plan;
+    if (plan_lock_rewrite(lines, mutex, &plan)) {
+      rewrites.push_back(plan);
+      rewritten_mutexes.insert(mutex);
+    }
+  }
+  std::sort(rewrites.begin(), rewrites.end(),
+            [](const LockRewrite& a, const LockRewrite& b) { return a.lock_line > b.lock_line; });
+  std::vector<std::size_t> deleted;  // original 0-based indices of dropped unlock lines
+  for (const LockRewrite& rw : rewrites) {
+    lines[rw.lock_line] = indent_of(lines[rw.lock_line]) + "const std::lock_guard<std::mutex> " +
+                          rw.mutex + "_guard(" + rw.mutex + ");";
+    lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(rw.unlock_line));
+    deleted.push_back(rw.unlock_line);
+    ++result.lock_rewrites;
+  }
+
+  // Pass 2: NOLINTNEXTLINE insertion for everything not rewritten. Rules are
+  // grouped per line (NOLINTNEXTLINE comments cannot stack), and skipped
+  // entirely when no justification was given.
+  if (!note.empty()) {
+    std::map<int, std::set<std::string>> per_line;  // 1-based finding line -> rules
+    for (const Finding& f : findings) {
+      if (f.rule == "conc-lock-scope" && rewritten_mutexes.count(mutex_of(f))) continue;
+      if (f.line >= 1 && f.line <= original_line_count) {
+        per_line[f.line].insert(f.rule);
+      }
+    }
+    for (auto it = per_line.rbegin(); it != per_line.rend(); ++it) {
+      // Finding lines are in pre-rewrite coordinates; shift past any unlock
+      // lines pass 1 erased above them.
+      std::size_t idx = static_cast<std::size_t>(it->first - 1);
+      for (std::size_t d : deleted) {
+        if (d < static_cast<std::size_t>(it->first - 1)) --idx;
+      }
+      if (idx >= lines.size()) idx = lines.empty() ? 0 : lines.size() - 1;
+      std::string comment = indent_of(lines[idx]) + "// NOLINTNEXTLINE(";
+      bool first = true;
+      for (const auto& rule : it->second) {
+        if (!first) comment += ", ";
+        comment += "qdlint-" + rule;
+        first = false;
+      }
+      comment += ") — " + note;
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(idx), comment);
+      ++result.nolints_inserted;
+    }
+  }
+
+  std::string rebuilt;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    rebuilt += lines[i];
+    if (i + 1 < lines.size() || trailing_newline) rebuilt += '\n';
+  }
+  result.source = std::move(rebuilt);
+  result.changed = result.source != source;
+  return result;
+}
+
+}  // namespace qdlint

@@ -1,0 +1,493 @@
+#include "qdlint.h"
+
+#include <algorithm>
+
+// Flow-sensitive single-function checks. Unlike the token rules these build a
+// small statement tree (if/else arms, 0-or-1 loop bodies) and evaluate it
+// over sets of abstract states, so "unlock on the early-return path only" and
+// "unlock skipped by one branch" are both caught without false-firing on the
+// common balanced patterns. The approximations (loops run 0 or 1 times,
+// lambda bodies are opaque, break/continue are no-ops) are documented in
+// DESIGN.md §14.
+
+namespace qdlint {
+namespace {
+
+struct FlowCtx {
+  const FileContext& file;
+  const std::vector<Token>& toks;
+  const LineMarks& marks;
+  std::vector<Finding>& out;
+
+  bool suppressed(const std::string& rule, int line) const {
+    const auto it = marks.nolint.find(line);
+    if (it == marks.nolint.end()) return false;
+    return it->second.count("*") != 0 || it->second.count("qdlint-" + rule) != 0;
+  }
+  void report(const std::string& rule, int line, int col, std::string message,
+              std::string hint = "") {
+    if (suppressed(rule, line)) return;
+    out.push_back({rule, file.path, line, col, std::move(message), std::move(hint)});
+  }
+
+  bool punct(std::size_t i, const char* text) const {
+    return i < toks.size() && toks[i].kind == TokKind::kPunct && toks[i].text == text;
+  }
+  bool ident(std::size_t i, const char* text) const {
+    return i < toks.size() && toks[i].kind == TokKind::kIdent && toks[i].text == text;
+  }
+  bool is_ident(std::size_t i) const {
+    return i < toks.size() && toks[i].kind == TokKind::kIdent;
+  }
+  std::size_t match(std::size_t open, const char* op, const char* cl) const {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kPunct) continue;
+      if (toks[i].text == op) ++depth;
+      if (toks[i].text == cl && --depth == 0) return i + 1;
+    }
+    return toks.size();
+  }
+  std::size_t match_paren(std::size_t open) const { return match(open, "(", ")"); }
+  std::size_t match_brace(std::size_t open) const { return match(open, "{", "}"); }
+
+  /// End index (one past) of the statement starting at i: a block, a full
+  /// if/else chain, a loop with its body, or a simple statement up to ';'.
+  std::size_t stmt_end(std::size_t i) const {
+    if (i >= toks.size()) return toks.size();
+    if (punct(i, "{")) return match_brace(i);
+    if (ident(i, "if") && punct(i + 1, "(")) {
+      std::size_t j = stmt_end(match_paren(i + 1));
+      if (ident(j, "else")) j = stmt_end(j + 1);
+      return j;
+    }
+    if ((ident(i, "for") || ident(i, "while") || ident(i, "switch")) && punct(i + 1, "(")) {
+      return stmt_end(match_paren(i + 1));
+    }
+    if (ident(i, "do")) {
+      std::size_t j = stmt_end(i + 1);
+      if (ident(j, "while") && punct(j + 1, "(")) j = match_paren(j + 1);
+      if (punct(j, ";")) ++j;
+      return j;
+    }
+    // Simple statement: to ';' at bracket depth 0.
+    int pd = 0, bd = 0, sd = 0;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      const std::string& p = toks[j].text;
+      if (p == "(") ++pd;
+      else if (p == ")") --pd;
+      else if (p == "{") ++bd;
+      else if (p == "}") {
+        if (bd == 0) return j;  // end of enclosing block: statement ran out
+        --bd;
+      } else if (p == "[") ++sd;
+      else if (p == "]") --sd;
+      else if (p == ";" && pd == 0 && bd == 0 && sd == 0) return j + 1;
+    }
+    return toks.size();
+  }
+
+  /// When i starts a lambda introducer, the index one past its body; else i.
+  std::size_t skip_lambda(std::size_t i) const {
+    if (!punct(i, "[")) return i;
+    if (i > 0) {
+      const Token& p = toks[i - 1];
+      // ident[...] / )(...)[...] / ][...] are subscripts, not lambdas.
+      if (p.kind == TokKind::kIdent ||
+          (p.kind == TokKind::kPunct && (p.text == ")" || p.text == "]"))) {
+        return i;
+      }
+    }
+    std::size_t j = match(i, "[", "]");
+    if (punct(j, "(")) j = match_paren(j);
+    // Header detritus (mutable, noexcept, -> ret) up to the body brace.
+    std::size_t k = j;
+    while (k < toks.size() && k < j + 8) {
+      if (punct(k, "{")) return match_brace(k);
+      if (punct(k, ";") || punct(k, ",") || punct(k, ")")) return i;
+      ++k;
+    }
+    return i;
+  }
+};
+
+// --------------------------------------------------------------------------
+// conc-lock-scope
+// --------------------------------------------------------------------------
+
+struct LockItem {
+  enum class Kind { kLock, kUnlock, kExit, kBranch, kMaybe };
+  Kind kind;
+  std::string mutex;  // kLock/kUnlock
+  int line = 0;
+  int col = 0;
+  std::vector<std::vector<LockItem>> arms;  // kBranch: then[, else]; kMaybe: body
+  bool has_else = false;
+};
+
+std::vector<LockItem> parse_lock_items(const FlowCtx& c, std::size_t b, std::size_t e);
+
+/// Parses the statement at [b, e) — unwrapping one brace level if present.
+std::vector<LockItem> parse_lock_stmt(const FlowCtx& c, std::size_t b, std::size_t e) {
+  if (c.punct(b, "{")) return parse_lock_items(c, b + 1, e > b ? e - 1 : b);
+  return parse_lock_items(c, b, e);
+}
+
+std::vector<LockItem> parse_lock_items(const FlowCtx& c, std::size_t b, std::size_t e) {
+  std::vector<LockItem> items;
+  std::size_t i = b;
+  while (i < e && i < c.toks.size()) {
+    const Token& t = c.toks[i];
+    if (t.kind == TokKind::kPunct) {
+      const std::size_t past_lambda = c.skip_lambda(i);
+      if (past_lambda != i) {  // lambda bodies are opaque to this rule
+        i = past_lambda;
+        continue;
+      }
+      if (t.text == "{") {  // plain nested block: splice
+        const std::size_t end = c.match_brace(i);
+        auto nested = parse_lock_items(c, i + 1, end > i ? end - 1 : i + 1);
+        for (auto& it : nested) items.push_back(std::move(it));
+        i = end;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) {
+      ++i;
+      continue;
+    }
+    if (t.text == "if" && c.punct(i + 1, "(")) {
+      const std::size_t cond_end = c.match_paren(i + 1);
+      const std::size_t then_end = c.stmt_end(cond_end);
+      LockItem br;
+      br.kind = LockItem::Kind::kBranch;
+      br.arms.push_back(parse_lock_stmt(c, cond_end, then_end));
+      i = then_end;
+      if (c.ident(i, "else")) {
+        const std::size_t else_end = c.stmt_end(i + 1);
+        br.arms.push_back(parse_lock_stmt(c, i + 1, else_end));
+        br.has_else = true;
+        i = else_end;
+      }
+      items.push_back(std::move(br));
+      continue;
+    }
+    if ((t.text == "for" || t.text == "while" || t.text == "switch") && c.punct(i + 1, "(")) {
+      const std::size_t head_end = c.match_paren(i + 1);
+      const std::size_t body_end = c.stmt_end(head_end);
+      LockItem mb;
+      mb.kind = LockItem::Kind::kMaybe;
+      mb.arms.push_back(parse_lock_stmt(c, head_end, body_end));
+      items.push_back(std::move(mb));
+      i = body_end;
+      continue;
+    }
+    if (t.text == "do") {
+      const std::size_t body_end = c.stmt_end(i + 1);
+      LockItem mb;
+      mb.kind = LockItem::Kind::kMaybe;
+      mb.arms.push_back(parse_lock_stmt(c, i + 1, body_end));
+      items.push_back(std::move(mb));
+      i = c.stmt_end(i);  // past the trailing while(...);
+      continue;
+    }
+    if (t.text == "return" || t.text == "throw") {
+      items.push_back({LockItem::Kind::kExit, "", t.line, t.col, {}, false});
+      // Consume the rest of the statement (an expression may contain calls).
+      int pd = 0;
+      std::size_t j = i + 1;
+      for (; j < e && j < c.toks.size(); ++j) {
+        if (c.toks[j].kind != TokKind::kPunct) continue;
+        const std::string& p = c.toks[j].text;
+        if (p == "(") ++pd;
+        else if (p == ")") --pd;
+        else if (p == ";" && pd == 0) break;
+      }
+      i = j + 1;
+      continue;
+    }
+    // mu.lock() / mu->lock() / mu.unlock()
+    if ((c.punct(i + 1, ".") || c.punct(i + 1, "->")) &&
+        (c.ident(i + 2, "lock") || c.ident(i + 2, "unlock")) && c.punct(i + 3, "(")) {
+      const bool is_lock = c.toks[i + 2].text == "lock";
+      items.push_back({is_lock ? LockItem::Kind::kLock : LockItem::Kind::kUnlock, t.text,
+                       t.line, t.col, {}, false});
+      i += 4;
+      continue;
+    }
+    ++i;
+  }
+  return items;
+}
+
+// Abstract state: mutex name -> held count, evaluated over a set of paths.
+using LockState = std::map<std::string, int>;
+
+struct LockEval {
+  FlowCtx& c;
+  std::set<std::string> reported;
+  std::map<std::string, std::pair<int, int>> first_lock;  // mutex -> line/col
+
+  void report_once(const std::string& mutex, int line, int col, const std::string& what) {
+    if (!reported.insert(mutex).second) return;
+    c.report("conc-lock-scope", line, col,
+             "manual " + mutex + ".lock()/unlock() is not matched on all paths: " + what,
+             "hold the mutex with std::lock_guard (or std::unique_lock for condition "
+             "waits) so every path — including early returns and exceptions — releases it");
+  }
+
+  std::vector<LockState> eval(const std::vector<LockItem>& items, std::vector<LockState> states,
+                              bool top = false) {
+    for (const LockItem& it : items) {
+      switch (it.kind) {
+        case LockItem::Kind::kLock:
+          if (!first_lock.count(it.mutex)) first_lock[it.mutex] = {it.line, it.col};
+          for (auto& s : states) ++s[it.mutex];
+          break;
+        case LockItem::Kind::kUnlock:
+          for (auto& s : states) {
+            int& held = s[it.mutex];
+            if (held == 0) {
+              report_once(it.mutex, it.line, it.col,
+                          "unlock() without a matching lock() on some path");
+            } else {
+              --held;
+            }
+          }
+          break;
+        case LockItem::Kind::kExit:
+          for (auto& s : states) {
+            for (const auto& [mutex, held] : s) {
+              if (held <= 0) continue;
+              const auto at = first_lock.count(mutex) ? first_lock[mutex]
+                                                      : std::make_pair(it.line, it.col);
+              report_once(mutex, at.first, at.second,
+                          "a return/throw at line " + std::to_string(it.line) +
+                              " leaves it held");
+            }
+          }
+          states.clear();  // these paths left the region
+          // Function bodies are spliced flat into one top-level list, so a
+          // top-level return ends one function and the statements after it
+          // belong to the next — reseed a fresh path for them. Exits inside
+          // branch arms stay dead paths (the sibling arm carries the state
+          // forward), so balanced early-return patterns don't false-fire.
+          if (top) states.push_back(LockState{});
+          break;
+        case LockItem::Kind::kBranch: {
+          auto then_states = eval(it.arms[0], states);
+          auto else_states =
+              it.has_else ? eval(it.arms[1], states) : states;
+          states = merge(std::move(then_states), std::move(else_states));
+          break;
+        }
+        case LockItem::Kind::kMaybe: {
+          auto once = eval(it.arms[0], states);
+          states = merge(std::move(states), std::move(once));
+          break;
+        }
+      }
+    }
+    return states;
+  }
+
+  static std::vector<LockState> merge(std::vector<LockState> a, std::vector<LockState> b) {
+    std::set<LockState> dedup(a.begin(), a.end());
+    dedup.insert(b.begin(), b.end());
+    std::vector<LockState> out(dedup.begin(), dedup.end());
+    constexpr std::size_t kMaxStates = 64;  // path-explosion cap
+    if (out.size() > kMaxStates) out.resize(kMaxStates);
+    return out;
+  }
+};
+
+void rule_lock_scope_impl(FlowCtx& c) {
+  // The thread pool's condition-variable dance legitimately splits
+  // lock/unlock around waits; it is the rule's one exempt home.
+  if (c.file.is_thread_pool) return;
+  const auto items = parse_lock_items(c, 0, c.toks.size());
+  LockEval ev{c, {}, {}};
+  const auto final_states = ev.eval(items, {LockState{}}, /*top=*/true);
+  for (const auto& s : final_states) {
+    for (const auto& [mutex, held] : s) {
+      if (held <= 0) continue;
+      const auto at = ev.first_lock.count(mutex) ? ev.first_lock.at(mutex)
+                                                 : std::make_pair(1, 1);
+      ev.report_once(mutex, at.first, at.second,
+                     "at least one path reaches the end of the scope with it still held");
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// det-iter-order-escape
+// --------------------------------------------------------------------------
+
+bool is_unordered_type(const std::string& t) {
+  return t == "unordered_map" || t == "unordered_set" || t == "unordered_multimap" ||
+         t == "unordered_multiset";
+}
+
+bool is_stream_type(const std::string& t) {
+  return t == "ostringstream" || t == "stringstream" || t == "ofstream" || t == "ostream";
+}
+
+/// Skips a balanced template argument list; returns `open` when the '<' turns
+/// out to be a comparison.
+std::size_t skip_angles(const FlowCtx& c, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < c.toks.size(); ++i) {
+    const Token& t = c.toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") ++depth;
+    else if (t.text == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (t.text == ";" || t.text == "{") {
+      return open;
+    }
+  }
+  return open;
+}
+
+void rule_iter_order_escape_impl(FlowCtx& c) {
+  // Names declared with an unordered container type, and names declared as
+  // serialized sinks (output streams and strings built up for output).
+  std::set<std::string> unordered_vars, stream_vars, string_vars;
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = c.toks[i].text;
+    if (!is_unordered_type(t) && !is_stream_type(t) && t != "string") continue;
+    std::size_t j = i + 1;
+    if (c.punct(j, "<")) j = skip_angles(c, j);
+    while (c.punct(j, "&") || c.punct(j, "*") || c.ident(j, "const")) ++j;
+    if (j >= c.toks.size() || c.toks[j].kind != TokKind::kIdent) continue;
+    if (is_unordered_type(t)) unordered_vars.insert(c.toks[j].text);
+    else if (is_stream_type(t)) stream_vars.insert(c.toks[j].text);
+    else string_vars.insert(c.toks[j].text);
+  }
+  if (unordered_vars.empty()) return;
+
+  const char* hint =
+      "serialized bytes must not depend on hash order: copy the keys to a sorted "
+      "vector first, or accumulate into an order-insensitive form";
+
+  for (std::size_t i = 0; i + 1 < c.toks.size(); ++i) {
+    if (!c.ident(i, "for") || !c.punct(i + 1, "(")) continue;
+    const std::size_t head_end = c.match_paren(i + 1);
+
+    // Which unordered container (if any) does this loop traverse?
+    std::string container;
+    int depth = 0;
+    bool past_colon = false;
+    for (std::size_t j = i + 1; j + 1 < head_end; ++j) {
+      const Token& t = c.toks[j];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") ++depth;
+        else if (t.text == ")") --depth;
+        else if (t.text == ":" && depth == 1) past_colon = true;
+        continue;
+      }
+      if (t.kind != TokKind::kIdent || !unordered_vars.count(t.text)) continue;
+      if (past_colon) {
+        container = t.text;  // range-for: for (auto& kv : m)
+        break;
+      }
+      // Iterator form: for (auto it = m.begin(); ...)
+      if (c.punct(j + 1, ".") && (c.ident(j + 2, "begin") || c.ident(j + 2, "cbegin"))) {
+        container = t.text;
+        break;
+      }
+    }
+    if (container.empty()) continue;
+
+    // Scan the loop body for writes to a serialized sink.
+    const std::size_t body_end = c.stmt_end(head_end);
+    for (std::size_t j = head_end; j < body_end && j < c.toks.size(); ++j) {
+      const Token& t = c.toks[j];
+      if (t.kind != TokKind::kIdent) continue;
+      std::string sink;
+      if (stream_vars.count(t.text) && c.punct(j + 1, "<<")) {
+        sink = t.text + " << ...";
+      } else if (string_vars.count(t.text) &&
+                 (c.punct(j + 1, "+=") ||
+                  (c.punct(j + 1, ".") && c.ident(j + 2, "append") && c.punct(j + 3, "(")))) {
+        sink = t.text + " +=/append";
+      } else if ((t.text == "write_file_atomic" || t.text == "fwrite" || t.text == "fprintf" ||
+                  t.text.rfind("QD_LOG", 0) == 0) &&
+                 c.punct(j + 1, "(")) {
+        sink = t.text + "(...)";
+      }
+      if (sink.empty()) continue;
+      c.report("det-iter-order-escape", c.toks[i].line, c.toks[i].col,
+               "loop over unordered container '" + container +
+                   "' writes to serialized sink (" + sink + ") in hash order",
+               hint);
+      break;  // one finding per loop
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void rule_lock_scope(const FileContext& ctx, const LexResult& lexed,
+                     std::vector<Finding>& out) {
+  FlowCtx c{ctx, lexed.tokens, lexed.marks, out};
+  rule_lock_scope_impl(c);
+}
+
+void rule_iter_order_escape(const FileContext& ctx, const LexResult& lexed,
+                            std::vector<Finding>& out) {
+  FlowCtx c{ctx, lexed.tokens, lexed.marks, out};
+  rule_iter_order_escape_impl(c);
+}
+
+}  // namespace detail
+
+// --------------------------------------------------------------------------
+// analyze_file — the one-lex entry point used by the driver and the cache
+// --------------------------------------------------------------------------
+
+std::vector<std::string> split_source_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::string trimmed_line(const std::vector<std::string>& lines, int line_no) {
+  if (line_no < 1 || line_no > static_cast<int>(lines.size())) return {};
+  const std::string& s = lines[static_cast<std::size_t>(line_no - 1)];
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+AnalyzedFile analyze_file(const FileContext& ctx, const std::string& source) {
+  AnalyzedFile out;
+  const LexResult lexed = lex(source);
+  out.findings = analyze_lexed(ctx, lexed);
+  out.facts = extract_facts(ctx, lexed);
+  const auto lines = split_source_lines(source);
+  out.line_texts.reserve(out.findings.size());
+  for (const auto& f : out.findings) out.line_texts.push_back(trimmed_line(lines, f.line));
+  return out;
+}
+
+}  // namespace qdlint

@@ -1,89 +1,85 @@
-// qdlint driver: walks src/, tools/ and bench/ (or explicit paths), runs the
-// analyzer per file, subtracts the baseline, and reports human-readable or
-// JSON findings. Exit code 0 = clean, 1 = non-baselined findings, 2 = usage
-// or I/O error.
+// qdlint CLI: walks src/, tools/ and bench/ (or explicit paths), runs the
+// per-file rules in parallel over the shared thread pool plus the
+// whole-project stage (layer DAG, include cycles, reachability), subtracts
+// the baseline, and reports findings. Exit code 0 = clean, 1 = non-baselined
+// findings, 2 = usage or I/O error.
 //
 // Usage:
-//   qdlint [--root DIR] [--baseline FILE] [--json] [--write-baseline FILE]
+//   qdlint [--root DIR] [--baseline FILE] [--json] [--sarif FILE]
+//          [--cache FILE] [--layers FILE] [--threads N]
+//          [--fix --fix-note TEXT] [--write-baseline FILE]
 //          [--list-rules] [paths...]
 //
 // Paths are repo-relative (to --root); default: src tools bench.
 
-#include <algorithm>
 #include <cstdlib>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "driver.h"
 #include "qdlint.h"
-
-namespace fs = std::filesystem;
+#include "util/atomic_file.h"
 
 namespace {
 
-bool has_suffix(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool lintable(const fs::path& p) {
-  const std::string name = p.filename().string();
-  return has_suffix(name, ".cpp") || has_suffix(name, ".cc") || has_suffix(name, ".h") ||
-         has_suffix(name, ".hpp");
-}
-
-std::string read_file(const fs::path& p, bool& ok) {
+bool read_file(const std::string& p, std::string* out) {
   std::ifstream in(p, std::ios::binary);
-  if (!in) {
-    ok = false;
-    return {};
-  }
+  if (!in) return false;
   std::ostringstream ss;
   ss << in.rdbuf();
-  ok = true;
-  return ss.str();
+  *out = ss.str();
+  return true;
 }
 
-/// Repo-relative, '/'-separated form of `p` under `root`.
-std::string rel_path(const fs::path& root, const fs::path& p) {
-  return fs::relative(p, root).generic_string();
-}
-
-std::vector<std::string> split_lines(const std::string& s) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : s) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
+int run_fix(const qdlint::DriverResult& lint, const std::string& root, const std::string& note) {
+  // Group findings per file; conc-lock-scope first tries the lock_guard
+  // rewrite, everything else becomes a NOLINTNEXTLINE with the note.
+  std::map<std::string, std::vector<qdlint::Finding>> by_file;
+  for (const auto& f : lint.findings) by_file[f.path].push_back(f);
+  int rewrites = 0, nolints = 0, files_changed = 0;
+  bool needed_note = false;
+  for (const auto& [path, findings] : by_file) {
+    const std::string full = root + "/" + path;
+    std::string source;
+    if (!read_file(full, &source)) {
+      std::cerr << "qdlint: cannot read " << full << "\n";
+      return 2;
     }
+    const qdlint::FixResult fixed = qdlint::apply_fixes(source, findings, note);
+    if (static_cast<std::size_t>(fixed.lock_rewrites) < findings.size() && note.empty()) {
+      needed_note = true;
+    }
+    if (!fixed.changed) continue;
+    try {
+      quickdrop::write_file_atomic(full, fixed.source);
+    } catch (const std::exception& e) {
+      std::cerr << "qdlint: cannot write " << full << ": " << e.what() << "\n";
+      return 2;
+    }
+    ++files_changed;
+    rewrites += fixed.lock_rewrites;
+    nolints += fixed.nolints_inserted;
   }
-  lines.push_back(cur);
-  return lines;
-}
-
-std::string trimmed_line(const std::vector<std::string>& lines, int line_no) {
-  if (line_no < 1 || line_no > static_cast<int>(lines.size())) return {};
-  const std::string& s = lines[static_cast<std::size_t>(line_no - 1)];
-  std::size_t b = 0, e = s.size();
-  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
-  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
-  return s.substr(b, e - b);
+  std::cout << "qdlint --fix: " << files_changed << " file(s) changed, " << rewrites
+            << " lock_guard rewrite(s), " << nolints << " NOLINT(s) inserted\n";
+  if (needed_note) {
+    std::cerr << "qdlint: some findings need a NOLINT suppression; re-run with "
+                 "--fix-note \"<why this finding is acceptable>\"\n";
+    return 2;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = fs::current_path();
-  std::string baseline_path;
-  std::string write_baseline_path;
-  bool json = false;
-  std::vector<std::string> paths;
+  qdlint::DriverOptions opts;
+  std::string baseline_path, write_baseline_path, sarif_path, fix_note;
+  bool json = false, fix = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,84 +91,64 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--root") {
-      root = next();
+      opts.root = next();
     } else if (arg == "--baseline") {
       baseline_path = next();
     } else if (arg == "--write-baseline") {
       write_baseline_path = next();
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif_path = next();
+    } else if (arg == "--cache") {
+      opts.cache_path = next();
+    } else if (arg == "--layers") {
+      opts.layers_path = next();
+    } else if (arg == "--threads") {
+      opts.threads = std::atoi(next());
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--fix-note") {
+      fix_note = next();
     } else if (arg == "--list-rules") {
       for (const auto& r : qdlint::all_rules()) std::cout << "qdlint-" << r << "\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: qdlint [--root DIR] [--baseline FILE] [--json] "
-                   "[--write-baseline FILE] [--list-rules] [paths...]\n";
+      std::cout << "usage: qdlint [--root DIR] [--baseline FILE] [--json] [--sarif FILE]\n"
+                   "              [--cache FILE] [--layers FILE] [--threads N]\n"
+                   "              [--fix --fix-note TEXT] [--write-baseline FILE]\n"
+                   "              [--list-rules] [paths...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "qdlint: unknown option " << arg << "\n";
       return 2;
     } else {
-      paths.push_back(arg);
+      opts.paths.push_back(arg);
     }
   }
-  if (paths.empty()) paths = {"src", "tools", "bench"};
 
-  std::error_code ec;
-  root = fs::canonical(root, ec);
-  if (ec) {
-    std::cerr << "qdlint: bad --root: " << ec.message() << "\n";
+  const qdlint::DriverResult lint = qdlint::run_driver(opts);
+  if (!lint.ok) {
+    std::cerr << "qdlint: " << lint.error << "\n";
     return 2;
   }
-
-  // Collect files in deterministic (sorted) order.
-  std::vector<fs::path> files;
-  for (const auto& p : paths) {
-    const fs::path full = root / p;
-    if (fs::is_regular_file(full)) {
-      files.push_back(full);
-      continue;
-    }
-    if (!fs::is_directory(full)) {
-      std::cerr << "qdlint: no such file or directory: " << full.string() << "\n";
-      return 2;
-    }
-    for (auto it = fs::recursive_directory_iterator(full); it != fs::recursive_directory_iterator();
-         ++it) {
-      if (it->is_regular_file() && lintable(it->path())) files.push_back(it->path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  std::vector<qdlint::Finding> findings;
-  std::vector<std::string> line_texts;  // parallel to findings
-  for (const auto& file : files) {
-    bool ok = false;
-    const std::string source = read_file(file, ok);
-    if (!ok) {
-      std::cerr << "qdlint: cannot read " << file.string() << "\n";
-      return 2;
-    }
-    const auto ctx = qdlint::classify(rel_path(root, file));
-    const auto file_findings = qdlint::analyze(ctx, source);
-    if (file_findings.empty()) continue;
-    const auto lines = split_lines(source);
-    for (const auto& f : file_findings) {
-      findings.push_back(f);
-      line_texts.push_back(trimmed_line(lines, f.line));
-    }
-  }
+  std::vector<qdlint::Finding> findings = lint.findings;
+  std::vector<std::string> line_texts = lint.line_texts;
 
   if (!write_baseline_path.empty()) {
-    // qdlint is dependency-free by design (cannot link qd_util's atomic
-    // writer), and a torn baseline only makes the gate stricter, never looser.
-    // NOLINTNEXTLINE(qdlint-api-durable-io)
-    std::ofstream out(write_baseline_path, std::ios::binary);
-    out << "# qdlint baseline — grandfathered findings, one per line:\n"
-        << "#   path|rule|trimmed source line\n"
-        << "# This file may only shrink: fix or NOLINT new findings instead of adding here.\n";
+    std::string out;
+    out +=
+        "# qdlint baseline — grandfathered findings, one per line:\n"
+        "#   path|rule|trimmed source line\n"
+        "# This file may only shrink: fix or NOLINT new findings instead of adding here.\n";
     for (std::size_t i = 0; i < findings.size(); ++i) {
-      out << qdlint::baseline_key(findings[i], line_texts[i]) << "\n";
+      out += qdlint::baseline_key(findings[i], line_texts[i]) + "\n";
+    }
+    try {
+      quickdrop::write_file_atomic(write_baseline_path, out);
+    } catch (const std::exception& e) {
+      std::cerr << "qdlint: cannot write baseline: " << e.what() << "\n";
+      return 2;
     }
     std::cout << "qdlint: wrote " << findings.size() << " baseline entr"
               << (findings.size() == 1 ? "y" : "ies") << " to " << write_baseline_path << "\n";
@@ -180,13 +156,27 @@ int main(int argc, char** argv) {
   }
 
   if (!baseline_path.empty()) {
-    bool ok = false;
-    const std::string content = read_file(baseline_path, ok);
-    if (!ok) {
+    std::string content;
+    if (!read_file(baseline_path, &content)) {
       std::cerr << "qdlint: cannot read baseline " << baseline_path << "\n";
       return 2;
     }
     findings = qdlint::subtract_baseline(findings, qdlint::parse_baseline(content), line_texts);
+  }
+
+  if (fix) {
+    qdlint::DriverResult after = lint;
+    after.findings = findings;
+    return run_fix(after, opts.root.empty() ? "." : opts.root, fix_note);
+  }
+
+  if (!sarif_path.empty()) {
+    try {
+      quickdrop::write_file_atomic(sarif_path, qdlint::to_sarif(findings));
+    } catch (const std::exception& e) {
+      std::cerr << "qdlint: cannot write SARIF: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   if (json) {
@@ -198,8 +188,9 @@ int main(int argc, char** argv) {
       if (!f.hint.empty()) std::cout << "\n    hint: " << f.hint;
       std::cout << "\n";
     }
-    std::cout << "qdlint: " << files.size() << " files, " << findings.size()
-              << " finding(s)" << (baseline_path.empty() ? "" : " after baseline") << "\n";
+    std::cout << "qdlint: " << lint.files_scanned << " files (" << lint.cache_hits
+              << " cached), " << findings.size() << " finding(s)"
+              << (baseline_path.empty() ? "" : " after baseline") << "\n";
   }
   return findings.empty() ? 0 : 1;
 }

@@ -1,0 +1,381 @@
+#include "qdlint.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <sstream>
+
+// Whole-project stage: consumes every file's FileFacts and runs the rules
+// that no per-file pass can see — the include graph against the declared
+// layer DAG, include cycles, and the call-graph-lite reachability rules for
+// parallel regions. Everything here is deterministic: files arrive sorted by
+// path, maps iterate in key order, and BFS expansion is by (file, line).
+
+namespace qdlint {
+namespace {
+
+// --------------------------------------------------------------------------
+// Layer map
+// --------------------------------------------------------------------------
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ss(line);
+  std::string w;
+  while (ss >> w) out.push_back(w);
+  return out;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// True when `path` is `prefix` or sits under `prefix/`.
+bool under_prefix(const std::string& path, const std::string& prefix) {
+  if (path.size() < prefix.size() || path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+// --------------------------------------------------------------------------
+// Suppression-aware reporting
+// --------------------------------------------------------------------------
+
+struct Linker {
+  const std::vector<FileFacts>& files;
+  std::vector<Finding>& out;
+
+  const FileFacts* file_of(const std::string& path) const {
+    for (const auto& f : files) {
+      if (f.path == path) return &f;
+    }
+    return nullptr;
+  }
+
+  bool suppressed(const FileFacts& f, const std::string& rule, int line) const {
+    const auto it = f.nolint.find(line);
+    if (it == f.nolint.end()) return false;
+    return it->second.count("*") != 0 || it->second.count("qdlint-" + rule) != 0;
+  }
+
+  void report(const FileFacts& f, const std::string& rule, int line, std::string message,
+              std::string hint = "") {
+    if (suppressed(f, rule, line)) return;
+    out.push_back({rule, f.path, line, 1, std::move(message), std::move(hint)});
+  }
+};
+
+// --------------------------------------------------------------------------
+// Include graph: resolution, layer rule, cycles
+// --------------------------------------------------------------------------
+
+/// Resolves a quoted include against the analyzed file set: relative to the
+/// includer's directory first (bench/common/world.h style), then src/ (the
+/// library include root), then the repo root. Unresolved targets — system
+/// headers spelled with quotes, genuinely missing files — resolve to "".
+std::string resolve_include(const std::set<std::string>& known, const std::string& includer,
+                            const std::string& target) {
+  const std::string dir = dirname_of(includer);
+  if (!dir.empty()) {
+    const std::string local = dir + "/" + target;
+    if (known.count(local)) return local;
+  }
+  const std::string in_src = "src/" + target;
+  if (known.count(in_src)) return in_src;
+  if (known.count(target)) return target;
+  return {};
+}
+
+void check_layers(Linker& lk, const LayerMap& layers,
+                  const std::map<std::string, std::vector<std::pair<std::string, int>>>& graph) {
+  for (const auto& [from, edges] : graph) {
+    const std::string from_prefix = layer_prefix_of(layers, from);
+    if (from_prefix.empty()) continue;
+    const int from_idx = layers.prefix_to_layer.at(from_prefix);
+    const LayerMap::Layer& from_layer = layers.layers[static_cast<std::size_t>(from_idx)];
+    const FileFacts* ff = lk.file_of(from);
+    for (const auto& [to, line] : edges) {
+      const std::string to_prefix = layer_prefix_of(layers, to);
+      if (to_prefix.empty() || to_prefix == from_prefix) continue;
+      const int to_idx = layers.prefix_to_layer.at(to_prefix);
+      const LayerMap::Layer& to_layer = layers.layers[static_cast<std::size_t>(to_idx)];
+      // Allowed: same layer (sibling prefixes), any strictly lower layer, or
+      // an explicit allow edge between the two prefixes.
+      const bool ok = to_idx == from_idx || to_layer.rank < from_layer.rank ||
+                      layers.allowed.count({from_prefix, to_prefix}) != 0;
+      if (ok) continue;
+      lk.report(*ff, "arch-layer-violation", line,
+                from + " (layer '" + from_layer.name + "') includes " + to + " (layer '" +
+                    to_layer.name + "'), violating the declared layer DAG",
+                "depend downward only; move shared code into a lower layer or add an "
+                "explicit `allow " + from_prefix + " " + to_prefix +
+                    "` edge to tools/qdlint/layers.txt if the layers are genuinely peers");
+    }
+  }
+}
+
+void check_cycles(Linker& lk,
+                  const std::map<std::string, std::vector<std::pair<std::string, int>>>& graph) {
+  // Iterative DFS with colors; every back edge yields one cycle. Cycles are
+  // canonicalized (rotated to start at their lexicographically smallest
+  // node) and deduped, and the path is printed in include order.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    const auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const auto& [to, line] : it->second) {
+        (void)line;
+        const int c = color.count(to) ? color[to] : 0;
+        if (c == 0) {
+          dfs(to);
+        } else if (c == 1) {
+          // Cycle: stack suffix from `to` to node, then back to `to`.
+          const auto at = std::find(stack.begin(), stack.end(), to);
+          std::vector<std::string> cycle(at, stack.end());
+          const auto smallest = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), smallest, cycle.end());
+          std::string key;
+          for (const auto& p : cycle) key += p + "\n";
+          if (!reported.insert(key).second) continue;
+
+          // Report at the first file's include of the next cycle member.
+          const std::string& first = cycle[0];
+          const std::string& second = cycle.size() > 1 ? cycle[1] : cycle[0];
+          int at_line = 1;
+          const auto ge = graph.find(first);
+          if (ge != graph.end()) {
+            for (const auto& [t2, l2] : ge->second) {
+              if (t2 == second) {
+                at_line = l2;
+                break;
+              }
+            }
+          }
+          std::string path_str;
+          for (const auto& p : cycle) path_str += p + " -> ";
+          path_str += first;
+          const FileFacts* ff = lk.file_of(first);
+          lk.report(*ff, "arch-include-cycle", at_line, "include cycle: " + path_str,
+                    "break the cycle with a forward declaration or by hoisting the shared "
+                    "interface into a lower layer");
+        }
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+
+  for (const auto& [node, edges] : graph) {
+    (void)edges;
+    if ((color.count(node) ? color[node] : 0) == 0) dfs(node);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Reachability rules (call-graph-lite)
+// --------------------------------------------------------------------------
+
+struct BodyKey {
+  const FileFacts* file;
+  const BodyFacts* body;
+};
+
+/// BFS over name-resolved call edges from a parallel site body. `stop_at_split`
+/// prunes descent through bodies that tag-split their own child Rng (those
+/// re-derive a deterministic stream; draws below them are sanitized).
+/// Ambiguous names (more than one definition in the project) are not
+/// traversed at all — following every candidate chains unrelated TUs
+/// together through common helper names (fail, build, run) and drowns the
+/// real findings; the cost is a documented false-negative class (DESIGN.md
+/// §14). Depth-limited so pathological graphs cannot blow up.
+std::vector<BodyKey> reachable_bodies(
+    const std::vector<FileFacts>& files,
+    const std::map<std::string, std::vector<BodyKey>>& by_name, const FileFacts& site_file,
+    const BodyFacts& site, bool stop_at_split) {
+  (void)files;
+  std::vector<BodyKey> visited;
+  std::set<const BodyFacts*> seen;
+  std::deque<std::pair<BodyKey, int>> queue;
+  queue.push_back({{&site_file, &site}, 0});
+  seen.insert(&site);
+  constexpr int kMaxDepth = 6;
+  while (!queue.empty()) {
+    const auto [key, depth] = queue.front();
+    queue.pop_front();
+    visited.push_back(key);
+    if (depth >= kMaxDepth) continue;
+    if (stop_at_split && key.body != &site && key.body->has_split) continue;
+    for (const auto& call : key.body->calls) {
+      const auto it = by_name.find(call.name);
+      if (it == by_name.end() || it->second.size() != 1) continue;
+      const BodyKey& callee = it->second.front();
+      if (!seen.insert(callee.body).second) continue;
+      queue.push_back({callee, depth + 1});
+    }
+  }
+  return visited;
+}
+
+/// Human-readable call path for messages: "site -> f -> g".
+std::string name_of(const BodyKey& k) {
+  return k.body->is_site ? "<parallel region " + k.file->path + ":" +
+                               std::to_string(k.body->line) + ">"
+                         : k.body->name;
+}
+
+void check_reachability(Linker& lk, const std::vector<FileFacts>& files) {
+  // Global + function indexes. Name collisions fan out to every definition —
+  // conservative for reachability, and deterministic because files are
+  // sorted and bodies appear in token order.
+  std::map<std::string, const GlobalDecl*> globals;
+  std::map<std::string, const FileFacts*> global_files;
+  std::map<std::string, std::vector<BodyKey>> by_name;
+  for (const FileFacts& f : files) {
+    for (const GlobalDecl& g : f.globals) {
+      if (!globals.count(g.name)) {
+        globals[g.name] = &g;
+        global_files[g.name] = &f;
+      }
+    }
+    for (const BodyFacts& fn : f.functions) by_name[fn.name].push_back({&f, &fn});
+  }
+
+  for (const FileFacts& f : files) {
+    for (const BodyFacts& site : f.sites) {
+      // conc-unguarded-global: any mutable namespace-scope variable used in
+      // a body reachable from the submitted work, with no lock guard in the
+      // using body, is a cross-thread data race candidate.
+      if (!site.annotated) {
+        const auto bodies = reachable_bodies(files, by_name, f, site, /*stop_at_split=*/false);
+        std::set<std::string> flagged;
+        for (const BodyKey& key : bodies) {
+          if (key.body->has_lock_guard) continue;
+          for (const SymbolRef& use : key.body->ident_uses) {
+            const auto git = globals.find(use.name);
+            if (git == globals.end()) continue;
+            if (!flagged.insert(use.name).second) continue;
+            const std::string via =
+                key.body == &site ? "" : " via " + name_of(key) + "()";
+            lk.report(f, "conc-unguarded-global", site.line,
+                      "mutable global '" + use.name + "' (" + global_files.at(use.name)->path +
+                          ":" + std::to_string(git->second->line) +
+                          ") is reachable from this parallel region" + via +
+                          " without a lock guard",
+                      "guard the access with std::lock_guard, make the global atomic/const, "
+                      "or annotate the submit site with `// qdlint: shared-write(<why the "
+                      "writes are disjoint>)`");
+          }
+        }
+      }
+
+      // det-rng-in-parallel: a stream draw inside pool work must come from a
+      // generator tag-split at (or under) the submit site, or every thread
+      // schedule reorders consumption and results stop being bitwise.
+      if (!site.has_split) {
+        const auto bodies = reachable_bodies(files, by_name, f, site, /*stop_at_split=*/true);
+        for (const BodyKey& key : bodies) {
+          if (key.body != &site && key.body->has_split) continue;
+          if (key.body->rng_draws.empty()) continue;
+          const SymbolRef& draw = key.body->rng_draws.front();
+          const std::string via = key.body == &site ? "" : " via " + name_of(key) + "()";
+          lk.report(f, "det-rng-in-parallel", site.line,
+                    "Rng draw '" + draw.name + "' (" + key.file->path + ":" +
+                        std::to_string(draw.line) + ") is reachable from this parallel region" +
+                        via + " without a tag-split at the submit site",
+                    "derive a per-chunk generator with rng.split(<stable tag>) inside the "
+                    "submitted callable so draws are independent of thread schedule");
+          break;  // one finding per site is enough signal
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool parse_layer_map(const std::string& content, LayerMap* out, std::string* error) {
+  *out = LayerMap{};
+  std::istringstream ss(content);
+  std::string line;
+  int line_no = 0;
+  int rank = 0;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto words = split_ws(line);
+    if (words.empty()) continue;
+    if (words[0] == "layer") {
+      if (words.size() < 3) {
+        if (error) *error = "layers.txt:" + std::to_string(line_no) + ": layer needs a name and at least one prefix";
+        return false;
+      }
+      out->layers.push_back({words[1], rank});
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        if (out->prefix_to_layer.count(words[i])) {
+          if (error) *error = "layers.txt:" + std::to_string(line_no) + ": duplicate prefix " + words[i];
+          return false;
+        }
+        out->prefix_to_layer[words[i]] = static_cast<int>(out->layers.size()) - 1;
+      }
+      ++rank;
+    } else if (words[0] == "allow") {
+      if (words.size() != 3) {
+        if (error) *error = "layers.txt:" + std::to_string(line_no) + ": allow needs exactly two prefixes";
+        return false;
+      }
+      out->allowed.insert({words[1], words[2]});
+    } else {
+      if (error) *error = "layers.txt:" + std::to_string(line_no) + ": unknown directive '" + words[0] + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string layer_prefix_of(const LayerMap& map, const std::string& relpath) {
+  std::string best;
+  for (const auto& [prefix, idx] : map.prefix_to_layer) {
+    (void)idx;
+    if (under_prefix(relpath, prefix) && prefix.size() > best.size()) best = prefix;
+  }
+  return best;
+}
+
+std::vector<Finding> link_project(const std::vector<FileFacts>& files, const LayerMap& layers) {
+  std::vector<Finding> findings;
+  Linker lk{files, findings};
+
+  // Resolve the include graph once. Self-includes become self-edges (and
+  // therefore 1-cycles); unresolved targets are dropped.
+  std::set<std::string> known;
+  for (const auto& f : files) known.insert(f.path);
+  std::map<std::string, std::vector<std::pair<std::string, int>>> graph;
+  for (const auto& f : files) {
+    auto& edges = graph[f.path];
+    for (const IncludeFact& inc : f.includes) {
+      const std::string to = resolve_include(known, f.path, inc.target);
+      if (to.empty()) continue;  // missing header / quoted system include
+      edges.push_back({to, inc.line});
+    }
+  }
+
+  check_layers(lk, layers, graph);
+  check_cycles(lk, graph);
+  check_reachability(lk, files);
+
+  std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+}  // namespace qdlint

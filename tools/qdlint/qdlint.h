@@ -1,22 +1,35 @@
 // qdlint — in-repo static analysis enforcing QuickDrop's determinism,
 // concurrency and numeric-safety invariants at build time.
 //
-// The tool is deliberately self-contained (lexer + token-stream rules, no
-// external parser) so it can run as a tier-1 ctest with zero dependencies.
-// It is NOT a grep: the lexer understands line/block comments, string and
-// character literals (including raw strings), so rule patterns never fire on
-// text inside comments or literals.
+// The analyzer library is deliberately self-contained (lexer + token-stream
+// rules, no external parser) so it can run as a tier-1 ctest with zero
+// dependencies. It is NOT a grep: the lexer understands line/block comments,
+// string and character literals (including raw strings), so rule patterns
+// never fire on text inside comments or literals.
 //
-// Rule families (see DESIGN.md "Static analysis & enforced invariants"):
+// v2 adds a whole-project stage on top of the per-file rules: an include
+// graph checked against a declared layer DAG (tools/qdlint/layers.txt), a
+// lightweight symbol index + call-graph-lite for reachability rules, and
+// flow-sensitive single-function checks. The driver (driver.cpp, linked
+// against qd_util) lexes files in parallel over the shared ThreadPool with
+// an on-disk mtime+hash cache; this header's analysis API stays pure and
+// dependency-free so the lint test suite can drive it in-process.
+//
+// Rule families (see DESIGN.md "Static analysis & enforced invariants" and
+// §14 "Whole-project analysis"):
 //   DET  — sources of nondeterminism (random_device, rand, time-derived
-//          seeds, sleeps in kernels, iteration over unordered containers)
+//          seeds, sleeps in kernels, iteration over unordered containers,
+//          hash-order iteration escaping into serialized sinks, Rng draws
+//          reachable from parallel regions without a tag-split)
 //   CONC — concurrency discipline (raw std::thread/std::async outside the
 //          pool, unannotated [&] captures in parallel regions, mutable
-//          static locals in kernel TUs)
+//          static locals in kernel TUs, manual lock()/unlock() not matched
+//          on all paths, mutable globals reachable from pool work)
 //   NUM  — numeric safety (float ==/!=, double literals in float kernels)
 //   API  — I/O and header hygiene (logging only via util/logging, #pragma
 //          once everywhere, durable writes only via store/ or
 //          util/atomic_file — raw ofstream/fwrite persistence can tear)
+//   ARCH — include-graph discipline (declared layer DAG, no include cycles)
 //
 // Suppressions:
 //   // NOLINT(qdlint-<rule>)          same line
@@ -103,12 +116,133 @@ struct FileContext {
 /// Classifies `relpath` (repo-relative, '/'-separated).
 FileContext classify(const std::string& relpath);
 
-/// Runs every rule over one file's source. Suppressed findings (NOLINT /
-/// shared-write) are already filtered out.
+/// Runs every per-file rule (token + flow-sensitive) over one file's source.
+/// Suppressed findings (NOLINT / shared-write) are already filtered out.
+/// Project-wide rules (arch-*, reachability) run separately via
+/// link_project() over extracted FileFacts.
 std::vector<Finding> analyze(const FileContext& ctx, const std::string& source);
+
+/// The same rule set over an already-lexed file (analyze() = lex + this).
+std::vector<Finding> analyze_lexed(const FileContext& ctx, const LexResult& lexed);
 
 /// All rule ids qdlint knows, for `--list-rules` and suppression validation.
 const std::vector<std::string>& all_rules();
+
+/// Source split into lines / one line trimmed of surrounding whitespace —
+/// shared by the driver, the cache and baseline keying.
+std::vector<std::string> split_source_lines(const std::string& s);
+std::string trimmed_line(const std::vector<std::string>& lines, int line_no);
+
+namespace detail {
+/// The flow-sensitive rules, individually callable from tests.
+void rule_lock_scope(const FileContext& ctx, const LexResult& lexed,
+                     std::vector<Finding>& out);
+void rule_iter_order_escape(const FileContext& ctx, const LexResult& lexed,
+                            std::vector<Finding>& out);
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Symbol index & include facts (input to the whole-project stage)
+// ---------------------------------------------------------------------------
+
+/// A by-name reference harvested from a body: callee, Rng draw, or potential
+/// global use. Resolution happens at link time — qdlint's call graph is
+/// name-based (no overload/namespace resolution; see DESIGN.md §14 for the
+/// false-negative/positive envelope this implies).
+struct SymbolRef {
+  std::string name;
+  int line = 0;
+};
+
+/// Facts about one function/method body or one parallel-submit call site
+/// (the whole argument region of parallel_for/run_chunks/submit, including
+/// any lambda passed to it).
+struct BodyFacts {
+  std::string name;  // function name; empty for parallel sites
+  int line = 0;      // definition line / submit-site line
+  bool is_site = false;
+  bool has_lock_guard = false;  // declares lock_guard/scoped_lock/unique_lock
+  bool has_split = false;       // calls split(...) — tag-derives a child Rng
+  bool annotated = false;       // `qdlint: shared-write(...)` at the site
+  std::vector<SymbolRef> calls;      // callees, in token order, deduped
+  std::vector<SymbolRef> rng_draws;  // Rng draw calls / std distribution uses
+  std::vector<SymbolRef> ident_uses; // filtered ident refs (global candidates)
+};
+
+struct IncludeFact {
+  std::string target;  // the quoted include text, e.g. "util/rng.h"
+  int line = 0;
+  bool conditional = false;  // directive nested under #if/#ifdef/#ifndef
+};
+
+struct GlobalDecl {
+  std::string name;
+  int line = 0;
+};
+
+/// Everything the project stage needs to know about one file. Serializable
+/// (see cache.cpp) so warm runs never re-lex unchanged files.
+struct FileFacts {
+  std::string path;
+  std::vector<IncludeFact> includes;  // quoted includes only
+  std::vector<BodyFacts> functions;
+  std::vector<BodyFacts> sites;       // parallel-submit call sites
+  std::vector<GlobalDecl> globals;    // mutable non-atomic non-mutex, ns scope
+  std::vector<GlobalDecl> mutexes;    // mutex-typed members and globals
+  /// NOLINT marks carried forward so project findings stay suppressible.
+  std::map<int, std::set<std::string>> nolint;
+};
+
+/// Extracts the symbol index + include list from a lexed file.
+FileFacts extract_facts(const FileContext& ctx, const LexResult& lexed);
+
+/// One file, fully analyzed: per-file findings plus link-stage inputs.
+struct AnalyzedFile {
+  std::vector<Finding> findings;
+  std::vector<std::string> line_texts;  // trimmed source line per finding
+  FileFacts facts;
+};
+
+/// Lexes once, runs the per-file rules and extracts facts.
+AnalyzedFile analyze_file(const FileContext& ctx, const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Layer map & whole-project rules
+// ---------------------------------------------------------------------------
+
+/// Declared layering, parsed from tools/qdlint/layers.txt. Lines:
+///   layer <name> <dir-prefix> [dir-prefix...]   (rank = declaration order)
+///   allow <from-prefix> <to-prefix>             (extra intra-layer edge)
+/// '#' comments and blank lines are ignored. A file belongs to the layer of
+/// its longest matching prefix; unmapped files are exempt from arch rules.
+struct LayerMap {
+  struct Layer {
+    std::string name;
+    int rank = 0;
+  };
+  std::vector<Layer> layers;
+  std::map<std::string, int> prefix_to_layer;  // prefix -> index into layers
+  std::set<std::pair<std::string, std::string>> allowed;  // (from, to) prefixes
+};
+
+/// Parses a layer map; returns false and sets *error on malformed input.
+bool parse_layer_map(const std::string& content, LayerMap* out, std::string* error);
+
+/// The layer prefix a repo-relative path falls under ("" when unmapped).
+std::string layer_prefix_of(const LayerMap& map, const std::string& relpath);
+
+/// Runs the project-wide rules over every file's facts:
+///   arch-layer-violation   include edge against the declared DAG
+///   arch-include-cycle     cycle in the include graph (path printed in order)
+///   conc-unguarded-global  mutable global reachable from a parallel region
+///                          without a lock guard or shared-write annotation
+///   det-rng-in-parallel    Rng draw reachable from a parallel region that
+///                          was not tag-split at the submit site
+/// Include targets are resolved against the analyzed file set only (relative
+/// to the includer's directory, then src/, then the repo root); unresolved
+/// includes — missing headers, system headers — are skipped, never fatal.
+std::vector<Finding> link_project(const std::vector<FileFacts>& files,
+                                  const LayerMap& layers);
 
 // ---------------------------------------------------------------------------
 // Baseline
@@ -138,5 +272,64 @@ std::vector<Finding> subtract_baseline(
 
 std::string to_json(const std::vector<Finding>& findings);
 std::string json_escape(const std::string& s);
+
+/// SARIF 2.1.0 (static analysis results interchange format) — one run, one
+/// result per finding, rules taken from all_rules(). Uploadable as a CI
+/// code-scanning artifact.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+// ---------------------------------------------------------------------------
+// On-disk analysis cache (mtime + content hash)
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit over a byte string (also used for the cache content hash).
+std::uint64_t fnv1a64(const std::string& bytes);
+
+/// One cached file: the stat fingerprint taken when it was analyzed plus the
+/// full analysis result. A file whose mtime+size match is reused without
+/// reading; on mismatch the content hash decides (touched-but-unchanged
+/// files re-fingerprint instead of re-analyzing).
+struct CacheEntry {
+  std::int64_t mtime_ns = 0;
+  std::uint64_t size = 0;
+  std::uint64_t hash = 0;  // fnv1a64 of the file contents
+  AnalyzedFile analysis;
+};
+
+struct Cache {
+  std::map<std::string, CacheEntry> entries;  // keyed by repo-relative path
+};
+
+/// Serializes to the versioned text format of build/qdlint.cache. The header
+/// embeds a hash of all_rules(), so any rule-set change invalidates every
+/// entry at once.
+std::string serialize_cache(const Cache& cache);
+
+/// Parses a cache file. Returns false (and leaves *out empty) on a version /
+/// rule-hash mismatch or corrupt input — a bad cache degrades to a cold run,
+/// never to wrong findings.
+bool parse_cache(const std::string& content, Cache* out);
+
+// ---------------------------------------------------------------------------
+// Fix mode (--fix)
+// ---------------------------------------------------------------------------
+
+struct FixResult {
+  std::string source;      // rewritten file contents
+  int lock_rewrites = 0;   // lock()/unlock() pairs turned into lock_guard
+  int nolints_inserted = 0;
+  bool changed = false;
+};
+
+/// Applies mechanical remediations for `findings` (all belonging to one
+/// file) to `source`:
+///  - conc-lock-scope: rewrites a manual lock()/unlock() pair into a
+///    std::lock_guard when trivially safe (single pair, same scope, the
+///    mutex untouched after the unlock);
+///  - anything else: inserts `// NOLINTNEXTLINE(qdlint-<rule>) — <note>`
+///    above the finding. `note` is the required justification; when empty,
+///    NOLINT insertion is skipped (callers treat that as an error).
+FixResult apply_fixes(const std::string& source, const std::vector<Finding>& findings,
+                      const std::string& note);
 
 }  // namespace qdlint

@@ -13,10 +13,12 @@ namespace {
 
 const std::vector<std::string> kAllRules = {
     "det-random-device", "det-rand",        "det-time-seed",   "det-sleep",
-    "det-unordered-iter", "conc-raw-thread", "conc-detach",     "conc-ref-capture",
-    "conc-static-local",  "conc-simd-store", "num-float-eq",    "num-simd-lane-eq",
-    "num-narrow-literal",
+    "det-unordered-iter", "det-iter-order-escape", "det-rng-in-parallel",
+    "conc-raw-thread",   "conc-detach",     "conc-ref-capture",
+    "conc-static-local",  "conc-simd-store", "conc-lock-scope", "conc-unguarded-global",
+    "num-float-eq",      "num-simd-lane-eq", "num-narrow-literal",
     "api-raw-io",         "api-pragma-once", "api-flatstate",   "api-durable-io",
+    "arch-layer-violation", "arch-include-cycle",
 };
 
 struct Ctx {
@@ -593,7 +595,10 @@ FileContext classify(const std::string& relpath) {
 }
 
 std::vector<Finding> analyze(const FileContext& ctx, const std::string& source) {
-  const LexResult lexed = lex(source);
+  return analyze_lexed(ctx, lex(source));
+}
+
+std::vector<Finding> analyze_lexed(const FileContext& ctx, const LexResult& lexed) {
   std::vector<Finding> findings;
   Ctx c{ctx, lexed.tokens, lexed.marks, findings};
   rule_random_device(c);
@@ -613,6 +618,8 @@ std::vector<Finding> analyze(const FileContext& ctx, const std::string& source) 
   rule_pragma_once(c);
   rule_flatstate(c);
   rule_durable_io(c);
+  detail::rule_lock_scope(ctx, lexed, findings);
+  detail::rule_iter_order_escape(ctx, lexed, findings);
   std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     if (a.col != b.col) return a.col < b.col;

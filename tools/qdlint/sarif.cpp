@@ -1,0 +1,46 @@
+#include "qdlint.h"
+
+// SARIF 2.1.0 output — the minimal single-run shape GitHub code scanning
+// (and most SARIF viewers) accept: one tool, the full rule table from
+// all_rules(), one result per finding with a physical location. Hints ride
+// along as the rule help text of each result's message.
+
+namespace qdlint {
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+      "sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\"name\": \"qdlint\", \"rules\": [\n";
+  const auto& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "      {\"id\": \"qdlint-" + json_escape(rules[i]) + "\"}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "    ]}},\n"
+      "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::string text = f.message;
+    if (!f.hint.empty()) text += " (hint: " + f.hint + ")";
+    out += "      {\"ruleId\": \"qdlint-" + json_escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" + json_escape(text) +
+           "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.path) + "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           ", \"startColumn\": " + std::to_string(f.col < 1 ? 1 : f.col) + "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out +=
+      "    ]\n"
+      "  }]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace qdlint
