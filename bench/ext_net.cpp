@@ -1,0 +1,186 @@
+// Extension experiment: the network front-end end to end.
+//
+// Two measurements over one trained world:
+//
+//   1. Wire-codec cost: the final global model encoded as a client-update
+//      frame raw (v2 float32 state) versus quantized (int8 / bf16), with
+//      encode+decode throughput timed over repeated round trips. Bytes are
+//      deterministic; MB/s is wall-clock and printed to stdout only.
+//   2. Loopback replay identity: the same seeded trace served in-process
+//      and through the loopback transport (frames + acks + report). The
+//      final models must be bitwise identical and the reports identical
+//      outside the out-of-band wire/net overlay — the process exits
+//      nonzero otherwise, so CI can gate on this binary directly.
+//
+// BENCH_net.json records only deterministic facts (bytes on wire, identity
+// verdicts, both reports), so the file is bitwise identical across runs and
+// thread counts.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/world.h"
+#include "net/replay.h"
+#include "net/wire.h"
+#include "serve/service.h"
+#include "serve/trace.h"
+#include "util/atomic_file.h"
+#include "util/table.h"
+
+namespace qd = quickdrop;
+
+namespace {
+
+/// The run_all.sh gate filter: report lines that only a net transport emits.
+std::string strip_net_lines(const std::string& json) {
+  std::istringstream in(json);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"transport\"") != std::string::npos) continue;
+    if (line.find("\"wire_") != std::string::npos) continue;
+    if (line.find("\"net_") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+struct CodecCost {
+  const char* name;
+  qd::fl::Codec codec;
+  std::int64_t frame_bytes = 0;
+  double encode_mbps = 0.0;
+  double decode_mbps = 0.0;
+};
+
+CodecCost measure_codec(const char* name, qd::fl::Codec codec, const qd::nn::ModelState& state,
+                        std::uint64_t layout_hash, int iters) {
+  CodecCost cost{name, codec};
+  const auto first = qd::net::encode_frame(qd::net::make_update_frame(state, codec, layout_hash));
+  cost.frame_bytes = static_cast<std::int64_t>(first.size());
+  const double raw_bytes = static_cast<double>(state.numel()) * sizeof(float);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const auto bytes =
+        qd::net::encode_frame(qd::net::make_update_frame(state, codec, layout_hash));
+    if (bytes.size() != first.size()) std::abort();  // determinism violated
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const auto frame = qd::net::decode_frame(first, layout_hash);
+    const auto back = qd::net::decode_update_payload(frame.payload, state.layout());
+    if (back.numel() != state.numel()) std::abort();
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double enc_s = std::chrono::duration<double>(t1 - t0).count();
+  const double dec_s = std::chrono::duration<double>(t2 - t1).count();
+  cost.encode_mbps = raw_bytes * iters / (1024.0 * 1024.0) / (enc_s > 0 ? enc_s : 1e-9);
+  cost.decode_mbps = raw_bytes * iters / (1024.0 * 1024.0) / (dec_s > 0 ? dec_s : 1e-9);
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qd::CliFlags flags(argc, argv);
+  auto config = qd::bench::WorldConfig::from_flags(flags);
+  const int requests = flags.get_int("requests", 6);
+  const double arrival_rate = flags.get_double("arrival-rate", 25.0);
+  const int codec_iters = flags.get_int("codec-iters", 50);
+  qd::serve::CostModel cost_model;
+  cost_model.seconds_per_round = flags.get_double("sec-per-round", 30.0);
+  cost_model.seconds_per_sample_grad = flags.get_double("sec-per-grad", 1e-4);
+  const double wire_bandwidth = flags.get_double("wire-bandwidth", 1e6);
+  const std::string out_path = flags.get_string("out", "BENCH_net.json");
+  flags.check_unused();
+  if (config.max_unlearn_rounds == 0) config.max_unlearn_rounds = 6;
+
+  qd::bench::print_banner("Extension: network front-end (wire codecs + loopback replay)",
+                          config);
+  auto world = qd::bench::build_world(config);
+  const std::uint64_t layout_hash = world.fed.quickdrop->state_layout()->hash();
+
+  // --- 1. Wire-codec cost over the trained global model. -------------------
+  qd::TextTable codec_table;
+  codec_table.set_header({"codec", "frame bytes", "vs raw", "encode MB/s", "decode MB/s"});
+  std::vector<CodecCost> codecs;
+  for (const auto& [name, codec] :
+       {std::pair{"none", qd::fl::Codec::kNone}, std::pair{"int8", qd::fl::Codec::kInt8},
+        std::pair{"bf16", qd::fl::Codec::kBf16}}) {
+    codecs.push_back(measure_codec(name, codec, world.fed.global, layout_hash, codec_iters));
+  }
+  for (const auto& c : codecs) {
+    codec_table.add_row({c.name, std::to_string(c.frame_bytes),
+                         qd::fmt_double(static_cast<double>(c.frame_bytes) /
+                                            static_cast<double>(codecs[0].frame_bytes),
+                                        3),
+                         qd::fmt_double(c.encode_mbps, 1), qd::fmt_double(c.decode_mbps, 1)});
+  }
+  std::printf("%s\n", codec_table.render().c_str());
+
+  // --- 2. Loopback replay vs in-process identity. --------------------------
+  qd::serve::ArrivalConfig arrivals;
+  arrivals.num_requests = requests;
+  arrivals.mean_interarrival_seconds = arrival_rate;
+  arrivals.num_classes = world.fed.test.num_classes();
+  arrivals.num_clients = config.clients;
+  qd::Rng trace_rng(config.seed + 1000);
+  const auto trace = qd::serve::generate_trace(arrivals, trace_rng);
+  std::printf("trace: %d generated requests, mean inter-arrival %.0fs\n\n", requests,
+              arrival_rate);
+
+  world.fed.quickdrop->reset_forgotten();
+  qd::serve::ServiceConfig inproc_config;
+  inproc_config.cost_model = cost_model;
+  qd::serve::UnlearningService inproc(world.fed.quickdrop, world.fed.global, inproc_config);
+  const auto inproc_report = inproc.run(trace);
+
+  world.fed.quickdrop->reset_forgotten();
+  qd::net::ReplayConfig replay_config;
+  replay_config.service.cost_model = cost_model;
+  replay_config.service.transport = "loopback";
+  replay_config.service.wire_bytes_per_second = wire_bandwidth;
+  replay_config.codec = qd::fl::Codec::kInt8;
+  auto pair = qd::net::make_loopback();
+  qd::net::replay_send_trace(*pair.client, trace, "bench", layout_hash);
+  qd::net::NetReplaySession session(world.fed.quickdrop, world.fed.global, replay_config);
+  const auto loop_report = session.run(*pair.server);
+  const auto client = qd::net::replay_collect(*pair.client, layout_hash);
+
+  bool state_identical = inproc.state().numel() == session.state().numel();
+  for (std::int64_t i = 0; state_identical && i < inproc.state().numel(); ++i) {
+    state_identical = inproc.state().at(i) == session.state().at(i);
+  }
+  const bool report_identical =
+      strip_net_lines(inproc_report.to_json()) == strip_net_lines(loop_report.to_json());
+
+  std::printf("loopback: %zu acks, %lld bytes down, %lld bytes up\n",
+              client.acks.size(), static_cast<long long>(loop_report.wire_request_bytes),
+              static_cast<long long>(loop_report.wire_ack_bytes));
+  std::printf("identity: state %s, report %s\n\n", state_identical ? "BITWISE-EQUAL" : "DIVERGED",
+              report_identical ? "MATCH" : "DIVERGED");
+
+  std::ostringstream json;
+  json << "{\n\"identity\": {\"state_bitwise\": " << (state_identical ? "true" : "false")
+       << ", \"report_match\": " << (report_identical ? "true" : "false") << "},\n";
+  json << "\"codecs\": {";
+  for (std::size_t i = 0; i < codecs.size(); ++i) {
+    json << (i ? ", " : "") << "\"" << codecs[i].name
+         << "\": {\"frame_bytes\": " << codecs[i].frame_bytes << "}";
+  }
+  json << "},\n";
+  json << "\"inproc\": " << inproc_report.to_json() << ",\n";
+  json << "\"loopback\": " << loop_report.to_json() << "}\n";
+  qd::write_file_atomic(out_path, json.str());
+  std::printf("metrics written to %s\n", out_path.c_str());
+
+  std::printf("\nexpected: int8/bf16 update frames cost ~1/4 and ~1/2 of the raw frame, and the\n"
+              "loopback replay lands bitwise identical to the in-process service — the network\n"
+              "front-end adds transport and accounting, never arithmetic.\n");
+  return (state_identical && report_identical) ? 0 : 1;
+}

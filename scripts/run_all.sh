@@ -31,14 +31,15 @@ SAN_BUILD="${BUILD}-asan"
 {
   cmake -B "$SAN_BUILD" -S . -DQUICKDROP_SANITIZE="address;undefined" &&
   cmake --build "$SAN_BUILD" -j --target fl_test core_test util_test \
-    store_test store_crash_sweep_test lint_test lint_driver_test &&
+    store_test store_crash_sweep_test lint_test lint_driver_test net_test &&
   "$SAN_BUILD"/tests/fl_test &&
   "$SAN_BUILD"/tests/core_test &&
   "$SAN_BUILD"/tests/util_test &&
   "$SAN_BUILD"/tests/store_test &&
   "$SAN_BUILD"/tests/store_crash_sweep_test &&
   "$SAN_BUILD"/tests/lint_test &&
-  "$SAN_BUILD"/tests/lint_driver_test
+  "$SAN_BUILD"/tests/lint_driver_test &&
+  "$SAN_BUILD"/tests/net_test
 } 2>&1 | tee sanitizer_output.txt
 echo "sanitizer pass exit: ${PIPESTATUS[0]}" | tee -a sanitizer_output.txt
 
@@ -49,11 +50,13 @@ echo "sanitizer pass exit: ${PIPESTATUS[0]}" | tee -a sanitizer_output.txt
 TSAN_BUILD="${BUILD}-tsan"
 {
   cmake -B "$TSAN_BUILD" -S . -DQUICKDROP_SANITIZE="thread" &&
-  cmake --build "$TSAN_BUILD" -j --target util_test tensor_test fl_test serve_test &&
+  cmake --build "$TSAN_BUILD" -j --target util_test tensor_test fl_test serve_test \
+    net_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/util_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/tensor_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/fl_test &&
-  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/serve_test
+  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/serve_test &&
+  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/net_test
 } 2>&1 | tee tsan_output.txt
 echo "tsan pass exit: ${PIPESTATUS[0]}" | tee -a tsan_output.txt
 
@@ -73,7 +76,19 @@ echo "tsan pass exit: ${PIPESTATUS[0]}" | tee -a tsan_output.txt
     --json "$SERVE_DIR/replay4.json" --out "$SERVE_DIR/served4.qdcp" --threads 4 &&
   cmp "$SERVE_DIR/replay1.json" "$SERVE_DIR/replay4.json" &&
   cmp "$SERVE_DIR/served1.qdcp" "$SERVE_DIR/served4.qdcp" &&
-  echo "serve replay: metrics + model bitwise identical at 1 vs 4 threads"
+  echo "serve replay: metrics + model bitwise identical at 1 vs 4 threads" &&
+  # Network front-end gate: the same trace through the loopback transport
+  # (wire frames + acks + report frame) must land on the same model, and the
+  # report must be identical outside the out-of-band wire/net overlay lines
+  # (see DESIGN.md §15).
+  "$BUILD"/tools/quickdrop_cli serve --checkpoint "$SERVE_DIR/model.qdcp" \
+    --trace "$SERVE_DIR/trace.txt" --policy coalesce --sec-per-round 40 \
+    --transport loopback --wire-bandwidth 1000000 \
+    --json "$SERVE_DIR/loopback.json" --out "$SERVE_DIR/served_loop.qdcp" --threads 4 &&
+  cmp "$SERVE_DIR/served1.qdcp" "$SERVE_DIR/served_loop.qdcp" &&
+  diff <(grep -v -e '"transport"' -e '"wire_' -e '"net_' "$SERVE_DIR/replay1.json") \
+       <(grep -v -e '"transport"' -e '"wire_' -e '"net_' "$SERVE_DIR/loopback.json") &&
+  echo "loopback replay: model bitwise identical, report identical modulo wire overlay"
   rm -rf "$SERVE_DIR"
 } 2>&1 | tee serve_replay_output.txt
 echo "serve replay exit: ${PIPESTATUS[0]}" | tee -a serve_replay_output.txt
@@ -117,4 +132,12 @@ if [ -f BENCH_qdlint.json ]; then
   echo "qdlint bench: BENCH_qdlint.json written" | tee -a bench_output.txt
 else
   echo "qdlint bench: MISSING BENCH_qdlint.json" | tee -a bench_output.txt
+fi
+
+# Likewise the network front-end bench (bench/ext_net): wire-codec frame
+# sizes plus the loopback-vs-inproc identity verdicts — see DESIGN.md §15.
+if [ -f BENCH_net.json ]; then
+  echo "net bench: BENCH_net.json written" | tee -a bench_output.txt
+else
+  echo "net bench: MISSING BENCH_net.json" | tee -a bench_output.txt
 fi

@@ -1,0 +1,371 @@
+#include "net/api.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace quickdrop::net {
+
+namespace {
+
+/// Escapes a string for embedding in a JSON literal. Control characters are
+/// dropped — nothing in the service emits them, and the reports must stay
+/// deterministic and grep-friendly.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// A flat JSON object: string, number and int-array values only — exactly
+/// the shape of an unlearn request body. Anything else is malformed.
+struct JsonBody {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+  std::map<std::string, std::vector<int>> arrays;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonBody parse() {
+    JsonBody body;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      for (;;) {
+        skip_ws();
+        const std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        parse_value(body, key);
+        skip_ws();
+        const char c = take();
+        if (c == '}') break;
+        if (c != ',') fail("expected ',' or '}'");
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after object");
+    return body;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("unlearn body: " + what);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of body");
+    return text_[pos_++];
+  }
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = take();
+        if (e != '"' && e != '\\') fail("unsupported escape");
+        out.push_back(e);
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number '" + token + "'");
+    return value;
+  }
+
+  void parse_value(JsonBody& body, const std::string& key) {
+    const char c = peek();
+    if (c == '"') {
+      body.strings[key] = parse_string();
+    } else if (c == '[') {
+      ++pos_;
+      std::vector<int> values;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+      } else {
+        for (;;) {
+          skip_ws();
+          values.push_back(static_cast<int>(parse_number()));
+          skip_ws();
+          const char sep = take();
+          if (sep == ']') break;
+          if (sep != ',') fail("expected ',' or ']' in array");
+        }
+      }
+      body.arrays[key] = std::move(values);
+    } else if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      body.numbers[key] = parse_number();
+    } else {
+      fail("unsupported value type");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Tenant> parse_tenant_specs(const std::string& spec) {
+  std::vector<Tenant> tenants;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      throw std::invalid_argument("tenant spec: empty entry in '" + spec + "'");
+    }
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+      throw std::invalid_argument("tenant spec: '" + entry + "' is not name=token");
+    }
+    Tenant tenant{entry.substr(0, eq), entry.substr(eq + 1)};
+    for (const auto& existing : tenants) {
+      if (existing.name == tenant.name) {
+        throw std::invalid_argument("tenant spec: duplicate tenant '" + tenant.name + "'");
+      }
+    }
+    tenants.push_back(std::move(tenant));
+    if (comma == spec.size()) break;
+  }
+  return tenants;
+}
+
+ApiService::ApiService(std::shared_ptr<core::QuickDrop> quickdrop, nn::ModelState initial,
+                       ApiConfig config)
+    : quickdrop_(std::move(quickdrop)),
+      state_(std::move(initial)),
+      config_(std::move(config)),
+      scheduler_(config_.service.policy, config_.service.max_batch),
+      executor_(quickdrop_, config_.service.cost_model) {
+  if (!quickdrop_) throw std::invalid_argument("ApiService: null coordinator");
+  if (state_.empty() || !quickdrop_->state_layout() ||
+      state_.layout()->hash() != quickdrop_->state_layout()->hash()) {
+    throw std::invalid_argument(
+        "ApiService: initial state layout does not match the coordinator's model");
+  }
+}
+
+std::string ApiService::authenticate(const HttpRequest& request) const {
+  if (config_.tenants.empty()) return "default";
+  const std::string& auth = request.header("authorization");
+  const std::string prefix = "Bearer ";
+  if (auth.rfind(prefix, 0) != 0) return "";
+  const std::string token = auth.substr(prefix.size());
+  for (const auto& tenant : config_.tenants) {
+    if (tenant.token == token) return tenant.name;
+  }
+  return "";
+}
+
+HttpResponse ApiService::handle(const HttpRequest& request) {
+  const std::string tenant = authenticate(request);
+  if (tenant.empty()) {
+    return HttpResponse{.status = 401, .body = "{\"error\": \"missing or unknown bearer token\"}\n"};
+  }
+  auto& stats = tenants_seen_[tenant];
+  stats.wire_bytes += static_cast<std::int64_t>(request.method.size() + request.target.size() +
+                                                request.body.size());
+
+  if (request.target == "/unlearn") {
+    if (request.method != "POST") {
+      return HttpResponse{.status = 405, .body = "{\"error\": \"use POST\"}\n"};
+    }
+    return handle_unlearn(request, tenant);
+  }
+  if (request.target.rfind("/request/", 0) == 0) {
+    if (request.method != "GET") {
+      return HttpResponse{.status = 405, .body = "{\"error\": \"use GET\"}\n"};
+    }
+    const std::string id_text = request.target.substr(9);
+    if (id_text.empty() || id_text.find_first_not_of("0123456789") != std::string::npos) {
+      return HttpResponse{.status = 400, .body = "{\"error\": \"bad request id\"}\n"};
+    }
+    return handle_request_status(std::stoll(id_text));
+  }
+  if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      return HttpResponse{.status = 405, .body = "{\"error\": \"use GET\"}\n"};
+    }
+    return handle_metrics();
+  }
+  return HttpResponse{.status = 404, .body = "{\"error\": \"no such route\"}\n"};
+}
+
+HttpResponse ApiService::handle_unlearn(const HttpRequest& request, const std::string& tenant) {
+  serve::ServiceRequest service_request;
+  try {
+    const JsonBody body = JsonParser(request.body).parse();
+    const auto kind_it = body.strings.find("kind");
+    const auto target_it = body.numbers.find("target");
+    if (kind_it == body.strings.end() || target_it == body.numbers.end()) {
+      throw std::invalid_argument("unlearn body: 'kind' and 'target' are required");
+    }
+    service_request.kind = serve::kind_from_name(kind_it->second);
+    service_request.target = static_cast<int>(target_it->second);
+    const auto prio_it = body.numbers.find("priority");
+    if (prio_it != body.numbers.end()) service_request.priority = static_cast<int>(prio_it->second);
+    const auto rows_it = body.arrays.find("rows");
+    if (rows_it != body.arrays.end()) service_request.rows = rows_it->second;
+  } catch (const std::invalid_argument& e) {
+    return HttpResponse{.status = 400,
+                        .body = "{\"error\": \"" + json_escape(e.what()) + "\"}\n"};
+  }
+  service_request.arrival_seconds = clock_seconds_;
+
+  const auto decision =
+      queue_.admit(service_request, serve::make_validation_context(*quickdrop_));
+  auto& stats = tenants_seen_[tenant];
+  if (!decision.accepted) {
+    ++stats.rejected;
+    return HttpResponse{.status = 400,
+                        .body = std::string("{\"status\": \"rejected\", \"reason\": \"") +
+                                serve::reject_reason_name(decision.reason) +
+                                "\", \"message\": \"" + json_escape(decision.message) + "\"}\n"};
+  }
+  const std::int64_t id = queue_.pending().back().id;
+  ++stats.admitted;
+  owner_[id] = tenant;
+  QD_LOG_INFO << "api: tenant '" << tenant << "' queued request #" << id;
+  return HttpResponse{.status = 202,
+                      .body = "{\"id\": " + std::to_string(id) + ", \"status\": \"queued\"}\n"};
+}
+
+HttpResponse ApiService::handle_request_status(std::int64_t id) const {
+  const auto done = completed_index_.find(id);
+  if (done != completed_index_.end()) {
+    const auto& m = completed_[done->second];
+    return HttpResponse{
+        .status = 200,
+        .body = "{\"id\": " + std::to_string(id) + ", \"status\": \"completed\"" +
+                ", \"latency_seconds\": " + serve::json_double(m.latency()) +
+                ", \"unlearn_rounds\": " + std::to_string(m.unlearn_rounds) +
+                ", \"recovery_rounds\": " + std::to_string(m.recovery_rounds) + "}\n"};
+  }
+  for (const auto& pending : queue_.pending()) {
+    if (pending.id == id) {
+      return HttpResponse{.status = 200, .body = "{\"id\": " + std::to_string(id) +
+                                                 ", \"status\": \"queued\"}\n"};
+    }
+  }
+  return HttpResponse{.status = 404, .body = "{\"error\": \"unknown request id\"}\n"};
+}
+
+HttpResponse ApiService::handle_metrics() const {
+  std::ostringstream out;
+  out << "{\n  \"tenants\": {";
+  bool first = true;
+  for (const auto& [name, stats] : tenants_seen_) {
+    out << (first ? "" : ", ") << "\"" << json_escape(name) << "\": {\"admitted\": "
+        << stats.admitted << ", \"rejected\": " << stats.rejected
+        << ", \"completed\": " << stats.completed << ", \"wire_bytes\": " << stats.wire_bytes
+        << "}";
+    first = false;
+  }
+  out << "},\n  \"report\": " << report().to_json() << "}\n";
+  return HttpResponse{.status = 200, .body = out.str()};
+}
+
+void ApiService::drain() {
+  while (!queue_.empty()) {
+    const auto ids = scheduler_.next_batch(queue_.pending());
+    const auto batch = queue_.take(ids);
+    const double start = clock_seconds_;
+    QD_LOG_INFO << "api: cycle " << cycles_ << " serving " << batch.size()
+                << " request(s) at t=" << start;
+    auto result = executor_.execute(state_, batch, config_.service.cursor_callback);
+    state_ = std::move(result.state);
+    clock_seconds_ += result.sim_seconds;
+    for (const auto& request : batch) {
+      serve::RequestMetrics metrics;
+      metrics.id = request.id;
+      metrics.kind = request.kind;
+      metrics.target = request.target;
+      metrics.arrival_seconds = request.arrival_seconds;
+      metrics.start_seconds = start;
+      metrics.completion_seconds = clock_seconds_;
+      metrics.unlearn_rounds = result.unlearn_stats.rounds;
+      metrics.recovery_rounds = result.recovery_stats.rounds;
+      metrics.bytes_up = result.unlearn_stats.cost.bytes_up + result.recovery_stats.cost.bytes_up;
+      metrics.bytes_down =
+          result.unlearn_stats.cost.bytes_down + result.recovery_stats.cost.bytes_down;
+      metrics.batch_size = static_cast<int>(batch.size());
+      metrics.cycle = cycles_;
+      if (config_.service.evaluator) config_.service.evaluator(request, state_, metrics);
+      completed_index_[metrics.id] = completed_.size();
+      completed_.push_back(metrics);
+      const auto owner = owner_.find(metrics.id);
+      if (owner != owner_.end()) ++tenants_seen_[owner->second].completed;
+    }
+    total_fl_rounds_ += result.unlearn_stats.rounds + result.recovery_stats.rounds;
+    total_bytes_ += result.unlearn_stats.cost.bytes_up + result.unlearn_stats.cost.bytes_down +
+                    result.recovery_stats.cost.bytes_up + result.recovery_stats.cost.bytes_down;
+    ++cycles_;
+  }
+}
+
+serve::ServiceReport ApiService::report() const {
+  serve::ServiceReport report;
+  report.policy = serve::policy_name(scheduler_.policy());
+  report.transport = config_.service.transport;
+  report.completed = completed_;
+  report.rejected = queue_.rejected();
+  report.cycles = cycles_;
+  report.total_fl_rounds = total_fl_rounds_;
+  report.total_bytes = total_bytes_;
+  report.sim_clock_seconds = clock_seconds_;
+  return report;
+}
+
+}  // namespace quickdrop::net

@@ -1,0 +1,105 @@
+// HTTP/JSON API over the unlearning service.
+//
+// Routes:
+//   POST /unlearn      {"kind": "class"|"client"|"sample", "target": N,
+//                       "priority": N?, "rows": [..]?}
+//                      -> 202 {"id": N, "status": "queued"}
+//                       | 400 {"status": "rejected", "reason": "...", ...}
+//   GET  /request/<id> -> {"id": N, "status": "queued"|"completed", ...}
+//   GET  /metrics      -> the full ServiceReport JSON plus a per-tenant
+//                         accounting section
+//
+// Authentication is per-tenant bearer tokens: when tenants are configured,
+// every request must carry `Authorization: Bearer <token>` matching one of
+// them (else 401), and admission/completion/wire-byte counts are kept per
+// tenant. With no tenants configured the API is open and everything is
+// accounted to "default".
+//
+// The service core is the same deterministic simulated-time machinery the
+// replay paths use (queue -> scheduler -> executor); the API's live clock IS
+// the sim clock. Requests admitted over HTTP carry arrival = current sim
+// clock; drain() executes pending cycles and advances it. The HTTP server's
+// idle hook calls drain(), so unlearning work happens between requests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "serve/service.h"
+
+namespace quickdrop::net {
+
+/// One API tenant: a display name and its bearer token.
+struct Tenant {
+  std::string name;
+  std::string token;
+};
+
+/// Parses "name=token,name2=token2". Throws std::invalid_argument on empty
+/// names/tokens, missing '=', or duplicate names.
+std::vector<Tenant> parse_tenant_specs(const std::string& spec);
+
+/// Per-tenant admission accounting, reported under /metrics.
+struct TenantStats {
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;
+  std::int64_t wire_bytes = 0;  ///< HTTP request bytes attributed to the tenant
+};
+
+struct ApiConfig {
+  serve::ServiceConfig service;
+  std::vector<Tenant> tenants;  ///< empty = open API, tenant "default"
+};
+
+class ApiService {
+ public:
+  ApiService(std::shared_ptr<core::QuickDrop> quickdrop, nn::ModelState initial,
+             ApiConfig config);
+
+  /// Routes one HTTP request. Never throws for client errors — those become
+  /// 4xx responses.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// Executes service cycles until the admission queue is empty, advancing
+  /// the sim clock. Called from the HTTP server's idle hook.
+  void drain();
+
+  [[nodiscard]] const nn::ModelState& state() const { return state_; }
+  [[nodiscard]] double clock_seconds() const { return clock_seconds_; }
+  [[nodiscard]] const std::map<std::string, TenantStats>& tenant_stats() const {
+    return tenants_seen_;
+  }
+
+  /// Snapshot of the run so far as a standard service report.
+  [[nodiscard]] serve::ServiceReport report() const;
+
+ private:
+  /// Resolves the Authorization header to a tenant name; empty = unauthorized.
+  [[nodiscard]] std::string authenticate(const HttpRequest& request) const;
+
+  HttpResponse handle_unlearn(const HttpRequest& request, const std::string& tenant);
+  HttpResponse handle_request_status(std::int64_t id) const;
+  HttpResponse handle_metrics() const;
+
+  std::shared_ptr<core::QuickDrop> quickdrop_;
+  nn::ModelState state_;
+  ApiConfig config_;
+  serve::Scheduler scheduler_;
+  serve::Executor executor_;
+  serve::AdmissionQueue queue_;
+  double clock_seconds_ = 0.0;
+  int cycles_ = 0;
+  int total_fl_rounds_ = 0;
+  std::int64_t total_bytes_ = 0;
+  std::vector<serve::RequestMetrics> completed_;
+  std::map<std::int64_t, std::size_t> completed_index_;  ///< id -> completed_ slot
+  std::map<std::int64_t, std::string> owner_;            ///< id -> tenant
+  std::map<std::string, TenantStats> tenants_seen_;
+};
+
+}  // namespace quickdrop::net

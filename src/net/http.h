@@ -1,0 +1,93 @@
+// Minimal HTTP/1.1 front door for the unlearning service.
+//
+// Scope is deliberately small: request/response messages with
+// Content-Length bodies (no chunked encoding, no keep-alive negotiation —
+// connections are serviced until the peer half-closes). The parser is
+// incremental and total: it accumulates bytes off an `Io`, enforces hard
+// caps on head and body size, accepts both CRLF and bare-LF line endings,
+// and throws NetError(kMalformedHttp) on anything outside the grammar — a
+// malformed request can never leave a half-parsed message behind.
+//
+// The server side is a single-threaded poll loop (net/socket.h): one
+// connection is drained at a time, and whenever the listener is idle the
+// caller-supplied idle hook runs — the API service uses it to execute
+// pending unlearning cycles between requests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/io.h"
+#include "net/socket.h"
+
+namespace quickdrop::net {
+
+/// Head cap: request line + headers. Anything larger is hostile.
+inline constexpr std::size_t kMaxHttpHeadBytes = 16u << 10;
+/// Body cap: unlearning requests are tiny; 1 MiB leaves headroom for traces.
+inline constexpr std::size_t kMaxHttpBodyBytes = 1u << 20;
+
+/// One parsed request. Header names are lower-cased; values are trimmed.
+struct HttpRequest {
+  std::string method;
+  std::string target;   ///< raw request target, e.g. "/request/3"
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header value or "" when absent (names are stored lower-case).
+  [[nodiscard]] const std::string& header(const std::string& lower_name) const;
+};
+
+/// One response. write_response fills in the reason phrase, Content-Type
+/// and Content-Length.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of statuses the API uses.
+const char* status_reason(int status);
+
+/// Incremental request parser over an Io stream. next() returns the next
+/// complete request, blocking on the underlying read as needed; nullopt on
+/// clean end-of-stream at a message boundary. Pipelined requests (several
+/// messages arriving in one read) are handled naturally.
+class HttpConnReader {
+ public:
+  explicit HttpConnReader(Io& io) : io_(io) {}
+
+  std::optional<HttpRequest> next();
+
+ private:
+  /// Reads more bytes into buf_. Returns false on end-of-stream.
+  bool fill();
+
+  Io& io_;
+  std::vector<std::uint8_t> buf_;
+  bool eof_ = false;
+};
+
+void write_response(Io& io, const HttpResponse& response);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Serves one connection until the peer half-closes, routing every request
+/// through `handler`. Handler exceptions become 500 responses; NetError with
+/// kMalformedHttp becomes 400 and closes the connection.
+void serve_http_conn(Io& io, const HttpHandler& handler);
+
+/// Poll-based accept loop over a TCP listener. Connections are serviced one
+/// at a time; whenever no connection is pending for `idle_timeout_ms`, the
+/// idle hook runs (the unlearning service drains admitted requests there).
+/// Returns when `stop` returns true (checked between connections).
+void serve_http(TcpListener& listener, const HttpHandler& handler,
+                const std::function<void()>& idle_hook, const std::function<bool()>& stop,
+                int idle_timeout_ms = 50);
+
+}  // namespace quickdrop::net

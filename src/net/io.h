@@ -1,0 +1,81 @@
+// Byte transport behind the network front-end.
+//
+// Every net/ layer — frame codec, HTTP parser, replay sessions — moves bytes
+// through the `Io` interface instead of a file descriptor, so the whole
+// protocol stack is testable (and tier-1 gated) over an in-memory loopback
+// pipe with no ports, while production traffic rides the POSIX socket
+// implementation in net/socket.h. The loopback pipe is thread-safe and its
+// writes never block (unbounded buffer), which lets a single thread write an
+// entire replay trace and then serve it back deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace quickdrop::net {
+
+/// What went wrong at the transport or protocol layer. Mirrors nn::StateError
+/// / serve::TraceError: typed, derived from a std:: exception so generic
+/// catch sites keep working, with a stable code for tests and logs.
+enum class NetErrorCode {
+  kBadMagic,        ///< frame does not start with the protocol magic
+  kBadVersion,      ///< protocol version this build does not speak
+  kUnknownType,     ///< frame type byte outside the known set
+  kTruncated,       ///< stream or buffer ended mid-frame
+  kOversized,       ///< declared length exceeds the protocol cap
+  kCrcMismatch,     ///< CRC-64 trailer does not verify
+  kLayoutMismatch,  ///< frame's layout hash is not this deployment's
+  kTrailingBytes,   ///< well-formed frame followed by garbage
+  kBadPayload,      ///< frame payload fails its type-specific decode
+  kMalformedHttp,   ///< HTTP head/body violates the grammar or caps
+  kClosed,          ///< peer closed where the protocol required more
+  kIoFailure,       ///< OS-level socket failure (errno in the message)
+};
+
+/// Stable lower-case token, e.g. "crc-mismatch" (used in logs and tests).
+const char* net_error_name(NetErrorCode code);
+
+/// Typed transport/protocol failure.
+struct NetError : std::runtime_error {
+  NetError(NetErrorCode code, const std::string& what)
+      : std::runtime_error(std::string(net_error_name(code)) + ": " + what), code(code) {}
+  NetErrorCode code;
+};
+
+/// A bidirectional byte stream. Implementations: TcpConn (net/socket.h,
+/// EINTR-safe POSIX sockets) and the in-memory loopback pair below.
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  /// Reads between 1 and buf.size() bytes, blocking until data is available.
+  /// Returns 0 only on clean end-of-stream (peer finished writing).
+  virtual std::size_t read_some(std::span<std::uint8_t> buf) = 0;
+
+  /// Writes all of `bytes` (looping as needed). Throws NetError on failure.
+  virtual void write_all(std::span<const std::uint8_t> bytes) = 0;
+
+  /// Signals end-of-stream to the peer: after its buffered bytes drain, the
+  /// peer's read_some returns 0. Further write_all calls are an error.
+  virtual void finish_write() = 0;
+};
+
+/// Fills `buf` exactly. Returns false when the stream ends cleanly before the
+/// first byte (a frame boundary); throws NetError(kTruncated) when the stream
+/// ends mid-buffer (a torn frame).
+bool read_exact(Io& io, std::span<std::uint8_t> buf);
+
+/// The two ends of an in-memory duplex pipe: bytes written to `client` are
+/// read from `server` and vice versa. Thread-safe; writes never block.
+struct LoopbackPair {
+  std::shared_ptr<Io> client;
+  std::shared_ptr<Io> server;
+};
+
+/// Creates a connected loopback pair.
+LoopbackPair make_loopback();
+
+}  // namespace quickdrop::net

@@ -1,0 +1,163 @@
+#include "net/replay.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace quickdrop::net {
+
+namespace {
+
+std::int64_t frame_wire_bytes(const Frame& frame) {
+  return static_cast<std::int64_t>(kFrameHeaderBytes + frame.payload.size() +
+                                   kFrameTrailerBytes);
+}
+
+/// RequestSource decoding frames off an Io stream. peek() blocks on the
+/// underlying read; requests are delivered in frame order, which the replay
+/// client guarantees is trace order — so the service loop sees exactly the
+/// stream the in-process TraceSource would produce.
+class WireSource : public serve::RequestSource {
+ public:
+  WireSource(Io& io, std::uint64_t layout_hash) : io_(io), layout_hash_(layout_hash) {}
+
+  const serve::ServiceRequest* peek() override {
+    while (!have_ && !eof_) {
+      auto frame = read_frame(io_, layout_hash_);
+      if (!frame || frame->type == FrameType::kEndOfTrace) {
+        eof_ = true;
+        break;
+      }
+      if (frame->type != FrameType::kUnlearnRequest) {
+        throw NetError(NetErrorCode::kBadPayload,
+                       "replay: unexpected frame type mid-trace");
+      }
+      const std::int64_t bytes = frame_wire_bytes(*frame);
+      request_bytes_ += bytes;
+      WireRequest wire = decode_request_payload(frame->payload);
+      current_ = wire.request;
+      current_tenant_ = std::move(wire.tenant);
+      current_bytes_ = bytes;
+      have_ = true;
+    }
+    return have_ ? &current_ : nullptr;
+  }
+
+  void pop() override { have_ = false; }
+
+  void on_decision(const serve::ServiceRequest& /*request*/, std::int64_t id,
+                   const serve::AdmissionDecision& decision) override {
+    WireAck ack;
+    ack.accepted = decision.accepted;
+    ack.id = id;
+    ack.reason = decision.reason;
+    ack.message = decision.message;
+    const auto bytes = encode_frame(make_ack_frame(ack, layout_hash_));
+    io_.write_all(bytes);
+    ack_bytes_ += static_cast<std::int64_t>(bytes.size());
+    if (id >= 0) {
+      // Charge the request its own frame plus the ack we just sent.
+      per_id_bytes_[id] = current_bytes_ + static_cast<std::int64_t>(bytes.size());
+    }
+  }
+
+  [[nodiscard]] std::int64_t wire_bytes(std::int64_t id) const override {
+    const auto it = per_id_bytes_.find(id);
+    return it == per_id_bytes_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::int64_t request_bytes() const { return request_bytes_; }
+  [[nodiscard]] std::int64_t ack_bytes() const { return ack_bytes_; }
+
+ private:
+  Io& io_;
+  std::uint64_t layout_hash_;
+  serve::ServiceRequest current_;
+  std::string current_tenant_;
+  std::int64_t current_bytes_ = 0;
+  bool have_ = false;
+  bool eof_ = false;
+  std::int64_t request_bytes_ = 0;
+  std::int64_t ack_bytes_ = 0;
+  std::map<std::int64_t, std::int64_t> per_id_bytes_;
+};
+
+}  // namespace
+
+std::int64_t replay_send_trace(Io& io, const std::vector<serve::ServiceRequest>& trace,
+                               const std::string& tenant, std::uint64_t layout_hash) {
+  std::int64_t total = 0;
+  for (const auto& request : trace) {
+    const auto bytes = encode_frame(make_request_frame({request, tenant}, layout_hash));
+    io.write_all(bytes);
+    total += static_cast<std::int64_t>(bytes.size());
+  }
+  const auto end = encode_frame(make_end_frame(layout_hash));
+  io.write_all(end);
+  total += static_cast<std::int64_t>(end.size());
+  io.finish_write();
+  return total;
+}
+
+ReplayClientResult replay_collect(Io& io, std::uint64_t layout_hash) {
+  ReplayClientResult result;
+  for (;;) {
+    auto frame = read_frame(io, layout_hash);
+    if (!frame) break;
+    result.bytes_received += frame_wire_bytes(*frame);
+    switch (frame->type) {
+      case FrameType::kAck:
+        result.acks.push_back(decode_ack_payload(frame->payload));
+        break;
+      case FrameType::kReport:
+        result.report_json.assign(frame->payload.begin(), frame->payload.end());
+        break;
+      default:
+        throw NetError(NetErrorCode::kBadPayload,
+                       "replay client: unexpected frame type from server");
+    }
+  }
+  return result;
+}
+
+ReplayClientResult replay_trace_client(Io& io, const std::vector<serve::ServiceRequest>& trace,
+                                       const std::string& tenant, std::uint64_t layout_hash) {
+  replay_send_trace(io, trace, tenant, layout_hash);
+  return replay_collect(io, layout_hash);
+}
+
+NetReplaySession::NetReplaySession(std::shared_ptr<core::QuickDrop> quickdrop,
+                                   nn::ModelState initial, ReplayConfig config)
+    : quickdrop_(quickdrop),
+      service_(std::move(quickdrop), std::move(initial), std::move(config.service)),
+      codec_(config.codec) {}
+
+serve::ServiceReport NetReplaySession::run(Io& io) {
+  const std::uint64_t layout_hash = quickdrop_->state_layout()->hash();
+  WireSource source(io, layout_hash);
+  serve::ServiceReport report = service_.run(source);
+  report.wire_request_bytes = source.request_bytes();
+  report.wire_ack_bytes = source.ack_bytes();
+
+  // Bytes-on-wire for the final model, raw vs quantized: what one client
+  // update frame carrying this state costs under each codec.
+  const auto raw =
+      encode_frame(make_update_frame(service_.state(), fl::Codec::kNone, layout_hash));
+  report.wire_state_bytes_raw = static_cast<std::int64_t>(raw.size());
+  if (codec_ == fl::Codec::kNone) {
+    report.wire_state_bytes_quantized = report.wire_state_bytes_raw;
+  } else {
+    const auto quantized =
+        encode_frame(make_update_frame(service_.state(), codec_, layout_hash));
+    report.wire_state_bytes_quantized = static_cast<std::int64_t>(quantized.size());
+  }
+
+  write_frame(io, make_report_frame(report.to_json(), layout_hash));
+  io.finish_write();
+  QD_LOG_INFO << "net: replay session complete (" << report.completed.size()
+              << " completed, " << report.rejected.size() << " rejected, "
+              << source.request_bytes() + source.ack_bytes() << " wire bytes)";
+  return report;
+}
+
+}  // namespace quickdrop::net

@@ -1,0 +1,81 @@
+// Trace replay over the wire protocol.
+//
+// The server side (NetReplaySession) feeds UnlearningService::run() a
+// RequestSource that decodes request frames off an Io stream lazily, acking
+// each admission decision back to the client, and finishes by streaming the
+// final report frame. Because both the in-process path and this one drive
+// the *same* service loop with the same request stream, a replayed trace
+// produces a bitwise-identical model and identical per-request outcomes —
+// the only additions are the out-of-band bytes-on-wire columns.
+//
+// The client side is split into send and collect phases so a single thread
+// can drive a loopback replay end to end: loopback writes never block, so
+// the client first writes the entire trace (plus end-of-trace and a write
+// half-close), the session then serves it, and the client finally collects
+// the acks and report. Over TCP the convenience wrapper runs both phases on
+// one thread while the session runs on another.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "serve/service.h"
+
+namespace quickdrop::net {
+
+struct ReplayConfig {
+  /// Service configuration; set `transport` to the label the report should
+  /// carry ("loopback", "tcp") and `wire_bytes_per_second` to enable the
+  /// per-request network-time column.
+  serve::ServiceConfig service;
+  /// Codec for the report's quantized state-on-wire column (what shipping
+  /// the final model as a client update would cost under this codec).
+  fl::Codec codec = fl::Codec::kNone;
+};
+
+/// Writes `trace` as request frames in order, then end-of-trace, then
+/// half-closes the write side. Returns bytes written.
+std::int64_t replay_send_trace(Io& io, const std::vector<serve::ServiceRequest>& trace,
+                               const std::string& tenant, std::uint64_t layout_hash);
+
+/// What the client hears back: one ack per trace request (admission order)
+/// and the final report JSON.
+struct ReplayClientResult {
+  std::vector<WireAck> acks;
+  std::string report_json;
+  std::int64_t bytes_received = 0;
+};
+
+/// Reads ack and report frames until the server closes the stream.
+ReplayClientResult replay_collect(Io& io, std::uint64_t layout_hash);
+
+/// send + collect on one thread (the TCP client path; requires the session
+/// to run concurrently on another thread or process).
+ReplayClientResult replay_trace_client(Io& io, const std::vector<serve::ServiceRequest>& trace,
+                                       const std::string& tenant, std::uint64_t layout_hash);
+
+/// Server side of a replay: the standard unlearning service fed from a wire
+/// stream. One session serves one stream.
+class NetReplaySession {
+ public:
+  NetReplaySession(std::shared_ptr<core::QuickDrop> quickdrop, nn::ModelState initial,
+                   ReplayConfig config);
+
+  /// Serves every request frame on `io`, writes acks as admissions happen
+  /// and the report frame at the end, then half-closes. Returns the report
+  /// with the wire accounting columns filled in.
+  serve::ServiceReport run(Io& io);
+
+  [[nodiscard]] const nn::ModelState& state() const { return service_.state(); }
+
+ private:
+  std::shared_ptr<core::QuickDrop> quickdrop_;
+  serve::UnlearningService service_;
+  fl::Codec codec_;
+};
+
+}  // namespace quickdrop::net

@@ -1,0 +1,156 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace quickdrop::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(NetErrorCode::kIoFailure, what + ": " + std::strerror(errno));
+}
+
+/// EINTR-safe poll on a single fd for the given events.
+bool poll_one(int fd, short events, int timeout_ms) {
+  struct pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+}  // namespace
+
+TcpConn::TcpConn(int fd) : fd_(fd) {
+  if (fd_ < 0) throw NetError(NetErrorCode::kIoFailure, "TcpConn: invalid fd");
+}
+
+TcpConn::~TcpConn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t TcpConn::read_some(std::span<std::uint8_t> buf) {
+  if (buf.empty()) return 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;  // orderly shutdown by the peer
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+void TcpConn::write_all(std::span<const std::uint8_t> bytes) {
+  if (write_finished_) {
+    throw NetError(NetErrorCode::kClosed, "write after finish_write on TcpConn");
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE ->
+    // NetError, not kill the process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+void TcpConn::finish_write() {
+  if (write_finished_) return;
+  write_finished_ = true;
+  if (::shutdown(fd_, SHUT_WR) != 0 && errno != ENOTCONN) throw_errno("shutdown");
+}
+
+bool TcpConn::wait_readable(int timeout_ms) const { return poll_one(fd_, POLLIN, timeout_ms); }
+
+TcpListener::TcpListener(std::uint16_t port) : fd_(-1), port_(port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  // Best effort: a restarted service must be able to rebind its port without
+  // waiting out TIME_WAIT.
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+  if (port == 0) {
+    struct sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound), &len) != 0) {
+      throw_errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpConn> TcpListener::accept_conn() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<TcpConn>(fd);
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+bool TcpListener::wait_pending(int timeout_ms) const { return poll_one(fd_, POLLIN, timeout_ms); }
+
+std::unique_ptr<TcpConn> tcp_connect(const std::string& host, std::uint16_t port) {
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw NetError(NetErrorCode::kIoFailure,
+                   "tcp_connect: '" + host + "' is not a numeric IPv4 address");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return std::make_unique<TcpConn>(fd);
+    }
+    if (errno == EINTR) continue;
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect to " + numeric + ":" + std::to_string(port));
+  }
+}
+
+}  // namespace quickdrop::net

@@ -1,0 +1,112 @@
+// The binary wire protocol for unlearning traffic.
+//
+// Every message is one frame (little-endian):
+//
+//   u32 magic     "QDNF"
+//   u16 version   1
+//   u8  type      FrameType
+//   u8  reserved  0
+//   u64 layout hash   — the deployment's StateLayout hash; decode rejects
+//                       frames built against a different model geometry
+//                       before anything touches the scheduler
+//   u32 payload length  (cap kMaxFramePayload)
+//   payload bytes
+//   u64 CRC-64/XZ over header + payload
+//
+// Payloads reuse the repo's hardened encodings: client updates ship either
+// the v2 state format (nn/state.h) or the PR 7 quantized-update encoding
+// (fl/quantize.h), both of which carry their own magic + layout gate, so a
+// corrupt update must defeat two independent checks to reach aggregation.
+// The decoder is total: truncation at any boundary, bad magic, unknown type,
+// oversized lengths, hash mismatch, CRC failure and trailing bytes all throw
+// a typed NetError — no input yields a partial frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/quantize.h"
+#include "net/io.h"
+#include "nn/state.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+
+namespace quickdrop::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x464E4451;  // "QDNF" little-endian
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+inline constexpr std::size_t kFrameTrailerBytes = 8;
+/// Payload cap: larger than any state this repo ships, small enough that a
+/// corrupted length field cannot drive a multi-GiB allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kUnlearnRequest = 1,  ///< one ServiceRequest + tenant (client -> server)
+  kEndOfTrace = 2,      ///< no payload; the replay client is done sending
+  kClientUpdate = 3,    ///< raw-v2 or quantized model update
+  kAck = 4,             ///< admission decision for one request (server -> client)
+  kReport = 5,          ///< final ServiceReport JSON (server -> client)
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kEndOfTrace;
+  std::uint64_t layout_hash = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Frame <-> bytes. decode_frame consumes the whole buffer (trailing bytes
+/// are an error) and, when `expected_layout_hash` is nonzero, rejects frames
+/// whose hash differs.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+Frame decode_frame(std::span<const std::uint8_t> bytes, std::uint64_t expected_layout_hash);
+
+/// Frame <-> Io stream. read_frame returns nullopt on clean end-of-stream at
+/// a frame boundary and throws NetError mid-frame.
+void write_frame(Io& io, const Frame& frame);
+std::optional<Frame> read_frame(Io& io, std::uint64_t expected_layout_hash);
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+/// A ServiceRequest on the wire, tagged with the tenant that sent it.
+struct WireRequest {
+  serve::ServiceRequest request;
+  std::string tenant;
+};
+
+std::vector<std::uint8_t> encode_request_payload(const WireRequest& wire);
+WireRequest decode_request_payload(std::span<const std::uint8_t> bytes);
+
+/// Admission decision echoed back per request.
+struct WireAck {
+  bool accepted = false;
+  std::int64_t id = -1;  ///< assigned id when accepted
+  serve::RejectReason reason = serve::RejectReason::kTargetOutOfRange;
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode_ack_payload(const WireAck& ack);
+WireAck decode_ack_payload(std::span<const std::uint8_t> bytes);
+
+/// Client-update payload: u8 codec, then the v2 state bytes (Codec::kNone —
+/// the full state) or the quantized delta encoding (int8/bf16). Decoding
+/// validates against `layout` and never returns partial state.
+std::vector<std::uint8_t> encode_update_payload(const nn::ModelState& state, fl::Codec codec);
+nn::ModelState decode_update_payload(std::span<const std::uint8_t> bytes,
+                                     const std::shared_ptr<const nn::StateLayout>& layout);
+
+/// Convenience: whole frames for the common messages.
+Frame make_request_frame(const WireRequest& wire, std::uint64_t layout_hash);
+Frame make_end_frame(std::uint64_t layout_hash);
+Frame make_ack_frame(const WireAck& ack, std::uint64_t layout_hash);
+Frame make_report_frame(const std::string& json, std::uint64_t layout_hash);
+Frame make_update_frame(const nn::ModelState& state, fl::Codec codec,
+                        std::uint64_t layout_hash);
+
+}  // namespace quickdrop::net

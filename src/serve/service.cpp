@@ -25,14 +25,14 @@ UnlearningService::UnlearningService(std::shared_ptr<core::QuickDrop> quickdrop,
   }
 }
 
-ValidationContext UnlearningService::validation_context() const {
+ValidationContext make_validation_context(const core::QuickDrop& quickdrop) {
   ValidationContext ctx;
-  ctx.num_classes = quickdrop_->num_classes();
-  ctx.num_clients = quickdrop_->num_clients();
+  ctx.num_classes = quickdrop.num_classes();
+  ctx.num_clients = quickdrop.num_clients();
   ctx.supports_sample_level = Executor::supports(RequestKind::kSample);
-  ctx.forgotten_classes = &quickdrop_->forgotten_classes();
-  ctx.forgotten_clients = &quickdrop_->forgotten_clients();
-  const auto& stores = quickdrop_->stores();
+  ctx.forgotten_classes = &quickdrop.forgotten_classes();
+  ctx.forgotten_clients = &quickdrop.forgotten_clients();
+  const auto& stores = quickdrop.stores();
   ctx.has_forget_data = [&stores](const ServiceRequest& request) {
     if (request.kind == RequestKind::kClass) {
       for (const auto& store : stores) {
@@ -48,26 +48,44 @@ ValidationContext UnlearningService::validation_context() const {
   return ctx;
 }
 
-void UnlearningService::admit_due(const std::vector<ServiceRequest>& trace,
-                                  std::size_t* next_arrival) {
-  while (*next_arrival < trace.size() &&
-         trace[*next_arrival].arrival_seconds <= clock_seconds_) {
-    queue_.admit(trace[*next_arrival], validation_context());
-    ++(*next_arrival);
+ValidationContext UnlearningService::validation_context() const {
+  return make_validation_context(*quickdrop_);
+}
+
+void RequestSource::on_decision(const ServiceRequest& /*request*/, std::int64_t /*id*/,
+                                const AdmissionDecision& /*decision*/) {}
+
+std::int64_t RequestSource::wire_bytes(std::int64_t /*id*/) const { return 0; }
+
+void UnlearningService::admit_due(RequestSource& source) {
+  while (const ServiceRequest* next = source.peek()) {
+    if (next->arrival_seconds > clock_seconds_) break;
+    const ServiceRequest request = *next;
+    source.pop();
+    const auto decision = queue_.admit(request, validation_context());
+    const std::int64_t id = decision.accepted ? queue_.pending().back().id : -1;
+    source.on_decision(request, id, decision);
   }
 }
 
 ServiceReport UnlearningService::run(const std::vector<ServiceRequest>& trace) {
+  TraceSource source(trace);
+  return run(source);
+}
+
+ServiceReport UnlearningService::run(RequestSource& source) {
   ServiceReport report;
   report.policy = policy_name(scheduler_.policy());
+  report.transport = config_.transport;
 
-  std::size_t next_arrival = 0;
-  while (next_arrival < trace.size() || !queue_.empty()) {
+  while (true) {
     if (queue_.empty()) {
+      const ServiceRequest* next = source.peek();
+      if (next == nullptr) break;
       // Idle: fast-forward the sim clock to the next arrival.
-      clock_seconds_ = std::max(clock_seconds_, trace[next_arrival].arrival_seconds);
+      clock_seconds_ = std::max(clock_seconds_, next->arrival_seconds);
     }
-    admit_due(trace, &next_arrival);
+    admit_due(source);
     if (queue_.empty()) continue;  // everything due was rejected
 
     const auto ids = scheduler_.next_batch(queue_.pending());
@@ -95,6 +113,11 @@ ServiceReport UnlearningService::run(const std::vector<ServiceRequest>& trace) {
           result.unlearn_stats.cost.bytes_down + result.recovery_stats.cost.bytes_down;
       metrics.batch_size = static_cast<int>(batch.size());
       metrics.cycle = report.cycles;
+      metrics.wire_bytes = source.wire_bytes(metrics.id);
+      metrics.net_seconds = config_.wire_bytes_per_second > 0.0
+                                ? static_cast<double>(metrics.wire_bytes) /
+                                      config_.wire_bytes_per_second
+                                : 0.0;
       if (config_.evaluator) config_.evaluator(request, state_, metrics);
       report.completed.push_back(metrics);
     }

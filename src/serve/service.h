@@ -33,7 +33,53 @@ struct ServiceConfig {
   /// Forwarded to the executor for mid-request checkpointing.
   core::UnlearnCursorCallback cursor_callback;
   RequestEvaluator evaluator;
+  /// Transport label stamped into the report ("inproc" unless a net session
+  /// overrides it).
+  std::string transport = "inproc";
+  /// Simulated wire bandwidth used to derive each request's network-time
+  /// column from its bytes-on-wire. 0 disables the breakdown (in-process
+  /// runs, where nothing crosses a wire). Network time is accounted
+  /// *out-of-band* — it never advances the service's sim clock — so the SLA
+  /// outcomes of a net replay stay bitwise identical to the in-process path.
+  double wire_bytes_per_second = 0.0;
 };
+
+/// Pull-based request feed for the service loop. The in-process path wraps a
+/// trace vector; the network path (net/replay.h) reads frames off an Io
+/// stream lazily. peek() may block (a socket read); the returned pointer
+/// stays valid until the next pop().
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  /// Next request in arrival order, or nullptr when the source is exhausted.
+  virtual const ServiceRequest* peek() = 0;
+  virtual void pop() = 0;
+  /// Admission decision for a popped request (`id` is the assigned id, -1 on
+  /// rejection). The net source turns these into ack frames.
+  virtual void on_decision(const ServiceRequest& request, std::int64_t id,
+                           const AdmissionDecision& decision);
+  /// Bytes this request cost on the wire (0 for in-process requests).
+  [[nodiscard]] virtual std::int64_t wire_bytes(std::int64_t id) const;
+};
+
+/// RequestSource over an in-memory trace (the in-process path).
+class TraceSource : public RequestSource {
+ public:
+  explicit TraceSource(const std::vector<ServiceRequest>& trace) : trace_(trace) {}
+  const ServiceRequest* peek() override {
+    return next_ < trace_.size() ? &trace_[next_] : nullptr;
+  }
+  void pop() override { ++next_; }
+
+ private:
+  const std::vector<ServiceRequest>& trace_;
+  std::size_t next_ = 0;
+};
+
+/// Builds the admission-validation view of a deployment (class/client
+/// ranges, forgotten sets, forget-data probe over the synthetic stores).
+/// The context borrows from `quickdrop`; keep it alive for the call.
+ValidationContext make_validation_context(const core::QuickDrop& quickdrop);
 
 class UnlearningService {
  public:
@@ -45,13 +91,19 @@ class UnlearningService {
   /// once per service instance.
   ServiceReport run(const std::vector<ServiceRequest>& trace);
 
+  /// Same loop, drawing requests from `source` until it is exhausted. The
+  /// trace overload wraps this with a TraceSource; net/replay.h feeds it a
+  /// frame-decoding source. Identical request streams yield bitwise-identical
+  /// models and SLA outcomes regardless of the source's transport.
+  ServiceReport run(RequestSource& source);
+
   /// Global model after the last completed cycle.
   [[nodiscard]] const nn::ModelState& state() const { return state_; }
   [[nodiscard]] const AdmissionQueue& queue() const { return queue_; }
 
  private:
-  /// Admits every trace request with arrival <= the sim clock.
-  void admit_due(const std::vector<ServiceRequest>& trace, std::size_t* next_arrival);
+  /// Admits every source request with arrival <= the sim clock.
+  void admit_due(RequestSource& source);
   [[nodiscard]] ValidationContext validation_context() const;
 
   std::shared_ptr<core::QuickDrop> quickdrop_;

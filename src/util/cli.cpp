@@ -22,6 +22,8 @@ CliFlags::CliFlags(int argc, char** argv) {
   }
 }
 
+bool CliFlags::has(const std::string& name) const { return values_.count(name) != 0; }
+
 int CliFlags::get_int(const std::string& name, int default_value) {
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;

@@ -17,6 +17,10 @@ class CliFlags {
   /// Parses argv. Throws std::invalid_argument on malformed input.
   CliFlags(int argc, char** argv);
 
+  /// True when the flag was provided on the command line. Does not mark the
+  /// flag as used — pair with a get_*() call, or the flag counts as a typo.
+  [[nodiscard]] bool has(const std::string& name) const;
+
   /// Typed lookups; the default is returned when the flag is absent.
   int get_int(const std::string& name, int default_value);
   double get_double(const std::string& name, double default_value);

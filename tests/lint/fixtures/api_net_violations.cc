@@ -1,0 +1,32 @@
+// qdlint fixture: API net-I/O rule — raw socket calls outside src/net.
+// Analyzed as src/fake/api_net_violations.cpp — never compiled.
+#include <functional>
+
+void socket_examples(int fd, const void* buf, void* out, unsigned len) {
+  int s = socket(2, 1, 0);
+  bind(s, nullptr, 0);
+  listen(s, 16);
+  ::connect(s, nullptr, 0);
+  ::send(fd, buf, len, 0);
+  recv(fd, out, len, 0);
+  poll(nullptr, 0, 50);
+  setsockopt(s, 1, 2, nullptr, 0);
+  shutdown(s, 1);
+}
+
+// Qualified and member uses are not the POSIX calls: never fire.
+struct Channel {
+  void send(const void* buf, unsigned len);
+  static void listen(int backlog);
+};
+void not_sockets(Channel& ch, Channel* p, const void* buf, unsigned len) {
+  auto bound = std::bind([](int x) { return x; }, 1);
+  ch.send(buf, len);
+  p->send(buf, len);
+  Channel::listen(16);
+}
+
+// A justified raw call carries a NOLINT.
+void justified(int fd, const void* buf, unsigned len) {
+  ::send(fd, buf, len, 0);  // NOLINT(qdlint-api-net-io) signalfd self-pipe, not protocol traffic
+}

@@ -35,6 +35,7 @@ const std::map<std::string, std::string> kFixtureContexts = {
     {"num_violations.cc", "src/fake/num_violations.cpp"},
     {"api_violations.cc", "src/fake/api_violations.cpp"},
     {"api_durable_violations.cc", "src/fake/api_durable_violations.cpp"},
+    {"api_net_violations.cc", "src/fake/api_net_violations.cpp"},
     {"simd_violations.cc", "src/tensor/simd_violations.cpp"},
     {"header_missing_pragma.hh", "src/fake/header_missing_pragma.h"},
     {"clean_tricky.cc", "src/tensor/clean_tricky.cpp"},
@@ -217,6 +218,26 @@ TEST(LintRules, DurableIoDistinguishesFopenModes) {
             std::vector<std::string>{"api-durable-io"});
   EXPECT_TRUE(analyze_as("src/fake/x.cpp", "auto* f = std::fopen(p, \"rb\");\n").empty());
   EXPECT_TRUE(analyze_as("src/fake/x.cpp", "std::ifstream in(p);\n").empty());
+}
+
+TEST(LintRules, NetIoFiresEverywhereExceptSrcNet) {
+  const std::string src = "void f(int fd, const void* b) { ::send(fd, b, 8, 0); }\n";
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", src)), std::vector<std::string>{"api-net-io"});
+  // tools and bench speak to the service over net::Io like everyone else.
+  EXPECT_EQ(rules_of(analyze_as("tools/some_cli.cpp", src)),
+            std::vector<std::string>{"api-net-io"});
+  EXPECT_EQ(rules_of(analyze_as("bench/some_bench.cpp", src)),
+            std::vector<std::string>{"api-net-io"});
+  EXPECT_TRUE(analyze_as("src/net/socket.cpp", src).empty());
+}
+
+TEST(LintRules, NetIoIgnoresMembersAndNamespaceQualification) {
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", "void f(C& c) { c.send(b, 8); }\n").empty());
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", "void f(C* c) { c->send(b, 8); }\n").empty());
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", "auto g = std::bind(f, 1);\n").empty());
+  EXPECT_TRUE(analyze_as("src/fake/x.cpp", "void f() { Channel::listen(16); }\n").empty());
+  EXPECT_EQ(rules_of(analyze_as("src/fake/x.cpp", "void f(int s) { listen(s, 16); }\n")),
+            std::vector<std::string>{"api-net-io"});
 }
 
 TEST(LintRules, PragmaOnceSatisfiedHeaderIsSilent) {

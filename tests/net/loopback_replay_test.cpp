@@ -1,0 +1,263 @@
+// The PR's acceptance bar: replaying a trace through the loopback transport
+// must produce a bitwise-identical model and identical per-request outcomes
+// to the in-process service path — at 1 and 4 threads, under an active
+// fault plan, and across a killed-and-resumed mid-request cycle. Network
+// accounting (wire bytes, net seconds) is out-of-band, so stripping those
+// report lines must leave the two JSONs byte-identical.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "net/replay.h"
+#include "serve/service.h"
+#include "test_federation.h"
+
+namespace quickdrop::net {
+namespace {
+
+using testing::expect_states_bitwise_equal;
+using testing::MiniFederation;
+using testing::ThreadGuard;
+
+serve::ServiceRequest class_request(int target, double arrival) {
+  serve::ServiceRequest request;
+  request.kind = serve::RequestKind::kClass;
+  request.target = target;
+  request.arrival_seconds = arrival;
+  return request;
+}
+
+std::vector<serve::ServiceRequest> clustered_trace() {
+  return {class_request(1, 0.0), class_request(2, 5.0), class_request(3, 9.0)};
+}
+
+serve::CostModel slow_rounds() {
+  serve::CostModel cost;
+  cost.seconds_per_round = 50.0;
+  cost.seconds_per_sample_grad = 0.0;
+  return cost;
+}
+
+/// Drops the out-of-band network overlay lines — the same gate filter
+/// scripts/run_all.sh applies before diffing inproc vs loopback reports.
+std::string strip_net_lines(const std::string& json) {
+  std::istringstream in(json);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"transport\"") != std::string::npos) continue;
+    if (line.find("\"wire_") != std::string::npos) continue;
+    if (line.find("\"net_") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+struct RunResult {
+  nn::ModelState state;
+  serve::ServiceReport report;
+  std::string json;
+  ReplayClientResult client;  ///< loopback runs only
+};
+
+RunResult run_inproc(serve::SchedulerPolicy policy, int threads, core::QuickDropConfig cfg,
+                     const std::vector<serve::ServiceRequest>& trace) {
+  set_num_threads(threads);
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+  const auto trained = qd->train();
+  serve::ServiceConfig config;
+  config.policy = policy;
+  config.cost_model = slow_rounds();
+  serve::UnlearningService service(qd, trained, config);
+  RunResult out{.state = {}, .report = service.run(trace), .json = {}, .client = {}};
+  out.state = service.state();
+  out.json = out.report.to_json();
+  return out;
+}
+
+RunResult run_loopback(serve::SchedulerPolicy policy, int threads, core::QuickDropConfig cfg,
+                       const std::vector<serve::ServiceRequest>& trace,
+                       core::UnlearnCursorCallback cursor_callback = {}) {
+  set_num_threads(threads);
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+  const auto trained = qd->train();
+  const std::uint64_t hash = qd->state_layout()->hash();
+
+  ReplayConfig config;
+  config.service.policy = policy;
+  config.service.cost_model = slow_rounds();
+  config.service.transport = "loopback";
+  config.service.wire_bytes_per_second = 1e6;
+  config.service.cursor_callback = std::move(cursor_callback);
+  config.codec = fl::Codec::kInt8;
+
+  // Loopback writes never block, so one thread drives all three phases:
+  // send the whole trace, serve it, then collect acks + report.
+  auto pair = make_loopback();
+  replay_send_trace(*pair.client, trace, "test-tenant", hash);
+  NetReplaySession session(qd, trained, config);
+  RunResult out{.state = {}, .report = session.run(*pair.server), .json = {}, .client = {}};
+  out.client = replay_collect(*pair.client, hash);
+  out.state = session.state();
+  out.json = out.report.to_json();
+  return out;
+}
+
+TEST(LoopbackReplay, BitIdenticalToInProcessAtOneAndFourThreads) {
+  ThreadGuard guard;
+  const auto cfg = MiniFederation::config();
+  const auto trace = clustered_trace();
+
+  const auto inproc = run_inproc(serve::SchedulerPolicy::kCoalesce, 1, cfg, trace);
+  for (const int threads : {1, 4}) {
+    const auto loop = run_loopback(serve::SchedulerPolicy::kCoalesce, threads, cfg, trace);
+    expect_states_bitwise_equal(inproc.state, loop.state, "loopback vs inproc");
+    // Identical modulo the out-of-band network overlay...
+    EXPECT_EQ(strip_net_lines(inproc.json), strip_net_lines(loop.json)) << threads;
+    EXPECT_NE(inproc.json, loop.json);  // ...which really is present.
+
+    // Per-request outcomes arrive as acks, in trace order, with queue ids.
+    ASSERT_EQ(loop.client.acks.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_TRUE(loop.client.acks[i].accepted) << i;
+      EXPECT_EQ(loop.client.acks[i].id, static_cast<std::int64_t>(i));
+    }
+    // The client's report frame is the server's report, byte for byte.
+    EXPECT_EQ(loop.client.report_json, loop.json);
+  }
+}
+
+TEST(LoopbackReplay, BitIdenticalAcrossThreadCountsUnderFaultPlan) {
+  ThreadGuard guard;
+  auto cfg = MiniFederation::config();
+  fl::FaultRates rates;
+  rates.crash = 0.15f;
+  rates.corrupt_nan = 0.1f;
+  rates.straggler = 0.1f;
+  cfg.faults = fl::FaultPlan(77, rates);
+  cfg.defense.min_quorum = 0.25f;
+  cfg.defense.max_round_attempts = 2;
+  const auto trace = clustered_trace();
+
+  const auto inproc = run_inproc(serve::SchedulerPolicy::kFifo, 1, cfg, trace);
+  const auto serial = run_loopback(serve::SchedulerPolicy::kFifo, 1, cfg, trace);
+  const auto parallel = run_loopback(serve::SchedulerPolicy::kFifo, 4, cfg, trace);
+
+  expect_states_bitwise_equal(inproc.state, serial.state, "faulted loopback vs inproc");
+  expect_states_bitwise_equal(serial.state, parallel.state, "faulted 1 vs 4 threads");
+  // Between loopback runs even the wire columns must agree, so the whole
+  // JSON is comparable; against inproc only the overlay differs.
+  EXPECT_EQ(serial.json, parallel.json);
+  EXPECT_EQ(strip_net_lines(inproc.json), strip_net_lines(serial.json));
+}
+
+TEST(LoopbackReplay, WireAccountingIsPresentAndOutOfBand) {
+  ThreadGuard guard;
+  const auto cfg = MiniFederation::config();
+  const auto loop = run_loopback(serve::SchedulerPolicy::kCoalesce, 1, cfg, clustered_trace());
+
+  EXPECT_EQ(loop.report.transport, "loopback");
+  EXPECT_GT(loop.report.wire_request_bytes, 0);
+  EXPECT_GT(loop.report.wire_ack_bytes, 0);
+  EXPECT_GT(loop.report.wire_state_bytes_raw, 0);
+  // int8 quantization must beat shipping raw float32 state.
+  EXPECT_LT(loop.report.wire_state_bytes_quantized, loop.report.wire_state_bytes_raw);
+  for (const auto& metrics : loop.report.completed) {
+    EXPECT_GT(metrics.wire_bytes, 0) << metrics.id;
+    // net_seconds = wire_bytes / wire_bytes_per_second, out-of-band.
+    EXPECT_DOUBLE_EQ(metrics.net_seconds,
+                     static_cast<double>(metrics.wire_bytes) / 1e6);
+  }
+  // Out-of-band means the sim clock never saw the network.
+  const auto inproc = run_inproc(serve::SchedulerPolicy::kCoalesce, 1, cfg, clustered_trace());
+  EXPECT_EQ(loop.report.sim_clock_seconds, inproc.report.sim_clock_seconds);
+}
+
+TEST(LoopbackReplay, AcksCarryRejectionsIdenticalToInProcess) {
+  ThreadGuard guard;
+  const auto cfg = MiniFederation::config();
+  auto trace = clustered_trace();
+  trace.push_back(class_request(2, 10.0));   // duplicate of a pending request
+  trace.push_back(class_request(99, 11.0));  // out of range
+
+  const auto inproc = run_inproc(serve::SchedulerPolicy::kCoalesce, 1, cfg, trace);
+  const auto loop = run_loopback(serve::SchedulerPolicy::kCoalesce, 1, cfg, trace);
+
+  expect_states_bitwise_equal(inproc.state, loop.state, "with rejections");
+  EXPECT_EQ(strip_net_lines(inproc.json), strip_net_lines(loop.json));
+  ASSERT_EQ(loop.client.acks.size(), 5u);
+  EXPECT_FALSE(loop.client.acks[3].accepted);
+  EXPECT_EQ(loop.client.acks[3].reason, serve::RejectReason::kDuplicatePending);
+  EXPECT_FALSE(loop.client.acks[4].accepted);
+  EXPECT_EQ(loop.client.acks[4].reason, serve::RejectReason::kTargetOutOfRange);
+  ASSERT_EQ(loop.report.rejected.size(), 2u);
+  EXPECT_EQ(inproc.report.rejected.size(), 2u);
+}
+
+TEST(LoopbackReplay, KilledMidRequestResumesBitwiseIdentical) {
+  ThreadGuard guard;
+  const auto cfg = MiniFederation::config();
+  const auto request = class_request(1, 0.0);
+
+  // Uninterrupted loopback replay of one request at 1 thread, checkpointing
+  // mid-recovery exactly as a crash-safe deployment would (serve --resume).
+  std::vector<std::uint8_t> checkpoint_bytes;
+  nn::ModelState full_state;
+  {
+    std::shared_ptr<core::QuickDrop> qd_for_cb;
+    set_num_threads(1);
+    MiniFederation fed;
+    auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+    qd_for_cb = qd;
+    const auto trained = qd->train();
+    const std::uint64_t hash = qd->state_layout()->hash();
+    ReplayConfig config;
+    config.service.transport = "loopback";
+    config.service.cursor_callback = [&](const core::UnlearnCursor& cursor,
+                                         const nn::ModelState& state) {
+      if (cursor.phase != core::UnlearnCursor::kPhaseRecover || cursor.rounds_done != 1) {
+        return;
+      }
+      auto cp = core::make_checkpoint(state, qd_for_cb->stores());
+      cp.cursor = core::RoundCursor{.phase = "recover",
+                                    .rounds_done = cursor.rounds_done,
+                                    .rng_state = cursor.rng_state};
+      checkpoint_bytes = core::serialize_checkpoint(cp);
+    };
+    auto pair = make_loopback();
+    replay_send_trace(*pair.client, {request}, "t", hash);
+    NetReplaySession session(qd, trained, config);
+    session.run(*pair.server);
+    replay_collect(*pair.client, hash);
+    full_state = session.state();
+  }
+  ASSERT_FALSE(checkpoint_bytes.empty());
+
+  // A fresh coordinator (same seed, no training) restores the checkpoint and
+  // resumes the in-flight recovery at 4 threads: bitwise-identical landing.
+  set_num_threads(4);
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+  const auto cp = core::deserialize_checkpoint(checkpoint_bytes);
+  ASSERT_TRUE(cp.cursor.has_value());
+  qd->load_stores(core::restore_stores(cp));
+  serve::Executor executor(qd, serve::CostModel{});
+  core::UnlearnCursor resume;
+  resume.phase = core::UnlearnCursor::kPhaseRecover;
+  resume.rounds_done = cp.cursor->rounds_done;
+  resume.rng_state = cp.cursor->rng_state;
+  const auto resumed = executor.execute(cp.global, {request}, {}, &resume);
+
+  expect_states_bitwise_equal(full_state, resumed.state, "resumed loopback replay");
+  EXPECT_TRUE(qd->forgotten_classes().count(1));
+}
+
+}  // namespace
+}  // namespace quickdrop::net

@@ -1,0 +1,175 @@
+// Real-socket coverage for the POSIX transport: ephemeral-port listeners,
+// frame round trips over TCP, a full replay session across a real
+// connection, and the poll-based HTTP accept loop. Each test runs server
+// and client as two chunks on a private two-executor pool; environments
+// that forbid binding 127.0.0.1 skip instead of failing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/replay.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "test_federation.h"
+#include "util/thread_pool.h"
+
+namespace quickdrop::net {
+namespace {
+
+using testing::expect_states_bitwise_equal;
+using testing::MiniFederation;
+using testing::ThreadGuard;
+
+constexpr std::uint64_t kHash = 0xABCD1234ULL;
+
+/// Binds an ephemeral listener, or nullptr when the sandbox forbids it.
+std::unique_ptr<TcpListener> try_listen() {
+  try {
+    return std::make_unique<TcpListener>(0);
+  } catch (const NetError&) {
+    return nullptr;
+  }
+}
+
+TEST(Socket, ListenerReportsEphemeralPort) {
+  const auto listener = try_listen();
+  if (!listener) GTEST_SKIP() << "cannot bind 127.0.0.1 in this environment";
+  EXPECT_GT(listener->port(), 0);
+}
+
+TEST(Socket, FrameRoundTripOverTcp) {
+  auto listener = try_listen();
+  if (!listener) GTEST_SKIP() << "cannot bind 127.0.0.1 in this environment";
+
+  serve::ServiceRequest request;
+  request.kind = serve::RequestKind::kClass;
+  request.target = 2;
+  request.arrival_seconds = 1.5;
+
+  Frame echoed;
+  ThreadPool pool(2);
+  pool.run_chunks(2, [&](int chunk) {
+    if (chunk == 0) {
+      auto conn = listener->accept_conn();
+      const auto frame = read_frame(*conn, kHash);
+      ASSERT_TRUE(frame.has_value());
+      write_frame(*conn, *frame);  // echo back
+      conn->finish_write();
+      EXPECT_FALSE(read_frame(*conn, kHash).has_value());
+    } else {
+      auto conn = tcp_connect("127.0.0.1", listener->port());
+      write_frame(*conn, make_request_frame({request, "tcp-tenant"}, kHash));
+      conn->finish_write();
+      const auto back = read_frame(*conn, kHash);
+      ASSERT_TRUE(back.has_value());
+      echoed = *back;
+    }
+  });
+
+  EXPECT_EQ(echoed.type, FrameType::kUnlearnRequest);
+  const auto wire = decode_request_payload(echoed.payload);
+  EXPECT_EQ(wire.tenant, "tcp-tenant");
+  EXPECT_EQ(wire.request.target, 2);
+  EXPECT_EQ(wire.request.arrival_seconds, 1.5);
+}
+
+TEST(Socket, ReplaySessionOverTcpMatchesLoopback) {
+  ThreadGuard guard;
+  auto listener = try_listen();
+  if (!listener) GTEST_SKIP() << "cannot bind 127.0.0.1 in this environment";
+
+  set_num_threads(1);
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients,
+                                              MiniFederation::config(), 99);
+  const auto trained = qd->train();
+  const std::uint64_t hash = qd->state_layout()->hash();
+
+  serve::ServiceRequest request;
+  request.kind = serve::RequestKind::kClass;
+  request.target = 1;
+
+  ReplayConfig config;
+  config.service.transport = "tcp";
+  NetReplaySession session(qd, trained, config);
+  ReplayClientResult client;
+  serve::ServiceReport report;
+
+  ThreadPool pool(2);
+  pool.run_chunks(2, [&](int chunk) {
+    if (chunk == 0) {
+      auto conn = listener->accept_conn();
+      report = session.run(*conn);
+    } else {
+      auto conn = tcp_connect("127.0.0.1", listener->port());
+      client = replay_trace_client(*conn, {request}, "tcp-tenant", hash);
+    }
+  });
+
+  ASSERT_EQ(client.acks.size(), 1u);
+  EXPECT_TRUE(client.acks[0].accepted);
+  EXPECT_EQ(client.report_json, report.to_json());
+  EXPECT_EQ(report.transport, "tcp");
+  EXPECT_EQ(report.completed.size(), 1u);
+  EXPECT_TRUE(qd->forgotten_classes().count(1));
+}
+
+TEST(Socket, ServeHttpAnswersOverTcpAndHonoursStop) {
+  auto listener = try_listen();
+  if (!listener) GTEST_SKIP() << "cannot bind 127.0.0.1 in this environment";
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> idle_ticks{0};
+  std::string response;
+
+  ThreadPool pool(2);
+  pool.run_chunks(2, [&](int chunk) {
+    if (chunk == 0) {
+      serve_http(
+          *listener,
+          [](const HttpRequest& request) {
+            return HttpResponse{.status = 200, .body = "{\"echo\": \"" + request.target + "\"}"};
+          },
+          [&] { ++idle_ticks; }, [&] { return stop.load(); }, /*idle_timeout_ms=*/10);
+    } else {
+      auto conn = tcp_connect("127.0.0.1", listener->port());
+      const std::string wire = "GET /ping HTTP/1.1\r\n\r\n";
+      conn->write_all(std::span(reinterpret_cast<const std::uint8_t*>(wire.data()),
+                                wire.size()));
+      conn->finish_write();
+      std::uint8_t buf[512];
+      while (const auto n = conn->read_some(buf)) {
+        response.append(reinterpret_cast<const char*>(buf), n);
+      }
+      stop.store(true);
+    }
+  });
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("{\"echo\": \"/ping\"}"), std::string::npos);
+  EXPECT_GE(idle_ticks.load(), 0);
+}
+
+TEST(Socket, ConnectToClosedPortThrowsIoFailure) {
+  // Bind then immediately destroy the listener to find a port that is very
+  // likely closed; a refused connect must surface as a typed NetError.
+  std::uint16_t port = 0;
+  {
+    const auto listener = try_listen();
+    if (!listener) GTEST_SKIP() << "cannot bind 127.0.0.1 in this environment";
+    port = listener->port();
+  }
+  try {
+    tcp_connect("127.0.0.1", port);
+    GTEST_SKIP() << "port was re-bound between tests";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.code, NetErrorCode::kIoFailure);
+  }
+}
+
+}  // namespace
+}  // namespace quickdrop::net

@@ -111,6 +111,7 @@ struct FileContext {
   bool is_thread_pool = false;  // src/util/thread_pool.* — the one home of raw threads
   bool is_logging = false;      // src/util/logging.* — the one home of raw I/O
   bool is_durable_io = false;   // src/store/*, src/util/* — the home of raw durable writes
+  bool is_net_io = false;       // src/net/* — the one home of raw socket calls
 };
 
 /// Classifies `relpath` (repo-relative, '/'-separated).

@@ -18,6 +18,7 @@ const std::vector<std::string> kAllRules = {
     "conc-static-local",  "conc-simd-store", "conc-lock-scope", "conc-unguarded-global",
     "num-float-eq",      "num-simd-lane-eq", "num-narrow-literal",
     "api-raw-io",         "api-pragma-once", "api-flatstate",   "api-durable-io",
+    "api-net-io",
     "arch-layer-violation", "arch-include-cycle",
 };
 
@@ -573,6 +574,40 @@ void rule_durable_io(Ctx& c) {
   }
 }
 
+void rule_net_io(Ctx& c) {
+  // Raw socket traffic outside src/net bypasses the typed NetError handling,
+  // the EINTR discipline and the Io seam that keeps the whole protocol stack
+  // testable over an in-memory loopback. src/net is the rule's home and is
+  // exempt; everything else goes through net::Io / net::TcpConn.
+  if (c.file.is_net_io) return;
+  static const char* const kSocketCalls[] = {"socket",   "accept", "bind",       "listen",
+                                             "connect",  "recv",   "recvfrom",   "send",
+                                             "sendto",   "poll",   "setsockopt", "shutdown"};
+  const char* hint =
+      "route network I/O through net::Io / net::TcpConn (src/net), which are "
+      "EINTR-safe and loopback-testable; NOLINT(qdlint-api-net-io) if this "
+      "is genuinely not socket traffic";
+  for (std::size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = c.toks[i].text;
+    bool named = false;
+    for (const char* call : kSocketCalls) named = named || t == call;
+    if (!named || !c.punct(i + 1, "(")) continue;
+    // Member access (conn.send(...)) and namespace qualification (std::bind,
+    // Channel::listen) are not the POSIX calls — but a global-scope ::send
+    // is exactly what the rule is after.
+    if (c.member_or_qualified(i)) {
+      const bool global_scope =
+          c.punct(i - 1, "::") && (i < 2 || c.toks[i - 2].kind != TokKind::kIdent);
+      if (!global_scope) continue;
+    } else if (i > 0 && c.toks[i - 1].kind == TokKind::kIdent &&
+               c.toks[i - 1].text != "return") {
+      continue;  // a declaration like `void send(...)`, not a call
+    }
+    c.report("api-net-io", c.toks[i], "raw " + t + "() outside src/net", hint);
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& all_rules() { return kAllRules; }
@@ -591,6 +626,7 @@ FileContext classify(const std::string& relpath) {
   ctx.is_thread_pool = starts("src/util/thread_pool.");
   ctx.is_logging = starts("src/util/logging.");
   ctx.is_durable_io = starts("src/store/") || starts("src/util/");
+  ctx.is_net_io = starts("src/net/");
   return ctx;
 }
 
@@ -618,6 +654,7 @@ std::vector<Finding> analyze_lexed(const FileContext& ctx, const LexResult& lexe
   rule_pragma_once(c);
   rule_flatstate(c);
   rule_durable_io(c);
+  rule_net_io(c);
   detail::rule_lock_scope(ctx, lexed, findings);
   detail::rule_iter_order_escape(ctx, lexed, findings);
   std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
