@@ -229,7 +229,10 @@ HttpResponse ApiService::handle(const HttpRequest& request) {
       return HttpResponse{.status = 405, .body = "{\"error\": \"use GET\"}\n"};
     }
     const std::string id_text = request.target.substr(9);
-    if (id_text.empty() || id_text.find_first_not_of("0123456789") != std::string::npos) {
+    // 18 digits keeps std::stoll inside int64 range; anything longer would
+    // throw out_of_range and surface as a 500 instead of a bad request.
+    if (id_text.empty() || id_text.size() > 18 ||
+        id_text.find_first_not_of("0123456789") != std::string::npos) {
       return HttpResponse{.status = 400, .body = "{\"error\": \"bad request id\"}\n"};
     }
     return handle_request_status(std::stoll(id_text));

@@ -162,6 +162,59 @@ void write_response(Io& io, const HttpResponse& response) {
       reinterpret_cast<const std::uint8_t*>(head.data()), head.size()));
 }
 
+namespace {
+
+/// Sends a response to a peer that may already be gone. A client that resets
+/// or half-closes before we answer must cost us the connection, never an
+/// exception out of the serving loop. Returns false when the write failed.
+bool try_write_response(Io& io, const HttpResponse& response) {
+  try {
+    write_response(io, response);
+    return true;
+  } catch (const NetError& e) {
+    QD_LOG_WARN << "http: peer gone mid-response: " << e.what();
+    return false;
+  }
+}
+
+/// Io adapter that bounds how long a connection may sit silent: each read
+/// polls in `poll_ms` slices, running the idle hook every slice so admitted
+/// work keeps draining while a peer dawdles, and drops the connection with
+/// kTimeout once `idle_limit_ms` passes with no bytes.
+class TimedConnIo : public Io {
+ public:
+  TimedConnIo(TcpConn& conn, const std::function<void()>& idle_hook, int poll_ms,
+              int idle_limit_ms)
+      : conn_(conn),
+        idle_hook_(idle_hook),
+        poll_ms_(poll_ms > 0 ? poll_ms : 1),
+        idle_limit_ms_(idle_limit_ms) {}
+
+  std::size_t read_some(std::span<std::uint8_t> buf) override {
+    int idle_ms = 0;
+    while (!conn_.wait_readable(poll_ms_)) {
+      if (idle_hook_) idle_hook_();
+      idle_ms += poll_ms_;
+      if (idle_limit_ms_ >= 0 && idle_ms >= idle_limit_ms_) {
+        throw NetError(NetErrorCode::kTimeout,
+                       "connection idle past " + std::to_string(idle_limit_ms_) + "ms");
+      }
+    }
+    return conn_.read_some(buf);
+  }
+  void write_all(std::span<const std::uint8_t> bytes) override { conn_.write_all(bytes); }
+  void finish_write() override { conn_.finish_write(); }
+  bool poll_readable(int timeout_ms) override { return conn_.poll_readable(timeout_ms); }
+
+ private:
+  TcpConn& conn_;
+  const std::function<void()>& idle_hook_;
+  int poll_ms_;
+  int idle_limit_ms_;
+};
+
+}  // namespace
+
 void serve_http_conn(Io& io, const HttpHandler& handler) {
   HttpConnReader reader(io);
   for (;;) {
@@ -170,9 +223,13 @@ void serve_http_conn(Io& io, const HttpHandler& handler) {
       request = reader.next();
     } catch (const NetError& e) {
       QD_LOG_WARN << "http: dropping connection: " << e.what();
-      write_response(io, HttpResponse{.status = 400,
-                                      .body = std::string("{\"error\": \"") +
-                                              net_error_name(e.code) + "\"}\n"});
+      // Only a grammar violation earns a 400 — on a transport failure or
+      // idle timeout the peer is not listening for one.
+      if (e.code == NetErrorCode::kMalformedHttp) {
+        try_write_response(io, HttpResponse{.status = 400,
+                                            .body = std::string("{\"error\": \"") +
+                                                    net_error_name(e.code) + "\"}\n"});
+      }
       break;
     }
     if (!request) break;
@@ -183,21 +240,31 @@ void serve_http_conn(Io& io, const HttpHandler& handler) {
       QD_LOG_ERROR << "http: handler failed: " << e.what();
       response = HttpResponse{.status = 500, .body = "{\"error\": \"internal\"}\n"};
     }
-    write_response(io, response);
+    if (!try_write_response(io, response)) return;  // dead peer: skip half-close
   }
-  io.finish_write();
+  try {
+    io.finish_write();
+  } catch (const NetError& e) {
+    QD_LOG_WARN << "http: half-close failed: " << e.what();
+  }
 }
 
 void serve_http(TcpListener& listener, const HttpHandler& handler,
                 const std::function<void()>& idle_hook, const std::function<bool()>& stop,
-                int idle_timeout_ms) {
+                int idle_timeout_ms, int conn_idle_limit_ms) {
   while (!stop()) {
     if (!listener.wait_pending(idle_timeout_ms)) {
       if (idle_hook) idle_hook();
       continue;
     }
-    const auto conn = listener.accept_conn();
-    serve_http_conn(*conn, handler);
+    try {
+      const auto conn = listener.accept_conn();
+      TimedConnIo timed(*conn, idle_hook, idle_timeout_ms, conn_idle_limit_ms);
+      serve_http_conn(timed, handler);
+    } catch (const NetError& e) {
+      // One broken or stalled client must never take down the accept loop.
+      QD_LOG_WARN << "http: connection aborted: " << e.what();
+    }
   }
 }
 

@@ -79,15 +79,22 @@ using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 /// Serves one connection until the peer half-closes, routing every request
 /// through `handler`. Handler exceptions become 500 responses; NetError with
-/// kMalformedHttp becomes 400 and closes the connection.
+/// kMalformedHttp becomes 400 and closes the connection. Transport failures
+/// (peer reset mid-response, idle timeout) drop the connection without
+/// propagating — this function never throws for peer misbehavior.
 void serve_http_conn(Io& io, const HttpHandler& handler);
 
 /// Poll-based accept loop over a TCP listener. Connections are serviced one
 /// at a time; whenever no connection is pending for `idle_timeout_ms`, the
-/// idle hook runs (the unlearning service drains admitted requests there).
-/// Returns when `stop` returns true (checked between connections).
+/// idle hook runs (the unlearning service drains admitted requests there) —
+/// and it keeps running in `idle_timeout_ms` slices while a connected peer
+/// is silent, so a dawdling client cannot starve admitted work. A connection
+/// with no bytes for `conn_idle_limit_ms` is dropped (pass a negative limit
+/// to wait forever). A connection that fails mid-service is logged and the
+/// loop keeps accepting. Returns when `stop` returns true (checked between
+/// connections).
 void serve_http(TcpListener& listener, const HttpHandler& handler,
                 const std::function<void()>& idle_hook, const std::function<bool()>& stop,
-                int idle_timeout_ms = 50);
+                int idle_timeout_ms = 50, int conn_idle_limit_ms = 5000);
 
 }  // namespace quickdrop::net

@@ -1,5 +1,6 @@
 #include "net/io.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -19,6 +20,7 @@ const char* net_error_name(NetErrorCode code) {
     case NetErrorCode::kBadPayload: return "bad-payload";
     case NetErrorCode::kMalformedHttp: return "malformed-http";
     case NetErrorCode::kClosed: return "closed";
+    case NetErrorCode::kTimeout: return "timeout";
     case NetErrorCode::kIoFailure: return "io-failure";
   }
   return "unknown";
@@ -79,6 +81,13 @@ struct Channel {
     }
     readable.notify_all();
   }
+
+  bool poll(int timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex);
+    const auto ready = [&] { return !bytes.empty() || finished; };
+    if (timeout_ms <= 0) return ready();
+    return readable.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready);
+  }
 };
 
 /// An Io endpoint reading from one channel and writing to the other.
@@ -91,6 +100,7 @@ class LoopbackIo : public Io {
   std::size_t read_some(std::span<std::uint8_t> buf) override { return in_->read(buf); }
   void write_all(std::span<const std::uint8_t> bytes) override { out_->write(bytes); }
   void finish_write() override { out_->finish(); }
+  bool poll_readable(int timeout_ms) override { return in_->poll(timeout_ms); }
 
  private:
   std::shared_ptr<Channel> in_;

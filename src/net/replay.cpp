@@ -13,6 +13,22 @@ std::int64_t frame_wire_bytes(const Frame& frame) {
                                    kFrameTrailerBytes);
 }
 
+/// Folds one server->client frame (ack or report) into the client result.
+void absorb_server_frame(ReplayClientResult& result, const Frame& frame) {
+  result.bytes_received += frame_wire_bytes(frame);
+  switch (frame.type) {
+    case FrameType::kAck:
+      result.acks.push_back(decode_ack_payload(frame.payload));
+      break;
+    case FrameType::kReport:
+      result.report_json.assign(frame.payload.begin(), frame.payload.end());
+      break;
+    default:
+      throw NetError(NetErrorCode::kBadPayload,
+                     "replay client: unexpected frame type from server");
+  }
+}
+
 /// RequestSource decoding frames off an Io stream. peek() blocks on the
 /// underlying read; requests are delivered in frame order, which the replay
 /// client guarantees is trace order — so the service loop sees exactly the
@@ -104,26 +120,39 @@ ReplayClientResult replay_collect(Io& io, std::uint64_t layout_hash) {
   for (;;) {
     auto frame = read_frame(io, layout_hash);
     if (!frame) break;
-    result.bytes_received += frame_wire_bytes(*frame);
-    switch (frame->type) {
-      case FrameType::kAck:
-        result.acks.push_back(decode_ack_payload(frame->payload));
-        break;
-      case FrameType::kReport:
-        result.report_json.assign(frame->payload.begin(), frame->payload.end());
-        break;
-      default:
-        throw NetError(NetErrorCode::kBadPayload,
-                       "replay client: unexpected frame type from server");
-    }
+    absorb_server_frame(result, *frame);
   }
   return result;
 }
 
 ReplayClientResult replay_trace_client(Io& io, const std::vector<serve::ServiceRequest>& trace,
                                        const std::string& tenant, std::uint64_t layout_hash) {
-  replay_send_trace(io, trace, tenant, layout_hash);
-  return replay_collect(io, layout_hash);
+  ReplayClientResult result;
+  bool server_closed = false;
+  for (const auto& request : trace) {
+    // Drain every ack the server has already pushed before each send. The
+    // server writes an ack per admission on the same socket, so a client
+    // that sent a large trace without reading could fill both kernel
+    // buffers and deadlock against the server's blocking ack write; a
+    // drained ack direction keeps the server's writes from ever blocking.
+    while (!server_closed && io.poll_readable(0)) {
+      auto frame = read_frame(io, layout_hash);
+      if (!frame) {
+        server_closed = true;
+        break;
+      }
+      absorb_server_frame(result, *frame);
+    }
+    io.write_all(encode_frame(make_request_frame({request, tenant}, layout_hash)));
+  }
+  io.write_all(encode_frame(make_end_frame(layout_hash)));
+  io.finish_write();
+  while (!server_closed) {
+    auto frame = read_frame(io, layout_hash);
+    if (!frame) break;
+    absorb_server_frame(result, *frame);
+  }
+  return result;
 }
 
 NetReplaySession::NetReplaySession(std::shared_ptr<core::QuickDrop> quickdrop,

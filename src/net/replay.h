@@ -54,7 +54,10 @@ struct ReplayClientResult {
 ReplayClientResult replay_collect(Io& io, std::uint64_t layout_hash);
 
 /// send + collect on one thread (the TCP client path; requires the session
-/// to run concurrently on another thread or process).
+/// to run concurrently on another thread or process). Acks are drained
+/// opportunistically between sends (Io::poll_readable) so the server's
+/// per-admission ack writes can never back up against a large trace and
+/// deadlock both blocking ends of the socket.
 ReplayClientResult replay_trace_client(Io& io, const std::vector<serve::ServiceRequest>& trace,
                                        const std::string& tenant, std::uint64_t layout_hash);
 

@@ -141,16 +141,30 @@ std::unique_ptr<TcpConn> tcp_connect(const std::string& host, std::uint16_t port
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
-  for (;;) {
-    if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr)) == 0) {
-      return std::make_unique<TcpConn>(fd);
+  int err = 0;
+  if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EINTR) {
+      // POSIX: after EINTR the connect continues asynchronously, and calling
+      // connect() again reports EALREADY even when the attempt is succeeding.
+      // Wait for the socket to settle and read the real outcome instead.
+      try {
+        poll_one(fd, POLLOUT, -1);
+      } catch (...) {
+        ::close(fd);
+        throw;
+      }
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) err = errno;
+    } else {
+      err = errno;
     }
-    if (errno == EINTR) continue;
-    const int saved = errno;
+  }
+  if (err != 0) {
     ::close(fd);
-    errno = saved;
+    errno = err;
     throw_errno("connect to " + numeric + ":" + std::to_string(port));
   }
+  return std::make_unique<TcpConn>(fd);
 }
 
 }  // namespace quickdrop::net

@@ -121,6 +121,49 @@ TEST(HttpParser, WriteResponseFormatsStatusAndLength) {
   EXPECT_NE(got.find("\r\n\r\n{\"id\": 1}"), std::string::npos);
 }
 
+TEST(HttpParser, ServeConnAnswersMalformedWith400) {
+  auto pair = make_loopback();
+  const std::string wire = "GARBAGE\r\n\r\n";
+  pair.client->write_all(
+      std::span(reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size()));
+  pair.client->finish_write();
+  serve_http_conn(*pair.server,
+                  [](const HttpRequest&) { return HttpResponse{.status = 200}; });
+  std::string got;
+  std::uint8_t buf[256];
+  while (const auto n = pair.client->read_some(buf)) {
+    got.append(reinterpret_cast<const char*>(buf), n);
+  }
+  EXPECT_NE(got.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(got.find("malformed-http"), std::string::npos);
+}
+
+/// Io whose reads come from a prepared stream but whose writes fail the way
+/// a peer that reset the connection makes TcpConn::write_all fail.
+class BrokenWriteIo : public Io {
+ public:
+  explicit BrokenWriteIo(std::shared_ptr<Io> in) : in_(std::move(in)) {}
+  std::size_t read_some(std::span<std::uint8_t> buf) override { return in_->read_some(buf); }
+  void write_all(std::span<const std::uint8_t>) override {
+    throw NetError(NetErrorCode::kIoFailure, "peer reset");
+  }
+  void finish_write() override { throw NetError(NetErrorCode::kIoFailure, "peer reset"); }
+
+ private:
+  std::shared_ptr<Io> in_;
+};
+
+TEST(HttpParser, ServeConnSurvivesPeerGoneBeforeResponse) {
+  // Valid request and malformed garbage: in both cases the peer is gone by
+  // response time, and the failed write must stay inside the connection.
+  for (const char* wire : {"GET /ping HTTP/1.1\r\n\r\n", "GARBAGE\r\n\r\n"}) {
+    BrokenWriteIo io(feed(wire));
+    EXPECT_NO_THROW(serve_http_conn(
+        io, [](const HttpRequest&) { return HttpResponse{.status = 200, .body = "{}"}; }))
+        << wire;
+  }
+}
+
 TEST(HttpParser, ServeConnTurnsHandlerExceptionsInto500) {
   auto pair = make_loopback();
   const std::string wire = "GET /boom HTTP/1.1\r\n\r\n";
@@ -238,6 +281,8 @@ TEST(ApiService, RejectsBadRequestsWithTypedJson) {
   EXPECT_EQ(fx.api->handle(post_unlearn(R"({"kind": "class"})")).status, 400);
   EXPECT_EQ(fx.api->handle(get("/unlearn")).status, 405);
   EXPECT_EQ(fx.api->handle(get("/request/abc")).status, 400);
+  // All digits but past int64: must be a 400, not an out_of_range 500.
+  EXPECT_EQ(fx.api->handle(get("/request/99999999999999999999")).status, 400);
   EXPECT_EQ(fx.api->handle(get("/nowhere")).status, 404);
 }
 

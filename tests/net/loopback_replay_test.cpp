@@ -15,6 +15,7 @@
 #include "net/replay.h"
 #include "serve/service.h"
 #include "test_federation.h"
+#include "util/thread_pool.h"
 
 namespace quickdrop::net {
 namespace {
@@ -108,6 +109,58 @@ RunResult run_loopback(serve::SchedulerPolicy policy, int threads, core::QuickDr
   out.state = session.state();
   out.json = out.report.to_json();
   return out;
+}
+
+TEST(LoopbackIo, PollReadableReflectsBufferedBytesAndEof) {
+  auto pair = make_loopback();
+  EXPECT_FALSE(pair.server->poll_readable(0));
+  const std::uint8_t byte = 7;
+  pair.client->write_all(std::span(&byte, 1));
+  EXPECT_TRUE(pair.server->poll_readable(0));
+  std::uint8_t out[4];
+  EXPECT_EQ(pair.server->read_some(out), 1u);
+  EXPECT_FALSE(pair.server->poll_readable(0));
+  pair.client->finish_write();
+  // End-of-stream counts as readable: read_some returns 0 without blocking.
+  EXPECT_TRUE(pair.server->poll_readable(0));
+  EXPECT_EQ(pair.server->read_some(out), 0u);
+}
+
+TEST(LoopbackReplay, TraceClientDrainsAcksBetweenSends) {
+  // A hand-rolled server acks every request the moment it arrives, so acks
+  // race the client's remaining sends. The client must drain them between
+  // sends (this is what keeps a large TCP trace from deadlocking against
+  // the server's blocking ack writes) and still assemble them in order.
+  constexpr std::uint64_t kHash = 0x5EED0001ULL;
+  constexpr int kRequests = 64;
+  auto pair = make_loopback();
+  ReplayClientResult result;
+  ThreadPool pool(2);
+  pool.run_chunks(2, [&](int chunk) {
+    if (chunk == 0) {
+      std::int64_t next_id = 0;
+      for (;;) {
+        const auto frame = read_frame(*pair.server, kHash);
+        if (!frame || frame->type == FrameType::kEndOfTrace) break;
+        WireAck ack;
+        ack.accepted = true;
+        ack.id = next_id++;
+        write_frame(*pair.server, make_ack_frame(ack, kHash));
+      }
+      write_frame(*pair.server, make_report_frame("{\"ok\": true}", kHash));
+      pair.server->finish_write();
+    } else {
+      const std::vector<serve::ServiceRequest> trace(kRequests, class_request(1, 0.0));
+      result = replay_trace_client(*pair.client, trace, "t", kHash);
+    }
+  });
+  ASSERT_EQ(result.acks.size(), static_cast<std::size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(result.acks[i].accepted) << i;
+    EXPECT_EQ(result.acks[i].id, i);
+  }
+  EXPECT_EQ(result.report_json, "{\"ok\": true}");
+  EXPECT_GT(result.bytes_received, 0);
 }
 
 TEST(LoopbackReplay, BitIdenticalToInProcessAtOneAndFourThreads) {
