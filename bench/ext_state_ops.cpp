@@ -18,6 +18,7 @@
 
 #include "fl/quantize.h"
 #include "nn/state.h"
+#include "nn/state_accumulator.h"
 #include "tensor/simd.h"
 #include "util/thread_pool.h"
 
@@ -162,6 +163,29 @@ void BM_WeightedAverageFlat(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * states.front().numel() * kClients);
 }
 BENCHMARK(BM_WeightedAverageFlat)->Arg(1)->Arg(4)->Arg(8);
+
+// Streaming counterpart (nn/state_accumulator.h): the same 16-client merge
+// folded one update at a time through a single-lane StateAccumulator — the
+// shard tree's inner loop. Produces bitwise-identical output to
+// weighted_average; the column shows what the O(params)-memory path costs
+// relative to the batch merge.
+void BM_WeightedAverageStreaming(benchmark::State& state) {
+  PoolScope pool(state.range(0));
+  std::vector<nn::ModelState> states;
+  for (int c = 0; c < kClients; ++c) {
+    states.push_back(make_flat(0.01f * static_cast<float>(c)));
+  }
+  nn::StateAccumulator acc(states.front().layout(), /*lanes=*/1);
+  const double w = 1.0 / static_cast<double>(kClients);
+  for (auto _ : state) {
+    for (const auto& s : states) acc.fold(s, w);
+    benchmark::DoNotOptimize(acc.finalize());
+    acc.reset();
+  }
+  state.counters["peak_bytes"] = static_cast<double>(acc.memory_bytes());
+  state.SetItemsProcessed(state.iterations() * states.front().numel() * kClients);
+}
+BENCHMARK(BM_WeightedAverageStreaming)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_WeightedAveragePerTensor(benchmark::State& state) {
   std::vector<std::vector<qd::Tensor>> states;

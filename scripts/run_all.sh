@@ -30,9 +30,10 @@ fi
 SAN_BUILD="${BUILD}-asan"
 {
   cmake -B "$SAN_BUILD" -S . -DQUICKDROP_SANITIZE="address;undefined" &&
-  cmake --build "$SAN_BUILD" -j --target fl_test core_test util_test \
+  cmake --build "$SAN_BUILD" -j --target fl_test core_test util_test nn_test \
     store_test store_crash_sweep_test lint_test lint_driver_test net_test &&
   "$SAN_BUILD"/tests/fl_test &&
+  "$SAN_BUILD"/tests/nn_test &&
   "$SAN_BUILD"/tests/core_test &&
   "$SAN_BUILD"/tests/util_test &&
   "$SAN_BUILD"/tests/store_test &&
@@ -51,9 +52,10 @@ TSAN_BUILD="${BUILD}-tsan"
 {
   cmake -B "$TSAN_BUILD" -S . -DQUICKDROP_SANITIZE="thread" &&
   cmake --build "$TSAN_BUILD" -j --target util_test tensor_test fl_test serve_test \
-    net_test &&
+    net_test nn_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/util_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/tensor_test &&
+  QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/nn_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/fl_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/serve_test &&
   QUICKDROP_THREADS=4 "$TSAN_BUILD"/tests/net_test
@@ -140,4 +142,13 @@ if [ -f BENCH_net.json ]; then
   echo "net bench: BENCH_net.json written" | tee -a bench_output.txt
 else
   echo "net bench: MISSING BENCH_net.json" | tee -a bench_output.txt
+fi
+
+# Likewise the shard-tree scale sweep (bench/ext_scale_shard): streaming
+# aggregation peak memory vs cohort size, plus the cross-shard bitwise
+# invariance verdict — see DESIGN.md §16.
+if [ -f BENCH_scale_shard.json ]; then
+  echo "scale-shard bench: BENCH_scale_shard.json written" | tee -a bench_output.txt
+else
+  echo "scale-shard bench: MISSING BENCH_scale_shard.json" | tee -a bench_output.txt
 fi

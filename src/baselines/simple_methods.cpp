@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "nn/state_accumulator.h"
 #include "util/timer.h"
 
 namespace quickdrop::baselines {
@@ -47,28 +48,42 @@ UnlearnOutcome S2U::unlearn(TrainedFederation& fed, const core::UnlearningReques
   nn::ModelState global = fed.global;
   fl::CostMeter cost;
 
+  // The reweighting depends only on dataset sizes, so the normalized weights
+  // are known before any client trains — which lets each client's state fold
+  // straight into a streaming accumulator and be discarded, instead of the
+  // old materialize-the-whole-cohort-then-weighted_average copy. A
+  // single-lane accumulator fed in index order reproduces weighted_average's
+  // per-element double chain bit for bit.
+  std::int64_t cohort_samples = 0;
+  for (const auto& d : clients) cohort_samples += d.size();
+  std::vector<float> weights;
+  float weight_sum = 0.0f;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    if (clients[i].empty()) continue;
+    // Down-scale the forgetting client; up-scale the rest.
+    const float base = static_cast<float>(clients[i].size()) /
+                       static_cast<float>(cohort_samples);
+    const float w = base * (i == target ? config_.s2u_down : config_.s2u_up);
+    weights.push_back(w);
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0f) throw std::logic_error("S2U: degenerate aggregation weights");
+  for (auto& w : weights) w /= weight_sum;
+
+  nn::StateAccumulator acc(global.layout(), /*lanes=*/1);
+  nn::ModelState local{global.layout()};
   for (int round = 0; round < config_.s2u_rounds; ++round) {
-    std::vector<nn::ModelState> states;
-    std::vector<float> weights;
-    float weight_sum = 0.0f;
-    std::int64_t cohort_samples = 0;
-    for (const auto& d : clients) cohort_samples += d.size();
+    std::size_t next_weight = 0;
     for (std::size_t i = 0; i < clients.size(); ++i) {
       if (clients[i].empty()) continue;
       nn::load_state(*model, global);
       Rng client_rng = rng.split(static_cast<std::uint64_t>(round) * 1009 + i);
       update.run(*model, clients[i], round, static_cast<int>(i), client_rng, cost);
-      states.push_back(nn::state_of(*model));
-      // Down-scale the forgetting client; up-scale the rest.
-      const float base = static_cast<float>(clients[i].size()) /
-                         static_cast<float>(cohort_samples);
-      const float w = base * (i == target ? config_.s2u_down : config_.s2u_up);
-      weights.push_back(w);
-      weight_sum += w;
+      nn::snapshot_into(*model, local);
+      acc.fold(local, static_cast<double>(weights[next_weight++]));
     }
-    if (weight_sum <= 0.0f) throw std::logic_error("S2U: degenerate aggregation weights");
-    for (auto& w : weights) w /= weight_sum;
-    global = nn::weighted_average(states, weights);
+    global = acc.finalize();
+    acc.reset();
     ++cost.rounds;
   }
 

@@ -35,6 +35,7 @@ nn::ModelState QuickDrop::train(const fl::RoundCallback& callback,
   fed.faults = config_.faults;
   fed.defense = config_.defense;
   fed.transport = config_.transport;
+  fed.aggregation = config_.aggregation;
   // Concurrent clients, except when fine-tuning follows: finetune_store
   // re-initializes models from the shared factory RNG, and the number of
   // factory calls the parallel engine makes depends on the thread count —
@@ -167,6 +168,7 @@ nn::ModelState QuickDrop::run_phase(const nn::ModelState& start,
   fed.faults = config_.faults;
   fed.defense = config_.defense;
   fed.transport = config_.transport;
+  fed.aggregation = config_.aggregation;
   fed.start_round = start_round;
   fed.client_model_factory = factory_;
   fl::CostMeter cost;
@@ -195,6 +197,17 @@ nn::ModelState QuickDrop::unlearn_batch(const nn::ModelState& state,
                                         const UnlearnCursorCallback& cursor_callback,
                                         const UnlearnCursor* resume) {
   if (batch.empty()) throw std::invalid_argument("QuickDrop::unlearn: empty request batch");
+  if (resume && (resume->shards != config_.aggregation.shards ||
+                 resume->shard_fanout != config_.aggregation.fanout)) {
+    // Rounds are atomic, so the merge bits would match either way — but a
+    // topology switch mid-request silently changes the per-shard accounting
+    // the cursor was captured under, so reject it loudly.
+    throw std::invalid_argument(
+        "QuickDrop::unlearn: resume cursor shard topology (" +
+        std::to_string(resume->shards) + "x fanout " + std::to_string(resume->shard_fanout) +
+        ") does not match the coordinator (" + std::to_string(config_.aggregation.shards) +
+        "x fanout " + std::to_string(config_.aggregation.fanout) + ")");
+  }
   const bool resume_sga = resume && resume->phase == UnlearnCursor::kPhaseUnlearn;
   const bool resume_recovery = resume && resume->phase == UnlearnCursor::kPhaseRecover;
 
@@ -238,9 +251,11 @@ nn::ModelState QuickDrop::unlearn_batch(const nn::ModelState& state,
       accumulated.cost += step.cost;
       ++rounds_run;
       if (cursor_callback) {
-        cursor_callback(
-            UnlearnCursor{.phase = UnlearnCursor::kPhaseUnlearn, .rounds_done = rounds_run},
-            current);
+        cursor_callback(UnlearnCursor{.phase = UnlearnCursor::kPhaseUnlearn,
+                                      .rounds_done = rounds_run,
+                                      .shards = config_.aggregation.shards,
+                                      .shard_fanout = config_.aggregation.fanout},
+                        current);
       }
     }
     accumulated.seconds = timer.seconds();
@@ -253,7 +268,9 @@ nn::ModelState QuickDrop::unlearn_batch(const nn::ModelState& state,
       sga_cursor = [&](int round, const nn::ModelState& s, const Rng& rng) {
         cursor_callback(UnlearnCursor{.phase = UnlearnCursor::kPhaseUnlearn,
                                       .rounds_done = round + 1,
-                                      .rng_state = rng.serialize()},
+                                      .rng_state = rng.serialize(),
+                                      .shards = config_.aggregation.shards,
+                                      .shard_fanout = config_.aggregation.fanout},
                         s);
       };
     }
@@ -273,7 +290,9 @@ nn::ModelState QuickDrop::unlearn_batch(const nn::ModelState& state,
       recover_cursor = [&](int round, const nn::ModelState& s, const Rng& rng) {
         cursor_callback(UnlearnCursor{.phase = UnlearnCursor::kPhaseRecover,
                                       .rounds_done = round + 1,
-                                      .rng_state = rng.serialize()},
+                                      .rng_state = rng.serialize(),
+                                      .shards = config_.aggregation.shards,
+                                      .shard_fanout = config_.aggregation.fanout},
                         s);
       };
     }

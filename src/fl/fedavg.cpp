@@ -27,6 +27,7 @@ nn::ModelState run_fedavg(nn::Module& model, nn::ModelState global,
   resilient.start_round = config.start_round;
   resilient.client_model_factory = config.client_model_factory;
   resilient.transport = config.transport;
+  resilient.aggregation = config.aggregation;
   if (config.dropout_rate > 0.0f && !config.faults.any()) {
     resilient.faults = FaultPlan::bernoulli_crash(rng.next_u64(), config.dropout_rate);
   }

@@ -41,6 +41,8 @@ struct FedAvgConfig {
   ModelFactory client_model_factory;
   /// Client→server update transport (see ResilientConfig::transport).
   TransportConfig transport;
+  /// Shard-tree aggregation topology (see ResilientConfig::aggregation).
+  AggregationConfig aggregation;
 };
 
 /// Runs `config.rounds` rounds of FedAvg (Algorithm 1's outer loop):

@@ -172,8 +172,9 @@ std::vector<std::uint8_t> encode_delta(const nn::ModelState& delta, Codec codec)
   return bytes;
 }
 
-nn::ModelState decode_delta(std::span<const std::uint8_t> bytes,
-                            const std::shared_ptr<const nn::StateLayout>& layout) {
+void decode_delta_blocks(std::span<const std::uint8_t> bytes,
+                         const std::shared_ptr<const nn::StateLayout>& layout,
+                         const DeltaBlockFn& block_fn) {
   if (!layout) throw nn::StateError("decode_delta: null layout");
   WireReader r{bytes};
   if (r.u64("magic") != kWireMagicV1) WireReader::fail("bad magic");
@@ -188,14 +189,15 @@ nn::ModelState decode_delta(std::span<const std::uint8_t> bytes,
     WireReader::fail("numel does not match layout");
   }
   const auto n = static_cast<std::int64_t>(numel);
-  std::vector<float> values(static_cast<std::size_t>(n), 0.0f);
+  std::vector<float> scratch(static_cast<std::size_t>(std::min(n, kQuantBlock)));
   for (std::int64_t lo = 0; lo < n; lo += kQuantBlock) {
     const std::int64_t len = std::min(n - lo, kQuantBlock);
-    float* out = values.data() + lo;
+    float* out = scratch.data();
     const std::uint8_t tag = r.u8("block tag");
     switch (tag) {
       case kZeroBlock:
-        break;  // values are pre-zeroed
+        std::fill(out, out + len, 0.0f);
+        break;
       case kRawBlock: {
         const auto payload = r.raw(static_cast<std::size_t>(len) * 4, "raw payload");
         std::memcpy(out, payload.data(), payload.size());
@@ -223,8 +225,18 @@ nn::ModelState decode_delta(std::span<const std::uint8_t> bytes,
       default:
         WireReader::fail("unknown block tag");
     }
+    block_fn(lo, len, out);
   }
   if (r.pos != bytes.size()) WireReader::fail("trailing bytes");
+}
+
+nn::ModelState decode_delta(std::span<const std::uint8_t> bytes,
+                            const std::shared_ptr<const nn::StateLayout>& layout) {
+  if (!layout) throw nn::StateError("decode_delta: null layout");
+  std::vector<float> values(static_cast<std::size_t>(layout->total()), 0.0f);
+  decode_delta_blocks(bytes, layout, [&](std::int64_t lo, std::int64_t len, const float* vals) {
+    std::memcpy(values.data() + lo, vals, static_cast<std::size_t>(len) * sizeof(float));
+  });
   return {layout, std::move(values)};
 }
 

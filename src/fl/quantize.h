@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -64,5 +65,18 @@ std::vector<std::uint8_t> encode_delta(const nn::ModelState& delta, Codec codec)
 /// trailing bytes — never returns partial state.
 nn::ModelState decode_delta(std::span<const std::uint8_t> bytes,
                             const std::shared_ptr<const nn::StateLayout>& layout);
+
+/// Streaming decode: validates the frame exactly like decode_delta, but hands
+/// each decoded block to `block_fn(lo, len, values)` (kQuantBlock granularity,
+/// in offset order) instead of materializing a whole fp32 state — the shard
+/// tree's decode-into-accumulator path runs on O(kQuantBlock) scratch.
+/// Zero blocks are delivered as explicit zeros, so reconstructing
+/// `global + delta` block by block is bit-identical to axpy over a
+/// materialized decode. Frame errors may throw mid-stream, after some blocks
+/// were already delivered — callers must treat a throw as "discard the fold".
+using DeltaBlockFn = std::function<void(std::int64_t lo, std::int64_t len, const float* values)>;
+void decode_delta_blocks(std::span<const std::uint8_t> bytes,
+                         const std::shared_ptr<const nn::StateLayout>& layout,
+                         const DeltaBlockFn& block_fn);
 
 }  // namespace quickdrop::fl

@@ -10,6 +10,11 @@
 // plus a per-round cursor callback that exposes the engine RNG for
 // checkpointing (see core/checkpoint.h RoundCursor).
 //
+// Aggregation streams through the fl/shard_tree.h hierarchical accumulator:
+// with no norm-outlier rule configured, accepted updates fold into per-lane
+// double accumulators wave-by-wave and are discarded, so a round's peak
+// server memory is O(params) regardless of cohort size (DESIGN.md §16).
+//
 // fl/fedavg.h::run_fedavg is a thin façade over this engine.
 #pragma once
 
@@ -20,6 +25,7 @@
 #include "fl/cost.h"
 #include "fl/faults.h"
 #include "fl/quantize.h"
+#include "fl/shard_tree.h"
 #include "nn/state.h"
 
 namespace quickdrop::fl {
@@ -75,6 +81,17 @@ struct ResilientConfig {
   /// validation, and a delta that fails to decode is quarantined like a
   /// corrupted upload. Uploaded-byte accounting reflects the wire size.
   TransportConfig transport;
+  /// Shard-tree aggregation topology (fl/shard_tree.h). Every accepted update
+  /// folds through the canonical 64-lane streaming accumulator regardless of
+  /// the shard count, so the merged bits are identical for any
+  /// shards/fanout setting; the knobs re-partition ownership + accounting.
+  /// When the defense has no norm-outlier rule (the only validation that
+  /// needs the whole cohort's norms at once), the engine streams: each
+  /// accepted update is folded and discarded wave-by-wave, holding O(params)
+  /// server memory instead of the whole cohort. With the outlier rule on it
+  /// buffers deliveries as before — both modes fold in cohort order and
+  /// produce bit-identical globals for the same accepted set.
+  AggregationConfig aggregation;
 };
 
 /// Runs rounds [config.start_round, config.rounds) of fault-tolerant FedAvg:

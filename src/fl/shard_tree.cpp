@@ -1,0 +1,148 @@
+#include "fl/shard_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "tensor/simd.h"
+
+namespace quickdrop::fl {
+
+namespace {
+
+void check_layout(const nn::StateAccumulator& acc, const nn::ModelState& state,
+                  const char* context) {
+  if (state.layout() == acc.layout()) return;
+  if (state.layout() && acc.layout() && state.layout()->hash() == acc.layout()->hash()) return;
+  throw nn::StateError(std::string(context) + ": state layout mismatch");
+}
+
+}  // namespace
+
+void AggregationConfig::validate() const {
+  if (shards < 1 || shards > nn::StateAccumulator::kLanes || (shards & (shards - 1)) != 0) {
+    throw std::invalid_argument("aggregation: shards must be a power of two in [1, " +
+                                std::to_string(nn::StateAccumulator::kLanes) + "], got " +
+                                std::to_string(shards));
+  }
+  if (fanout < 2 || fanout > 64) {
+    throw std::invalid_argument("aggregation: shard fanout must be in [2, 64], got " +
+                                std::to_string(fanout));
+  }
+}
+
+ShardTree::ShardTree(std::shared_ptr<const nn::StateLayout> layout, AggregationConfig config)
+    : config_(config), acc_(std::move(layout), nn::StateAccumulator::kLanes) {
+  config_.validate();
+  shard_folds_.assign(static_cast<std::size_t>(config_.shards), 0);
+  scratch_.assign(static_cast<std::size_t>(nn::kStateBlock), 0.0f);
+}
+
+int ShardTree::lane_of(int client_id) {
+  // splitmix64 finalizer over the (widened) id: well-mixed low bits, stable
+  // across shard counts, platforms and rounds.
+  std::uint64_t x = static_cast<std::uint32_t>(client_id);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<int>(x & (nn::StateAccumulator::kLanes - 1));
+}
+
+int ShardTree::shard_of(int client_id) const {
+  return lane_of(client_id) * config_.shards / nn::StateAccumulator::kLanes;
+}
+
+void ShardTree::fold(int client_id, const nn::ModelState& state, double weight) {
+  acc_.fold(state, weight, lane_of(client_id));
+  ++shard_folds_[static_cast<std::size_t>(shard_of(client_id))];
+  ++folds_;
+}
+
+ShardTree::WireProbe ShardTree::probe_quantized(std::span<const std::uint8_t> wire,
+                                                const nn::ModelState& global) {
+  check_layout(acc_, global, "ShardTree::probe_quantized");
+  const auto gd = global.data();
+  const auto& bounds = acc_.layout()->block_bounds();
+  const auto& kern = simd::active();
+  WireProbe probe;
+  probe.finite = true;
+  double sum = 0.0;    // per-state-block partials, combined in block order
+  std::size_t b = 0;   // current state block
+  decode_delta_blocks(wire, global.layout(), [&](std::int64_t lo, std::int64_t len,
+                                                 const float* vals) {
+    // Reconstruct global + delta for this wire block inside the enclosing
+    // state block's scratch slot. Per element this is the exact chain the
+    // buffered path runs (copy global, then axpy with a = 1.0f).
+    float* s = scratch_.data() + (lo - bounds[b]);
+    std::memcpy(s, gd.data() + lo, static_cast<std::size_t>(len) * sizeof(float));
+    kern.axpy(s, vals, 1.0f, len);
+    if (lo + len == bounds[b + 1]) {  // state block complete: flush its stats
+      const std::int64_t blen = bounds[b + 1] - bounds[b];
+      if (probe.finite) {
+        for (std::int64_t i = 0; i < blen; ++i) {
+          if (!std::isfinite(scratch_[static_cast<std::size_t>(i)])) {
+            probe.finite = false;
+            break;
+          }
+        }
+      }
+      sum += kern.sum_squared_diff(scratch_.data(), gd.data() + bounds[b], blen);
+      ++b;
+    }
+  });
+  probe.norm = std::sqrt(sum);
+  return probe;
+}
+
+void ShardTree::fold_quantized(int client_id, std::span<const std::uint8_t> wire,
+                               const nn::ModelState& global, double weight) {
+  check_layout(acc_, global, "ShardTree::fold_quantized");
+  const int lane = lane_of(client_id);
+  const auto gd = global.data();
+  const auto& kern = simd::active();
+  decode_delta_blocks(wire, global.layout(), [&](std::int64_t lo, std::int64_t len,
+                                                 const float* vals) {
+    float* s = scratch_.data();
+    std::memcpy(s, gd.data() + lo, static_cast<std::size_t>(len) * sizeof(float));
+    kern.axpy(s, vals, 1.0f, len);
+    acc_.fold_range(lane, lo, s, len, weight);
+  });
+  ++shard_folds_[static_cast<std::size_t>(shard_of(client_id))];
+  ++folds_;
+}
+
+nn::ModelState ShardTree::finalize(double scale) { return acc_.finalize_scaled(scale); }
+
+void ShardTree::reset() {
+  acc_.reset();
+  std::fill(shard_folds_.begin(), shard_folds_.end(), 0);
+  folds_ = 0;
+}
+
+int ShardTree::levels() const {
+  int hops = 0;
+  std::int64_t reach = 1;
+  while (reach < config_.shards) {
+    reach *= config_.fanout;
+    ++hops;
+  }
+  return 1 + hops;
+}
+
+std::int64_t ShardTree::shard_folds(int shard) const {
+  if (shard < 0 || shard >= config_.shards) {
+    throw std::invalid_argument("ShardTree::shard_folds: shard out of range");
+  }
+  return shard_folds_[static_cast<std::size_t>(shard)];
+}
+
+std::int64_t ShardTree::memory_bytes() const {
+  return acc_.memory_bytes() +
+         static_cast<std::int64_t>(scratch_.size() * sizeof(float));
+}
+
+}  // namespace quickdrop::fl

@@ -1,6 +1,8 @@
 #include "net/api.h"
 
 #include <cctype>
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -197,16 +199,42 @@ ApiService::ApiService(std::shared_ptr<core::QuickDrop> quickdrop, nn::ModelStat
   }
 }
 
+namespace {
+
+/// Compares a presented token against a stored one without data-dependent
+/// early exits: the loop runs over max(len_a, len_b) bytes regardless of
+/// where the first mismatch sits, folding the length difference into the
+/// same accumulator, so response timing does not leak how much of a token
+/// prefix matched. (operator== bails at the first differing byte, which a
+/// network attacker can measure byte-by-byte.)
+bool token_equal_constant_time(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size() > b.size() ? a.size() : b.size();
+  std::uint8_t diff = static_cast<std::uint8_t>(a.size() != b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t ca = i < a.size() ? static_cast<std::uint8_t>(a[i]) : 0;
+    const std::uint8_t cb = i < b.size() ? static_cast<std::uint8_t>(b[i]) : 0;
+    diff = static_cast<std::uint8_t>(diff | (ca ^ cb));
+  }
+  return diff == 0;
+}
+
+}  // namespace
+
 std::string ApiService::authenticate(const HttpRequest& request) const {
   if (config_.tenants.empty()) return "default";
   const std::string& auth = request.header("authorization");
   const std::string prefix = "Bearer ";
   if (auth.rfind(prefix, 0) != 0) return "";
   const std::string token = auth.substr(prefix.size());
+  // Scan every tenant even after a hit, so the number of comparisons does
+  // not reveal which tenant (if any) matched.
+  const Tenant* matched = nullptr;
   for (const auto& tenant : config_.tenants) {
-    if (tenant.token == token) return tenant.name;
+    if (token_equal_constant_time(tenant.token, token) && matched == nullptr) {
+      matched = &tenant;
+    }
   }
-  return "";
+  return matched ? matched->name : "";
 }
 
 HttpResponse ApiService::handle(const HttpRequest& request) {

@@ -1,0 +1,158 @@
+#include "nn/state_accumulator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "tensor/simd.h"
+#include "util/thread_pool.h"
+
+namespace quickdrop::nn {
+
+namespace {
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+StateAccumulator::StateAccumulator(std::shared_ptr<const StateLayout> layout, int lanes)
+    : layout_(std::move(layout)), lanes_(lanes) {
+  if (!layout_) throw StateError("StateAccumulator: null layout");
+  if (!is_pow2(lanes_) || lanes_ > kLanes) {
+    throw StateError("StateAccumulator: lanes must be a power of two in [1, " +
+                     std::to_string(kLanes) + "], got " + std::to_string(lanes_));
+  }
+  total_ = layout_->total();
+  buffers_.resize(static_cast<std::size_t>(lanes_));
+  present_.assign(static_cast<std::size_t>(lanes_), 0);
+}
+
+void StateAccumulator::check_lane(int lane) const {
+  if (lane < 0 || lane >= lanes_) {
+    throw StateError("StateAccumulator: lane " + std::to_string(lane) + " out of [0, " +
+                     std::to_string(lanes_) + ")");
+  }
+  if (finalized_) {
+    throw StateError("StateAccumulator: fold after finalize (reset() first)");
+  }
+}
+
+std::vector<double>& StateAccumulator::lane_buffer(int lane) {
+  auto& buf = buffers_[static_cast<std::size_t>(lane)];
+  if (buf.empty() && total_ > 0) buf.assign(static_cast<std::size_t>(total_), 0.0);
+  return buf;
+}
+
+void StateAccumulator::fold(const ModelState& state, double weight, int lane) {
+  check_lane(lane);
+  if (state.layout() != layout_ &&
+      (!state.layout() || state.layout()->hash() != layout_->hash())) {
+    throw StateError("StateAccumulator::fold: state layout mismatch");
+  }
+  auto& buf = lane_buffer(lane);
+  const auto xd = state.data();
+  const auto& kern = simd::active();
+  ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint buf[lo,hi) slice)
+      0, total_, grain_for(2), [&](std::int64_t lo, std::int64_t hi) {
+        kern.wavg_fold(buf.data() + lo, xd.data() + lo, weight, hi - lo);
+      });
+  present_[static_cast<std::size_t>(lane)] = 1;
+  ++folds_;
+}
+
+void StateAccumulator::fold_range(int lane, std::int64_t offset, const float* x,
+                                  std::int64_t len, double weight) {
+  check_lane(lane);
+  if (offset < 0 || len < 0 || offset + len > total_) {
+    throw StateError("StateAccumulator::fold_range: range out of bounds");
+  }
+  if (len == 0) return;
+  auto& buf = lane_buffer(lane);
+  simd::active().wavg_fold(buf.data() + offset, x, weight, len);
+  present_[static_cast<std::size_t>(lane)] = 1;
+}
+
+bool StateAccumulator::lane_used(int lane) const {
+  if (lane < 0 || lane >= lanes_) return false;
+  return present_[static_cast<std::size_t>(lane)] != 0;
+}
+
+bool StateAccumulator::collapse() {
+  const auto& kern = simd::active();
+  auto& pool = ThreadPool::global();
+  for (int stride = 1; stride < lanes_; stride *= 2) {
+    for (int i = 0; i + stride < lanes_; i += 2 * stride) {
+      const auto a = static_cast<std::size_t>(i);
+      const auto b = static_cast<std::size_t>(i + stride);
+      if (!present_[b]) continue;
+      if (!present_[a]) {
+        // Absent-side propagation: move the buffer, never add against zeros
+        // (keeps -0.0 / NaN payloads and, more importantly, keeps the combine
+        // independent of which lanes happen to be populated).
+        buffers_[a].swap(buffers_[b]);
+        present_[a] = 1;
+        present_[b] = 0;
+        continue;
+      }
+      double* acc = buffers_[a].data();
+      const double* x = buffers_[b].data();
+      pool.parallel_for(
+          // qdlint: shared-write(each chunk writes its own disjoint acc[lo,hi) slice)
+          0, total_, grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+            kern.dadd(acc + lo, x + lo, hi - lo);
+          });
+      present_[b] = 0;
+    }
+  }
+  return present_[0] != 0;
+}
+
+ModelState StateAccumulator::finalize() {
+  if (!collapse()) throw StateError("StateAccumulator::finalize: no updates folded");
+  finalized_ = true;
+  ModelState out{layout_};
+  auto od = out.data();
+  const double* acc = buffers_[0].data();
+  const auto& kern = simd::active();
+  ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
+      0, total_, grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+        kern.wavg_store(od.data() + lo, acc + lo, hi - lo);
+      });
+  return out;
+}
+
+ModelState StateAccumulator::finalize_scaled(double scale) {
+  if (!collapse()) throw StateError("StateAccumulator::finalize_scaled: no updates folded");
+  finalized_ = true;
+  ModelState out{layout_};
+  auto od = out.data();
+  const double* acc = buffers_[0].data();
+  const auto& kern = simd::active();
+  ThreadPool::global().parallel_for(
+      // qdlint: shared-write(each chunk writes its own disjoint od[lo,hi) slice)
+      0, total_, grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+        kern.dscale_store(od.data() + lo, acc + lo, scale, hi - lo);
+      });
+  return out;
+}
+
+void StateAccumulator::reset() {
+  for (auto& buf : buffers_) {
+    if (!buf.empty()) std::fill(buf.begin(), buf.end(), 0.0);
+  }
+  std::fill(present_.begin(), present_.end(), 0);
+  folds_ = 0;
+  finalized_ = false;
+}
+
+std::int64_t StateAccumulator::memory_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& buf : buffers_) {
+    bytes += static_cast<std::int64_t>(buf.size() * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace quickdrop::nn

@@ -106,6 +106,21 @@ void wavg_store_scalar(float* o, const double* acc, std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) o[i] = static_cast<float>(acc[i]);
 }
 
+void dadd_scalar(double* acc, const double* x, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc[i] += x[i];
+    acc[i + 1] += x[i + 1];
+    acc[i + 2] += x[i + 2];
+    acc[i + 3] += x[i + 3];
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void dscale_store_scalar(float* o, const double* acc, double s, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) o[i] = static_cast<float>(acc[i] * s);
+}
+
 void matmul_tile4_scalar(float* c, float a0, float a1, float a2, float a3, const float* b0,
                          const float* b1, const float* b2, const float* b3, std::int64_t n) {
   for (std::int64_t j = 0; j < n; ++j) {
@@ -116,6 +131,7 @@ void matmul_tile4_scalar(float* c, float a0, float a1, float a2, float a3, const
 constexpr Kernels kScalarKernels = {
     "scalar",          axpy_scalar,      scale_scalar,      subtract_scalar,
     sum_squares_scalar, sum_squared_diff_scalar, wavg_fold_scalar, wavg_store_scalar,
+    dadd_scalar,       dscale_store_scalar,
     matmul_tile4_scalar,
 };
 

@@ -49,6 +49,14 @@ struct Kernels {
   void (*wavg_fold)(double* acc, const float* x, double w, std::int64_t n);
   /// o[i] = (float)acc[i] — round the finished accumulator to float.
   void (*wavg_store)(float* o, const double* acc, std::int64_t n);
+  /// acc[i] += x[i] — one pairwise combine step of the shard-tree lane merge
+  /// (nn/state_accumulator.h). Pure double add, elementwise: parity is
+  /// structural.
+  void (*dadd)(double* acc, const double* x, std::int64_t n);
+  /// o[i] = (float)(acc[i] * s) — scale the finished double accumulator and
+  /// round to float in one pass (the streaming weighted-average finalize,
+  /// where the weight normalizer is only known after the last fold).
+  void (*dscale_store)(float* o, const double* acc, double s, std::int64_t n);
   /// c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j], left-associated,
   /// mul-then-add (no FMA) — the blocked matmul's 4-way kk inner tile.
   void (*matmul_tile4)(float* c, float a0, float a1, float a2, float a3, const float* b0,

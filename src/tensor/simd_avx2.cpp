@@ -109,6 +109,29 @@ void wavg_store_avx2(float* o, const double* acc, std::int64_t n) {
   for (; i < n; ++i) o[i] = static_cast<float>(acc[i]);
 }
 
+void dadd_avx2(double* acc, const double* x, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d av = _mm256_loadu_pd(acc + i);
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    // qdlint: shared-write(caller passes a disjoint acc[0,n) slice; this tile writes only it)
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(av, xv));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void dscale_store_avx2(float* o, const double* acc, double s, std::int64_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Double multiply then _mm256_cvtpd_ps — both round to nearest-even,
+    // identical to the scalar (float)(acc[i] * s).
+    // qdlint: shared-write(caller passes a disjoint o[0,n) slice; this tile writes only it)
+    _mm_storeu_ps(o + i, _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_loadu_pd(acc + i), sv)));
+  }
+  for (; i < n; ++i) o[i] = static_cast<float>(acc[i] * s);
+}
+
 void matmul_tile4_avx2(float* c, float a0, float a1, float a2, float a3, const float* b0,
                        const float* b1, const float* b2, const float* b3, std::int64_t n) {
   const __m256 a0v = _mm256_set1_ps(a0), a1v = _mm256_set1_ps(a1);
@@ -132,6 +155,7 @@ void matmul_tile4_avx2(float* c, float a0, float a1, float a2, float a3, const f
 constexpr Kernels kAvx2Kernels = {
     "avx2",          axpy_avx2,      scale_avx2,      subtract_avx2,
     sum_squares_avx2, sum_squared_diff_avx2, wavg_fold_avx2, wavg_store_avx2,
+    dadd_avx2,       dscale_store_avx2,
     matmul_tile4_avx2,
 };
 

@@ -321,6 +321,25 @@ TEST(ApiService, BearerAuthGatesEveryRouteAndAccountsPerTenant) {
   EXPECT_NE(metrics.body.find("\"report\""), std::string::npos);
 }
 
+TEST(ApiService, BearerAuthRejectsNearMissTokensOfAnyLength) {
+  // The comparison is constant-time (no early exit on the first differing
+  // byte or on a length mismatch), so every near-miss shape must land on the
+  // same 401: equal length with one byte off, a strict prefix of the real
+  // token, the real token with a suffix appended, and the empty token.
+  ThreadGuard guard;
+  ApiFixture fx("acme=s3cret,beta=tok2");
+
+  EXPECT_EQ(fx.api->handle(get("/metrics", "Bearer s3creX")).status, 401);  // equal length
+  EXPECT_EQ(fx.api->handle(get("/metrics", "Bearer X3cret")).status, 401);  // equal length
+  EXPECT_EQ(fx.api->handle(get("/metrics", "Bearer s3cre")).status, 401);   // one short
+  EXPECT_EQ(fx.api->handle(get("/metrics", "Bearer s3cret2")).status, 401); // one long
+  EXPECT_EQ(fx.api->handle(get("/metrics", "Bearer ")).status, 401);        // empty token
+
+  // Every stored token still authenticates after the scan-all-tenants change.
+  EXPECT_EQ(fx.api->handle(get("/metrics", "Bearer s3cret")).status, 200);
+  EXPECT_EQ(fx.api->handle(get("/metrics", "Bearer tok2")).status, 200);
+}
+
 TEST(ApiService, OpenApiAccountsToDefaultTenant) {
   ThreadGuard guard;
   ApiFixture fx;

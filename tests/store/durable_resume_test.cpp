@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -260,6 +261,45 @@ TEST(DurableResumeTest, SequentialUnlearningThroughStoreMatchesUninterrupted) {
 
   expect_states_bitwise_equal(full_state, resumed_state, "sequential history through store");
   EXPECT_EQ(qd->forgotten_classes(), qd_full->forgotten_classes());
+}
+
+TEST(DurableResumeTest, CursorRecordsShardTopologyAndRejectsASwitch) {
+  // The v2 cursor record carries the shard-tree topology the request was
+  // folding under; a restarted service configured differently must refuse to
+  // resume rather than silently continue under re-partitioned accounting.
+  ThreadGuard guard;
+  set_num_threads(1);
+  const auto deployment = train_once();
+  const auto hash = core::checkpoint_layout_hash(deployment);
+  const auto path = temp_store("topology.qds");
+
+  auto cfg = MiniFederation::config();
+  cfg.aggregation = {.shards = 4, .fanout = 4};
+  MiniFederation fed;
+  auto qd = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+  qd->load_stores(core::restore_stores(deployment));
+  store::Store store(path);
+  Executor(qd, CostModel{})
+      .execute(deployment.global, {class_request(2)}, durable_cursor_callback(store, *qd));
+
+  const auto durable = load_durable_cursor(store, hash);
+  ASSERT_TRUE(durable.has_value());
+  EXPECT_EQ(durable->cursor.shards, 4);
+  EXPECT_EQ(durable->cursor.shard_fanout, 4);
+
+  // Same cursor, a coordinator back on the default 1-shard topology: reject.
+  auto qd_other = restored_coordinator(durable->checkpoint);
+  EXPECT_THROW(Executor(qd_other, CostModel{})
+                   .execute(durable->checkpoint.global, {class_request(2)}, {},
+                            &durable->cursor),
+               std::invalid_argument);
+
+  // Matching topology resumes fine.
+  auto qd_same = std::make_shared<core::QuickDrop>(fed.factory, fed.clients, cfg, 99);
+  qd_same->load_stores(core::restore_stores(durable->checkpoint));
+  EXPECT_NO_THROW(Executor(qd_same, CostModel{})
+                      .execute(durable->checkpoint.global, {class_request(2)}, {},
+                               &durable->cursor));
 }
 
 }  // namespace
